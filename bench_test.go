@@ -1,0 +1,89 @@
+package hwgc
+
+// The benchmark harness: one testing.B benchmark per table and figure in
+// the paper's evaluation. Each iteration regenerates the experiment at
+// reduced (Quick) scale and reports key simulator metrics; the full-scale
+// numbers for EXPERIMENTS.md come from cmd/hwgc-bench.
+//
+//	go test -bench=. -benchmem            # all figures, quick scale
+//	go test -bench=BenchmarkFig15         # one figure
+
+import (
+	"testing"
+
+	"hwgc/internal/core"
+	"hwgc/internal/workload"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	o := QuickOptions()
+	for i := 0; i < b.N; i++ {
+		rep, err := RunExperiment(id, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) == 0 {
+			b.Fatal("empty report")
+		}
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + rep.String())
+		}
+	}
+}
+
+func BenchmarkFig01aGCTime(b *testing.B)        { benchExperiment(b, "fig1a") }
+func BenchmarkFig01bTailLatency(b *testing.B)   { benchExperiment(b, "fig1b") }
+func BenchmarkTable1Config(b *testing.B)        { benchExperiment(b, "table1") }
+func BenchmarkFig15MarkSweep(b *testing.B)      { benchExperiment(b, "fig15") }
+func BenchmarkFig16Bandwidth(b *testing.B)      { benchExperiment(b, "fig16") }
+func BenchmarkFig17FastMemory(b *testing.B)     { benchExperiment(b, "fig17") }
+func BenchmarkFig18CachePartition(b *testing.B) { benchExperiment(b, "fig18") }
+func BenchmarkFig19MarkQueue(b *testing.B)      { benchExperiment(b, "fig19") }
+func BenchmarkFig20SweeperScaling(b *testing.B) { benchExperiment(b, "fig20") }
+func BenchmarkFig21MarkBitCache(b *testing.B)   { benchExperiment(b, "fig21") }
+func BenchmarkFig22Area(b *testing.B)           { benchExperiment(b, "fig22") }
+func BenchmarkFig23Energy(b *testing.B)         { benchExperiment(b, "fig23") }
+func BenchmarkAblMAS(b *testing.B)              { benchExperiment(b, "abl-mas") }
+func BenchmarkAblLayout(b *testing.B)           { benchExperiment(b, "abl-layout") }
+func BenchmarkAblBarriers(b *testing.B)         { benchExperiment(b, "abl-barriers") }
+func BenchmarkAblThrottle(b *testing.B)         { benchExperiment(b, "abl-throttle") }
+
+// BenchmarkUnitMarkPhase measures one hardware mark phase end to end
+// (cycles are simulated; ns/op is host time to simulate it).
+func BenchmarkUnitMarkPhase(b *testing.B) {
+	cfg := ScaledConfig()
+	spec, _ := workload.ByName("avrora")
+	spec.LiveObjects /= 4
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runner, err := core.NewAppRunner(cfg, spec, core.HWCollector, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := runner.Step(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(runner.Res.GCs[0].MarkCycles), "sim-cycles")
+	}
+}
+
+// BenchmarkSWMarkPhase is the software-collector counterpart.
+func BenchmarkSWMarkPhase(b *testing.B) {
+	cfg := ScaledConfig()
+	spec, _ := workload.ByName("avrora")
+	spec.LiveObjects /= 4
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runner, err := core.NewAppRunner(cfg, spec, core.SWCollector, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := runner.Step(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(runner.Res.GCs[0].MarkCycles), "sim-cycles")
+	}
+}

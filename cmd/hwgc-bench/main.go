@@ -1,0 +1,69 @@
+// hwgc-bench regenerates the paper's evaluation: every table and figure
+// (Figure 1, Table I, Figures 15-23) from the simulator, printing the same
+// rows/series the paper reports plus a paper-vs-measured note.
+//
+// Usage:
+//
+//	hwgc-bench                  # run everything at full scale
+//	hwgc-bench -quick           # reduced-scale smoke run
+//	hwgc-bench -only fig15,fig20
+//	hwgc-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hwgc"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced-scale workloads (~4x smaller)")
+	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	gcs := flag.Int("gcs", 0, "collections per benchmark (0 = default)")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	flag.Parse()
+
+	if *list {
+		for _, r := range hwgc.Experiments() {
+			fmt.Printf("%-8s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	opts := hwgc.DefaultOptions()
+	if *quick {
+		opts = hwgc.QuickOptions()
+	}
+	if *gcs > 0 {
+		opts.GCs = *gcs
+	}
+	opts.Seed = *seed
+
+	selected := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id != "" {
+			selected[id] = true
+		}
+	}
+
+	failed := 0
+	for _, r := range hwgc.Experiments() {
+		if len(selected) > 0 && !selected[r.ID] {
+			continue
+		}
+		rep, err := r.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: ERROR: %v\n", r.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(rep.String())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

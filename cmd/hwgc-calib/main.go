@@ -1,0 +1,73 @@
+// hwgc-calib is a development tool for calibrating the simulator's headline
+// ratios against the paper (Figures 15 and 17).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"hwgc/internal/core"
+	"hwgc/internal/rts"
+	"hwgc/internal/workload"
+)
+
+func main() {
+	ptw := flag.Int("ptw", 8<<10, "unit PTW cache bytes")
+	l2tlb := flag.Int("l2tlb", 128, "unit shared L2 TLB entries")
+	tlb := flag.Int("tlb", 32, "unit per-client TLB entries")
+	pipe := flag.Bool("pipe", false, "use ideal memory")
+	benches := flag.String("bench", "", "comma list (default all)")
+	flag.Parse()
+
+	for _, spec := range workload.DaCapo() {
+		if *benches != "" && !contains(*benches, spec.Name) {
+			continue
+		}
+		cfg := core.DefaultConfig()
+		if *pipe {
+			cfg.Memory = core.MemPipe
+		}
+		cfg.Unit.PTWCacheBytes = *ptw
+		cfg.Unit.L2TLBEntries = *l2tlb
+		cfg.Unit.TLBEntries = *tlb
+		build := func() (*rts.System, *workload.App) {
+			sys := rts.NewSystem(cfg.System)
+			app := workload.NewApp(sys, spec, 42)
+			if !app.Populate() {
+				panic("populate failed: " + spec.Name)
+			}
+			app.WriteRoots()
+			return sys, app
+		}
+		sysHW, _ := build()
+		hw := core.NewHW(cfg, sysHW)
+		gHW := hw.Collect()
+		sysSW, _ := build()
+		sw := core.NewSW(cfg, sysSW)
+		gSW := sw.Collect()
+		fmt.Printf("%-9s SWmark=%6.2f SWsweep=%6.2f HWmark=%6.2f HWsweep=%6.2f | markX=%.2f sweepX=%.2f totX=%.2f markFrac=%.2f busy=%.2f cpr=%.2f\n",
+			spec.Name, gSW.MarkMS(), gSW.SweepMS(), gHW.MarkMS(), gHW.SweepMS(),
+			float64(gSW.MarkCycles)/float64(gHW.MarkCycles),
+			float64(gSW.SweepCycles)/float64(gHW.SweepCycles),
+			float64(gSW.TotalCycles())/float64(gHW.TotalCycles()),
+			float64(gSW.MarkCycles)/float64(gSW.TotalCycles()),
+			hw.Bus.BusyFraction(), hw.Bus.CyclesPerRequest())
+	}
+}
+
+func contains(list, name string) bool {
+	for len(list) > 0 {
+		i := 0
+		for i < len(list) && list[i] != ',' {
+			i++
+		}
+		if list[:i] == name {
+			return true
+		}
+		if i == len(list) {
+			break
+		}
+		list = list[i+1:]
+	}
+	return false
+}

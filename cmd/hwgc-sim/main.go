@@ -1,0 +1,118 @@
+// hwgc-sim runs a single garbage collection simulation: one benchmark, one
+// collector, a configurable number of collections, printing per-pause
+// timing and unit statistics. It is the "poke at one configuration" tool;
+// hwgc-bench regenerates whole figures.
+//
+// Usage:
+//
+//	hwgc-sim -bench xalan -collector hw -gcs 3
+//	hwgc-sim -bench avrora -collector sw -memory pipe
+//	hwgc-sim -bench luindex -collector hw -sweepers 4 -markq 256 -compress
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hwgc"
+	"hwgc/internal/core"
+	"hwgc/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "avrora", "benchmark: avrora, luindex, lusearch, pmd, sunflow, xalan")
+	collector := flag.String("collector", "hw", "collector: hw (GC unit) or sw (CPU baseline)")
+	gcs := flag.Int("gcs", 3, "number of collections")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	memory := flag.String("memory", "ddr3", "memory model: ddr3 or pipe")
+	sweepers := flag.Int("sweepers", 0, "block sweepers (0 = default)")
+	markq := flag.Int("markq", 0, "mark queue entries (0 = default)")
+	tracerq := flag.Int("tracerq", 0, "tracer queue entries (0 = default)")
+	compress := flag.Bool("compress", false, "compress mark-queue references to 32 bits")
+	mbc := flag.Int("mbc", 0, "mark-bit cache entries")
+	shared := flag.Bool("shared", false, "shared-cache traversal unit design")
+	validate := flag.Bool("validate", false, "cross-check marks/sweeps against ground truth")
+	flag.Parse()
+
+	spec, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	cfg := hwgc.ScaledConfig()
+	if *memory == "pipe" {
+		cfg.Memory = core.MemPipe
+	}
+	if *sweepers > 0 {
+		cfg.Sweep.Sweepers = *sweepers
+	}
+	if *markq > 0 {
+		cfg.Unit.MarkQueueEntries = *markq
+	}
+	if *tracerq > 0 {
+		cfg.Unit.TracerQueueEntries = *tracerq
+	}
+	cfg.Unit.Compress = *compress
+	cfg.Unit.MarkBitCacheSize = *mbc
+	cfg.Unit.SharedCache = *shared
+
+	kind := core.HWCollector
+	if *collector == "sw" {
+		kind = core.SWCollector
+	}
+
+	runner, err := core.NewAppRunner(cfg, spec, kind, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	runner.Validate = *validate
+	fmt.Printf("%s on %s, %d collections (memory=%s)\n", kind, spec.Name, *gcs, *memory)
+	for i := 0; i < *gcs; i++ {
+		if err := runner.Step(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		g := runner.Res.GCs[i]
+		fmt.Printf("GC %d: mark %8.3f ms  sweep %8.3f ms  marked %7d  freed %7d\n",
+			i+1, g.MarkMS(), g.SweepMS(), g.Marked, g.Freed)
+	}
+	mean := runner.Res.MeanGC()
+	fmt.Printf("mean: mark %8.3f ms  sweep %8.3f ms\n", mean.MarkMS(), mean.SweepMS())
+	fmt.Printf("GC share of CPU time: %.1f%%\n", runner.Res.GCFraction()*100)
+
+	if kind == core.HWCollector {
+		hw := runner.HW
+		fmt.Printf("\ntraversal unit:\n")
+		m := hw.Trace.Marker
+		fmt.Printf("  marker: %d reads (%d newly marked, %d already marked, %d filtered)\n",
+			m.Marks, m.NewlyMarked, m.AlreadyMarked, m.Filtered)
+		tr := hw.Trace.Tracer
+		fmt.Printf("  tracer: %d spans, %d chunk requests, %d refs fetched (%d pushed)\n",
+			tr.Spans, tr.ChunkReqs, tr.RefsFetched, tr.RefsPushed)
+		mq := hw.Trace.MQ
+		fmt.Printf("  mark queue: peak depth %d, spill writes %d, spill reads %d, direct copies %d\n",
+			mq.PeakDepth, mq.SpillWriteReqs, mq.SpillReadReqs, mq.DirectCopies)
+		fmt.Printf("  walker: %d walks, %d PTE fetches, %d L2 TLB hits\n",
+			hw.Trace.Walker.Walks, hw.Trace.Walker.PTEFetches, hw.Trace.Walker.L2Hits)
+		fmt.Printf("reclamation unit: %d blocks, %d cells scanned, %d freed, %d live\n",
+			hw.Sweep.BlocksSwept, hw.Sweep.CellsScanned, hw.Sweep.CellsFreed, hw.Sweep.CellsLive)
+		fmt.Printf("interconnect: %d grants, busy %.1f%%, %.2f cycles/request\n",
+			hw.Bus.Grants, hw.Bus.BusyFraction()*100, hw.Bus.CyclesPerRequest())
+		st := hw.MemStats()
+		fmt.Printf("DRAM: %d accesses, %.1f MB, row hits %d / misses %d / conflicts %d\n",
+			st.Accesses, float64(st.Bytes)/1e6, st.RowHits, st.RowMisses, st.RowConflicts)
+	} else {
+		sw := runner.SW
+		fmt.Printf("\nCPU: %d instructions, %d memory ops, %d mispredicts\n",
+			sw.CPU.Instructions, sw.CPU.MemOps, sw.CPU.Mispredicts)
+		fmt.Printf("L1: %d hits / %d misses; L2: %d hits / %d misses\n",
+			sw.CPU.L1.Hits(), sw.CPU.L1.Misses(), sw.CPU.L2.Hits(), sw.CPU.L2.Misses())
+		st := sw.Sync.Stats()
+		fmt.Printf("DRAM: %d accesses, %.1f MB\n", st.Accesses, float64(st.Bytes)/1e6)
+	}
+	if *validate {
+		fmt.Println("\nvalidation: marks and sweeps matched the reachability ground truth")
+	}
+}

@@ -1,0 +1,113 @@
+// hwgc-workload builds a benchmark's heap snapshot and characterizes it:
+// object counts and sizes per space, size-class occupancy, reference
+// fan-out, reachable fraction, and the mark-access skew behind the paper's
+// Figure 21a.
+//
+// Usage:
+//
+//	hwgc-workload                # characterize all benchmarks
+//	hwgc-workload -bench luindex
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"hwgc/internal/core"
+	"hwgc/internal/rts"
+	"hwgc/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name (default: all)")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	flag.Parse()
+
+	for _, spec := range workload.DaCapo() {
+		if *bench != "" && spec.Name != *bench {
+			continue
+		}
+		characterize(spec, *seed)
+	}
+	if *bench != "" {
+		if _, ok := workload.ByName(*bench); !ok {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+			os.Exit(2)
+		}
+	}
+}
+
+func characterize(spec workload.Spec, seed uint64) {
+	cfg := core.DefaultConfig()
+	sys := rts.NewSystem(cfg.System)
+	app := workload.NewApp(sys, spec, seed)
+	if !app.Populate() {
+		fmt.Fprintf(os.Stderr, "%s: heap too small\n", spec.Name)
+		return
+	}
+	app.WriteRoots()
+	h := sys.Heap
+	reach := sys.Reachable()
+	msObjs := h.MS.LiveObjects()
+	bumpObjs := h.Bump.Objects()
+
+	var refSum, refMax int
+	classes := map[uint64]int{}
+	for _, o := range msObjs {
+		n := h.NumRefsOf(o)
+		refSum += n
+		if n > refMax {
+			refMax = n
+		}
+		b := h.MS.BlockFor(o)
+		classes[b.CellSize]++
+	}
+	fmt.Printf("== %s ==\n", spec.Name)
+	fmt.Printf("  objects: %d in MarkSweep + %d large/immortal; reachable %d (%.0f%%)\n",
+		len(msObjs), len(bumpObjs), len(reach),
+		float64(len(reach))/float64(len(msObjs)+len(bumpObjs))*100)
+	fmt.Printf("  roots: %d; refs/object mean %.2f max %d; blocks %d; allocated %.1f MB\n",
+		sys.Roots.Count(), float64(refSum)/float64(len(msObjs)), refMax,
+		h.MS.NumBlocks(), float64(app.AllocatedBytes)/1e6)
+
+	sizes := make([]uint64, 0, len(classes))
+	for cs := range classes {
+		sizes = append(sizes, cs)
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	fmt.Printf("  size classes:")
+	for _, cs := range sizes {
+		fmt.Printf(" %dB:%d", cs, classes[cs])
+	}
+	fmt.Println()
+
+	// In-degree skew (the Figure 21a property).
+	indeg := map[uint64]int{}
+	total := 0
+	for _, o := range msObjs {
+		n := h.NumRefsOf(o)
+		for i := 0; i < n; i++ {
+			if t := h.RefAt(o, i); t != 0 {
+				indeg[t]++
+				total++
+			}
+		}
+	}
+	counts := make([]int, 0, len(indeg))
+	for _, c := range indeg {
+		counts = append(counts, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	cum, topN := 0, 0
+	for i, c := range counts {
+		cum += c
+		if float64(cum) >= 0.10*float64(total) {
+			topN = i + 1
+			break
+		}
+	}
+	fmt.Printf("  reference skew: %d objects receive 10%% of %d references (max in-degree %d)\n\n",
+		topN, total, counts[0])
+}

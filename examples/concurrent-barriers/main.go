@@ -1,0 +1,110 @@
+// concurrent-barriers demonstrates the paper's Section IV-D concurrent-GC
+// design: the two races that make concurrent collection hard, the barriers
+// that close them, and the cost comparison of the read-barrier
+// implementations the paper discusses (software check, VM trap,
+// coherence-based, REFLOAD).
+//
+//	go run ./examples/concurrent-barriers
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hwgc/internal/concurrent"
+	"hwgc/internal/rts"
+	"hwgc/internal/vmem"
+)
+
+func main() {
+	fmt.Println("1. The hidden-object race (paper Fig. 3)")
+	fmt.Println("   mutator moves a reference from an unvisited slot into a visited one")
+	for _, barrier := range []bool{false, true} {
+		err := hiddenObject(barrier)
+		status := "SAFE: all reachable objects marked"
+		if err != nil {
+			status = "LOST OBJECT: " + err.Error()
+		}
+		fmt.Printf("   write barrier %-5v -> %s\n", barrier, status)
+	}
+
+	fmt.Println("\n2. The stale-reference race (paper Fig. 4): relocation + read barrier")
+	relocation()
+
+	fmt.Println("\n3. Read-barrier cost per reference load (cycles)")
+	fmt.Printf("   %-16s %10s %10s\n", "barrier", "fast path", "slow path")
+	for _, k := range []concurrent.BarrierKind{
+		concurrent.BarrierSoftware, concurrent.BarrierTrap,
+		concurrent.BarrierCoherence, concurrent.BarrierREFLOAD,
+	} {
+		fmt.Printf("   %-16s %10d %10d\n", k,
+			concurrent.BarrierCost(k, false), concurrent.BarrierCost(k, true))
+	}
+	fmt.Println("   (the coherence barrier avoids traps; REFLOAD also hides the acquire)")
+}
+
+func newSys() *rts.System {
+	cfg := rts.DefaultConfig()
+	cfg.PhysBytes = 256 << 20
+	cfg.Heap.MarkSweepBytes = 4 << 20
+	cfg.Heap.BumpBytes = 1 << 20
+	return rts.NewSystem(cfg)
+}
+
+func hiddenObject(writeBarrier bool) error {
+	sys := newSys()
+	h := sys.Heap
+	root := h.Alloc(2, 0, false)
+	a := h.Alloc(1, 0, false)
+	victim := h.Alloc(0, 8, false)
+	h.SetRefAt(root, 0, a)
+	h.SetRefAt(a, 0, victim)
+	sys.Roots.Add(root)
+
+	mut := concurrent.NewMutator(sys)
+	mut.WriteBarrier = writeBarrier
+	col := concurrent.NewCollector(sys, mut)
+	col.Start()
+	col.Step(1) // the collector has visited only the root
+
+	v := mut.ReadRef(a, 0)   // load the reference into a "register"
+	mut.WriteRef(root, 1, v) // store it into an already-visited slot
+	mut.WriteRef(a, 0, 0)    // erase the only path the collector would see
+	for col.Step(4) {
+	}
+	return col.CheckNoLostObjects()
+}
+
+func relocation() {
+	sys := newSys()
+	h := sys.Heap
+	var objs []uint64
+	for i := 0; i < 32; i++ {
+		o := h.Alloc(1, 8, false)
+		objs = append(objs, o)
+		sys.Roots.Add(o)
+	}
+	h.FlipSense()
+	for o := range sys.Reachable() {
+		h.MarkAMO(h.StatusAddr(o))
+	}
+	rel := concurrent.NewRelocator(sys)
+	page := objs[0] &^ (vmem.PageSize - 1)
+	if err := rel.EvacuatePage(page); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   evacuated %d live objects from page 0x%x\n", rel.Relocated, page)
+	moved, acquires := 0, 0
+	for _, o := range objs {
+		nw, acq := rel.Lookup(o)
+		if nw != o {
+			moved++
+		}
+		if acq {
+			acquires++
+		}
+	}
+	fmt.Printf("   read barrier fixed %d stale references with %d coherence acquires\n",
+		moved, acquires)
+	fmt.Println("   (later accesses to the same lines are cache hits — no traps anywhere)")
+}

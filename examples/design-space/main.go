@@ -1,0 +1,51 @@
+// design-space explores the accelerator's configuration space the way the
+// paper's Section VI-B does: sweeper count, mark-queue size, reference
+// compression, and the mark-bit cache, reporting GC time and the area cost
+// of each point from the area model.
+//
+//	go run ./examples/design-space
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hwgc"
+	"hwgc/internal/core"
+	"hwgc/internal/power"
+	"hwgc/internal/workload"
+)
+
+func main() {
+	spec, _ := workload.ByName("luindex")
+	spec.LiveObjects /= 4
+
+	type point struct {
+		label  string
+		mutate func(*core.Config)
+	}
+	points := []point{
+		{"baseline (2 sweepers, 1024-entry queue)", func(*core.Config) {}},
+		{"1 sweeper", func(c *core.Config) { c.Sweep.Sweepers = 1 }},
+		{"4 sweepers", func(c *core.Config) { c.Sweep.Sweepers = 4 }},
+		{"8 sweepers", func(c *core.Config) { c.Sweep.Sweepers = 8 }},
+		{"tiny mark queue (256)", func(c *core.Config) { c.Unit.MarkQueueEntries = 256 }},
+		{"huge mark queue (16K)", func(c *core.Config) { c.Unit.MarkQueueEntries = 16384 }},
+		{"compressed references", func(c *core.Config) { c.Unit.Compress = true }},
+		{"64-entry mark-bit cache", func(c *core.Config) { c.Unit.MarkBitCacheSize = 64 }},
+		{"shared cache (first design)", func(c *core.Config) { c.Unit.SharedCache = true }},
+	}
+
+	fmt.Printf("%-40s %10s %10s %9s\n", "configuration", "mark (ms)", "sweep (ms)", "area mm²")
+	for _, p := range points {
+		cfg := hwgc.ScaledConfig()
+		p.mutate(&cfg)
+		res, err := hwgc.Run(cfg, spec, hwgc.HWCollector, 2, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g := res.MeanGC()
+		area := power.UnitArea(cfg.Unit, cfg.Sweep).Total()
+		fmt.Printf("%-40s %10.3f %10.3f %9.2f\n", p.label, g.MarkMS(), g.SweepMS(), area)
+	}
+}

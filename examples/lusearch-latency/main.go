@@ -1,0 +1,66 @@
+// lusearch-latency reproduces the paper's motivation (Figure 1b): a
+// latency-sensitive search workload whose tail latency is dominated by GC
+// pauses. Queries arrive at a fixed rate; when the heap fills, a
+// stop-the-world collection blocks service, and every queued query pays
+// for it (coordinated omission corrected).
+//
+// Run it with the CPU collector and then with the GC unit to see the
+// accelerator shorten the tail:
+//
+//	go run ./examples/lusearch-latency
+//	go run ./examples/lusearch-latency -collector hw
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hwgc"
+	"hwgc/internal/core"
+	"hwgc/internal/workload"
+)
+
+func main() {
+	collector := flag.String("collector", "sw", "sw (CPU) or hw (GC unit)")
+	queries := flag.Int("queries", 3000, "queries to issue")
+	flag.Parse()
+
+	cfg := hwgc.ScaledConfig()
+	spec, _ := workload.ByName("lusearch")
+	spec.LiveObjects /= 2
+
+	kind := core.SWCollector
+	if *collector == "hw" {
+		kind = core.HWCollector
+	}
+	runner, err := core.NewAppRunner(cfg, spec, kind, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	qcfg := workload.DefaultQueryConfig()
+	qcfg.Queries = *queries
+	qcfg.Warmup = *queries / 10
+	results := workload.RunQueries(qcfg,
+		func(n uint64) bool { return runner.App.Churn(n) },
+		func() uint64 { return runner.CollectNow().TotalCycles() })
+
+	cdf := workload.LatencyCDF(results)
+	fmt.Printf("collector: %v, %d measured queries, %d GC pauses\n\n",
+		kind, len(results), len(runner.Res.GCs))
+	fmt.Println("latency CDF (ms):")
+	for _, q := range []float64{0.50, 0.90, 0.99, 0.999, 1.0} {
+		idx := int(q*float64(len(cdf))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(cdf) {
+			idx = len(cdf) - 1
+		}
+		fmt.Printf("  p%-5v %9.3f\n", q*100, cdf[idx].Value)
+	}
+	med := cdf[len(cdf)/2].Value
+	fmt.Printf("\ntail/median ratio: %.0fx", cdf[len(cdf)-1].Value/med)
+	fmt.Println("  (the paper's Fig. 1b shows two orders of magnitude under software GC)")
+}

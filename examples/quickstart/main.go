@@ -1,0 +1,38 @@
+// Quickstart: compare the GC accelerator against the CPU baseline on one
+// benchmark — the repository's "hello world".
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hwgc"
+)
+
+func main() {
+	cfg := hwgc.ScaledConfig()
+	spec, ok := hwgc.Benchmark("avrora")
+	if !ok {
+		log.Fatal("unknown benchmark")
+	}
+	// Shrink the workload so the quickstart finishes in a few seconds.
+	spec.LiveObjects /= 4
+
+	const collections = 2
+	sw, hw, err := hwgc.Compare(cfg, spec, collections, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark %s, %d collections each on identical heaps\n\n", spec.Name, collections)
+	fmt.Printf("                 mark        sweep\n")
+	fmt.Printf("Rocket CPU   %8.3f ms %8.3f ms\n", sw.MarkMS(), sw.SweepMS())
+	fmt.Printf("GC unit      %8.3f ms %8.3f ms\n", hw.MarkMS(), hw.SweepMS())
+	fmt.Printf("speedup      %8.2fx   %8.2fx   (overall %.2fx)\n",
+		float64(sw.MarkCycles)/float64(hw.MarkCycles),
+		float64(sw.SweepCycles)/float64(hw.SweepCycles),
+		float64(sw.TotalCycles())/float64(hw.TotalCycles()))
+	fmt.Println("\npaper (full scale): mark 4.2x, sweep 1.9x, overall 3.3x")
+}

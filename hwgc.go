@@ -1,0 +1,114 @@
+// Package hwgc is a software reproduction of "A Hardware Accelerator for
+// Tracing Garbage Collection" (Maas, Asanović, Kubiatowicz — ISCA 2018): a
+// cycle-approximate simulator of the paper's GC accelerator — a Traversal
+// Unit (decoupled marker/tracer with a spilling mark queue) and a
+// Reclamation Unit (parallel block sweepers) attached to a TileLink-style
+// interconnect over a DDR3 timing model — together with the substrate it
+// needs: a JikesRVM-style heap with the bidirectional object layout, page
+// tables and TLBs, an in-order CPU baseline running software Mark & Sweep,
+// and DaCapo-like workload generators.
+//
+// This package is the public facade: build a configuration, pick a
+// benchmark, and compare the hardware collector against the CPU baseline,
+// or regenerate any of the paper's evaluation figures.
+//
+//	cfg := hwgc.ScaledConfig()
+//	spec, _ := hwgc.Benchmark("avrora")
+//	sw, hw, _ := hwgc.Compare(cfg, spec, 3, 42)
+//	fmt.Printf("mark speedup: %.2fx\n",
+//	    float64(sw.MarkCycles)/float64(hw.MarkCycles))
+//
+// Both collectors are functional: they mark real status words and rebuild
+// real free lists in the simulated physical memory, and are cross-checked
+// against a reachability ground truth.
+package hwgc
+
+import (
+	"hwgc/internal/core"
+	"hwgc/internal/experiments"
+	"hwgc/internal/workload"
+)
+
+// Config parameterizes the simulated system (Table I plus unit parameters).
+type Config = core.Config
+
+// GCResult reports one collection's timing and work.
+type GCResult = core.GCResult
+
+// AppResult summarizes an application run with periodic collections.
+type AppResult = core.AppResult
+
+// CollectorKind selects the CPU baseline or the GC unit.
+type CollectorKind = core.CollectorKind
+
+// Collector kinds.
+const (
+	SWCollector = core.SWCollector
+	HWCollector = core.HWCollector
+)
+
+// Spec describes a benchmark workload.
+type Spec = workload.Spec
+
+// Report is a regenerated experiment result.
+type Report = experiments.Report
+
+// Options control experiment scale.
+type Options = experiments.Options
+
+// DefaultConfig returns the paper's configuration at paper parameter
+// values (Table I, Section VI-A baseline unit).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// ScaledConfig returns the experiment configuration: paper parameters with
+// the unit's translation reach scaled to the 1:10 heap scale.
+func ScaledConfig() Config { return experiments.ScaledConfig() }
+
+// Benchmarks returns the six DaCapo benchmark stand-ins.
+func Benchmarks() []Spec { return workload.DaCapo() }
+
+// Benchmark returns the named benchmark spec.
+func Benchmark(name string) (Spec, bool) { return workload.ByName(name) }
+
+// Run executes a benchmark with the chosen collector for gcs collections.
+func Run(cfg Config, spec Spec, kind CollectorKind, gcs int, seed uint64) (AppResult, error) {
+	return core.RunApp(cfg, spec, kind, gcs, seed, false)
+}
+
+// Compare runs a benchmark on both collectors over identical heaps and
+// returns the mean per-collection results.
+func Compare(cfg Config, spec Spec, gcs int, seed uint64) (sw, hw GCResult, err error) {
+	swRes, err := core.RunApp(cfg, spec, core.SWCollector, gcs, seed, false)
+	if err != nil {
+		return sw, hw, err
+	}
+	hwRes, err := core.RunApp(cfg, spec, core.HWCollector, gcs, seed, false)
+	if err != nil {
+		return sw, hw, err
+	}
+	return swRes.MeanGC(), hwRes.MeanGC(), nil
+}
+
+// Experiments lists every paper table/figure runner in order.
+func Experiments() []experiments.Runner { return experiments.All() }
+
+// RunExperiment regenerates one paper figure or table by ID (e.g. "fig15").
+func RunExperiment(id string, o Options) (Report, error) {
+	r, ok := experiments.ByID(id)
+	if !ok {
+		return Report{}, errUnknownExperiment(id)
+	}
+	return r.Run(o)
+}
+
+// DefaultOptions returns full-scale experiment options.
+func DefaultOptions() Options { return experiments.DefaultOptions() }
+
+// QuickOptions returns reduced-scale options for smoke runs.
+func QuickOptions() Options { return experiments.QuickOptions() }
+
+type errUnknownExperiment string
+
+func (e errUnknownExperiment) Error() string {
+	return "hwgc: unknown experiment " + string(e)
+}

@@ -1,0 +1,64 @@
+package hwgc
+
+import "testing"
+
+func TestBenchmarksList(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 6 {
+		t.Fatalf("benchmarks = %d, want 6", len(bs))
+	}
+	for _, b := range bs {
+		if _, ok := Benchmark(b.Name); !ok {
+			t.Fatalf("Benchmark(%q) not found", b.Name)
+		}
+	}
+	if _, ok := Benchmark("nope"); ok {
+		t.Fatal("unknown benchmark resolved")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	if len(Experiments()) != 16 {
+		t.Fatalf("experiments = %d, want 16 (12 figures/tables + 4 ablations)", len(Experiments()))
+	}
+	if _, err := RunExperiment("not-a-figure", QuickOptions()); err == nil {
+		t.Fatal("unknown experiment did not error")
+	}
+}
+
+func TestCompareSmoke(t *testing.T) {
+	cfg := ScaledConfig()
+	spec, _ := Benchmark("avrora")
+	spec.LiveObjects /= 8
+	sw, hw, err := Compare(cfg, spec, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw.MarkCycles == 0 || sw.MarkCycles == 0 {
+		t.Fatal("zero mark time")
+	}
+	if hw.MarkCycles >= sw.MarkCycles {
+		t.Fatalf("unit mark (%d) not faster than CPU (%d)", hw.MarkCycles, sw.MarkCycles)
+	}
+	if hw.Marked != sw.Marked {
+		t.Fatalf("collectors disagree: HW marked %d, SW marked %d", hw.Marked, sw.Marked)
+	}
+}
+
+func TestRunTableExperiment(t *testing.T) {
+	rep, err := RunExperiment("table1", QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestConfigsDiffer(t *testing.T) {
+	d := DefaultConfig()
+	s := ScaledConfig()
+	if d.Unit.PTWCacheBytes == s.Unit.PTWCacheBytes {
+		t.Fatal("scaled config should shrink the unit's PTW cache with the heap scale")
+	}
+}

@@ -1,0 +1,190 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hwgc/internal/dram"
+)
+
+func TestStateHitMiss(t *testing.T) {
+	s := NewState(1024, 2) // 8 sets x 2 ways
+	if hit, _ := s.Access(0, false); hit {
+		t.Fatal("cold access hit")
+	}
+	if hit, _ := s.Access(0, false); !hit {
+		t.Fatal("second access missed")
+	}
+	if hit, _ := s.Access(32, false); !hit {
+		t.Fatal("same-line access missed")
+	}
+	if s.Hits != 2 || s.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", s.Hits, s.Misses)
+	}
+}
+
+func TestStateLRUEviction(t *testing.T) {
+	s := NewState(2*LineSize, 2) // 1 set, 2 ways
+	s.Access(0*LineSize, false)
+	s.Access(1*LineSize, false)
+	s.Access(0*LineSize, false) // touch 0: now 1 is LRU
+	s.Access(2*LineSize, false) // evicts 1
+	if !s.Contains(0) {
+		t.Fatal("LRU evicted the recently used line")
+	}
+	if s.Contains(1 * LineSize) {
+		t.Fatal("LRU kept the least recently used line")
+	}
+}
+
+func TestStateDirtyWriteback(t *testing.T) {
+	s := NewState(1*LineSize, 1) // direct-mapped, 1 line
+	s.Access(0, true)            // dirty
+	_, wb := s.Access(LineSize*uint64(s.Sets()), false)
+	if !wb {
+		t.Fatal("dirty eviction did not request writeback")
+	}
+	_, wb = s.Access(0, false)
+	if wb {
+		t.Fatal("clean eviction requested writeback")
+	}
+}
+
+func TestStateFlush(t *testing.T) {
+	s := NewState(1024, 2)
+	s.Access(0, true)
+	s.Access(64, false)
+	if d := s.Flush(); d != 1 {
+		t.Fatalf("flush dirty count = %d, want 1", d)
+	}
+	if s.Contains(0) || s.Contains(64) {
+		t.Fatal("flush left lines resident")
+	}
+}
+
+// Property: cache contents always reflect the most recent accesses — after
+// accessing an address, Contains must be true until at least ways distinct
+// conflicting lines are accessed.
+func TestStateInclusionProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		s := NewState(2048, 4)
+		for _, a16 := range addrs {
+			addr := uint64(a16) * 8
+			s.Access(addr, false)
+			if !s.Contains(addr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncHitFasterThanMiss(t *testing.T) {
+	m := dram.NewSync(dram.DDR3_2000(16))
+	l1 := NewSync(16<<10, 4, 2, m)
+	f1 := l1.Access(0, 0x1000, 8, dram.Read)
+	f2 := l1.Access(f1, 0x1000, 8, dram.Read)
+	missLat := f1
+	hitLat := f2 - f1
+	if hitLat != 2 {
+		t.Fatalf("hit latency = %d, want 2", hitLat)
+	}
+	if missLat <= hitLat {
+		t.Fatalf("miss (%d) not slower than hit (%d)", missLat, hitLat)
+	}
+}
+
+func TestSyncHierarchy(t *testing.T) {
+	m := dram.NewSync(dram.DDR3_2000(16))
+	l2 := NewSync(256<<10, 8, 20, m)
+	l1 := NewSync(16<<10, 4, 2, l2)
+	// Fill L1 and L2.
+	f1 := l1.Access(0, 0x2000, 8, dram.Read)
+	// Evict from L1 by touching conflicting lines; L2 retains it.
+	sets := l1.State().Sets()
+	tEvict := f1
+	for i := 1; i <= 4; i++ {
+		tEvict = l1.Access(tEvict, 0x2000+uint64(i*sets*LineSize), 8, dram.Read)
+	}
+	if l1.State().Contains(0x2000) {
+		t.Skip("eviction pattern did not evict; adjust test")
+	}
+	before := m.Stats().Accesses
+	l1.Access(tEvict, 0x2000, 8, dram.Read)
+	if m.Stats().Accesses != before {
+		t.Fatal("L2 hit went to DRAM")
+	}
+}
+
+func TestSyncWritebackTraffic(t *testing.T) {
+	m := dram.NewSync(dram.DDR3_2000(16))
+	c := NewSync(LineSize, 1, 1, m) // 1-line cache
+	tcur := c.Access(0, 0, 8, dram.Write)
+	c.Access(tcur, uint64(c.State().Sets())*LineSize, 8, dram.Read)
+	if c.Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", c.Writebacks)
+	}
+}
+
+func TestSyncStraddlingAccess(t *testing.T) {
+	m := dram.NewSync(dram.DDR3_2000(16))
+	c := NewSync(16<<10, 4, 2, m)
+	c.Access(0, LineSize-8, 16, dram.Read) // touches two lines
+	if c.Misses() != 2 {
+		t.Fatalf("straddling access misses = %d, want 2", c.Misses())
+	}
+}
+
+func TestMarkBitsFilter(t *testing.T) {
+	mb := NewMarkBits(4)
+	if mb.Probe(100) {
+		t.Fatal("cold probe hit")
+	}
+	if !mb.Probe(100) {
+		t.Fatal("warm probe missed")
+	}
+	for i := uint64(0); i < 4; i++ {
+		mb.Probe(200 + i*8)
+	}
+	if mb.Probe(100) {
+		t.Fatal("evicted entry still hit")
+	}
+}
+
+func TestMarkBitsLRUOrder(t *testing.T) {
+	mb := NewMarkBits(2)
+	mb.Probe(1)
+	mb.Probe(2)
+	mb.Probe(1) // 2 becomes LRU
+	mb.Probe(3) // evicts 2
+	if !mb.Probe(1) {
+		t.Fatal("recently used entry evicted")
+	}
+	if mb.Probe(2) {
+		t.Fatal("LRU entry not evicted")
+	}
+}
+
+func TestMarkBitsDisabled(t *testing.T) {
+	mb := NewMarkBits(0)
+	mb.Probe(1)
+	if mb.Probe(1) {
+		t.Fatal("disabled filter hit")
+	}
+	if mb.HitRate() != 0 {
+		t.Fatalf("hit rate = %v", mb.HitRate())
+	}
+}
+
+func TestMarkBitsHitRateSkewed(t *testing.T) {
+	mb := NewMarkBits(8)
+	for i := 0; i < 1000; i++ {
+		mb.Probe(uint64(i%4) * 8) // 4 hot addresses
+	}
+	if mb.HitRate() < 0.9 {
+		t.Fatalf("hot-set hit rate = %v, want >= 0.9", mb.HitRate())
+	}
+}

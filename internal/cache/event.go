@@ -1,0 +1,152 @@
+package cache
+
+import (
+	"hwgc/internal/dram"
+	"hwgc/internal/sim"
+	"hwgc/internal/tilelink"
+)
+
+// Access is one request into an event-driven cache. Source labels the
+// requesting unit (marker, tracer, ptw, markq, sweeper) so the experiment
+// for Figure 18a can attribute contention.
+type Access struct {
+	Addr   uint64
+	Size   uint64
+	Kind   dram.Kind
+	Source string
+	Done   func(finish uint64)
+}
+
+// Event is the event-driven shared cache from the paper's first traversal
+// unit design: all units reach memory through one small cache behind a
+// single-ported crossbar (one access serviced per cycle), with a limited
+// number of MSHRs for outstanding misses.
+//
+// The paper found this design barely beats the CPU because page-table-walker
+// misses drown out everyone else (Figure 18a); the partitioned design then
+// gives the marker and tracer direct interconnect ports.
+type Event struct {
+	eng    *sim.Engine
+	state  *State
+	hitLat uint64
+	port   *tilelink.Port
+	in     *sim.Queue[Access]
+	tick   *sim.Ticker
+
+	mshrMax int
+	mshrs   map[uint64][]Access // line address -> waiters
+
+	// onSpace is invoked when an input-queue slot frees.
+	onSpace func()
+
+	// RequestsBySource counts crossbar requests per unit label.
+	RequestsBySource map[string]uint64
+	// MissesBySource counts misses per unit label.
+	MissesBySource map[string]uint64
+	// Stalls counts cycles the crossbar could not service its head
+	// access (MSHRs or downstream port full).
+	Stalls uint64
+}
+
+// NewEvent returns an event-driven cache of the given size/ways, hit latency
+// hitLat, inputQ entries of crossbar queueing, mshrs outstanding misses, and
+// a downstream interconnect port.
+func NewEvent(eng *sim.Engine, size, ways int, hitLat uint64, inputQ, mshrs int, port *tilelink.Port) *Event {
+	c := &Event{
+		eng:              eng,
+		state:            NewState(size, ways),
+		hitLat:           hitLat,
+		port:             port,
+		in:               sim.NewQueue[Access](inputQ),
+		mshrMax:          mshrs,
+		mshrs:            make(map[uint64][]Access),
+		RequestsBySource: make(map[string]uint64),
+		MissesBySource:   make(map[string]uint64),
+	}
+	c.tick = sim.NewTicker(eng, c.step)
+	port.SetOnSpace(func() { c.tick.Wake() })
+	return c
+}
+
+// State exposes the tag array.
+func (c *Event) State() *State { return c.state }
+
+// Access submits a request. It returns false when the crossbar queue is
+// full; callers retry when their own issue ticker runs again.
+func (c *Event) Access(a Access) bool {
+	if !c.in.Push(a) {
+		return false
+	}
+	c.RequestsBySource[a.Source]++
+	c.tick.Wake()
+	return true
+}
+
+// Free returns free crossbar queue slots.
+func (c *Event) Free() int { return c.in.Free() }
+
+// SetOnSpace registers a callback invoked when an input-queue slot frees.
+func (c *Event) SetOnSpace(fn func()) { c.onSpace = fn }
+
+// step services one access per cycle.
+func (c *Event) step() bool {
+	a, ok := c.in.Peek()
+	if !ok {
+		return false
+	}
+	line := a.Addr / LineSize * LineSize
+
+	// Coalesce into an existing MSHR for the same line.
+	if waiters, pending := c.mshrs[line]; pending {
+		c.popInput()
+		c.mshrs[line] = append(waiters, a)
+		return !c.in.Empty()
+	}
+
+	write := a.Kind == dram.Write || a.Kind == dram.AMO
+	if !c.state.Contains(line) {
+		// Miss path: check resources before committing any state so a
+		// stalled access retries cleanly. Conservatively require two
+		// port slots (fill + possible dirty write-back).
+		if len(c.mshrs) >= c.mshrMax || c.port.Free() < 2 {
+			c.Stalls++
+			return false
+		}
+	}
+	hit, wb := c.state.Access(line, write)
+	if hit {
+		c.popInput()
+		done := a.Done
+		if done != nil {
+			c.eng.After(c.hitLat, func() { done(c.eng.Now()) })
+		}
+		return !c.in.Empty()
+	}
+	c.MissesBySource[a.Source]++
+	c.popInput()
+	if wb {
+		c.port.Issue(dram.Request{Addr: line, Size: LineSize, Kind: dram.Write})
+	}
+	c.mshrs[line] = []Access{a}
+	c.port.Issue(dram.Request{Addr: line, Size: LineSize, Kind: dram.Read, Done: func(f uint64) {
+		waiters := c.mshrs[line]
+		delete(c.mshrs, line)
+		for _, w := range waiters {
+			if w.Done != nil {
+				w.Done(f)
+			}
+		}
+		c.tick.Wake()
+	}})
+	return !c.in.Empty()
+}
+
+func (c *Event) popInput() {
+	c.in.Pop()
+	if c.onSpace != nil {
+		c.onSpace()
+	}
+}
+
+// OutstandingMisses returns the number of occupied MSHRs.
+func (c *Event) OutstandingMisses() int { return len(c.mshrs) }

@@ -1,0 +1,67 @@
+package cache
+
+import "hwgc/internal/dram"
+
+// Sync is a blocking cache level for the trace-driven CPU hierarchy. It
+// implements dram.SyncMemory so levels stack: L1 -> L2 -> memory.
+//
+// A blocking in-order core has at most one outstanding miss, so a
+// sequentially advancing clock models it exactly: each access returns the
+// cycle its data is available, and the caller (the CPU model) carries that
+// time forward.
+type Sync struct {
+	state  *State
+	hitLat uint64
+	next   dram.SyncMemory
+
+	// Writebacks counts dirty evictions sent down.
+	Writebacks uint64
+}
+
+// NewSync returns a blocking cache of the given size/ways with hit latency
+// hitLat (cycles), backed by next.
+func NewSync(size, ways int, hitLat uint64, next dram.SyncMemory) *Sync {
+	return &Sync{state: NewState(size, ways), hitLat: hitLat, next: next}
+}
+
+// State exposes the tag array (for tests and warm-up).
+func (c *Sync) State() *State { return c.state }
+
+// Access implements dram.SyncMemory. Accesses that straddle a line boundary
+// touch both lines.
+func (c *Sync) Access(now uint64, addr uint64, size uint64, kind dram.Kind) uint64 {
+	if size == 0 {
+		size = 1
+	}
+	first := addr / LineSize
+	last := (addr + size - 1) / LineSize
+	t := now
+	for line := first; line <= last; line++ {
+		t = c.accessLine(t, line*LineSize, kind)
+	}
+	return t
+}
+
+func (c *Sync) accessLine(now uint64, lineAddr uint64, kind dram.Kind) uint64 {
+	write := kind == dram.Write || kind == dram.AMO
+	hit, wb := c.state.Access(lineAddr, write)
+	if hit {
+		return now + c.hitLat
+	}
+	t := now + c.hitLat // tag lookup before miss handling
+	if wb {
+		c.Writebacks++
+		t = c.next.Access(t, lineAddr, LineSize, dram.Write)
+	}
+	return c.next.Access(t, lineAddr, LineSize, dram.Read)
+}
+
+// Stats implements dram.SyncMemory by returning the downstream counters
+// (a cache does not consume DRAM bandwidth itself).
+func (c *Sync) Stats() dram.Stats { return c.next.Stats() }
+
+// Hits returns the cumulative hit count.
+func (c *Sync) Hits() uint64 { return c.state.Hits }
+
+// Misses returns the cumulative miss count.
+func (c *Sync) Misses() uint64 { return c.state.Misses }

@@ -1,0 +1,257 @@
+package concurrent
+
+import (
+	"testing"
+
+	"hwgc/internal/heap"
+	"hwgc/internal/rts"
+	"hwgc/internal/sim"
+	"hwgc/internal/vmem"
+)
+
+func newSys(t *testing.T) *rts.System {
+	t.Helper()
+	cfg := rts.DefaultConfig()
+	cfg.PhysBytes = 256 << 20
+	cfg.Heap.MarkSweepBytes = 4 << 20
+	cfg.Heap.BumpBytes = 1 << 20
+	return rts.NewSystem(cfg)
+}
+
+// hiddenObjectScenario reproduces the paper's Figure 3 race: while the
+// collector traces, the mutator loads a reference out of an unvisited slot
+// and overwrites the slot, hiding the object from the traversal.
+func hiddenObjectScenario(t *testing.T, writeBarrier bool) error {
+	t.Helper()
+	sys := newSys(t)
+	h := sys.Heap
+	root := h.Alloc(2, 0, false)
+	a := h.Alloc(1, 0, false)
+	victim := h.Alloc(0, 8, false)
+	h.SetRefAt(root, 0, a)
+	h.SetRefAt(a, 0, victim)
+	sys.Roots.Add(root)
+
+	mut := NewMutator(sys)
+	mut.WriteBarrier = writeBarrier
+	col := NewCollector(sys, mut)
+	col.Start()
+
+	// The collector marks only the root in its first slice.
+	col.Step(1)
+
+	// Mutator: move the victim reference from the unvisited a.0 into the
+	// already-visited root.1, erasing the old path.
+	v := mut.ReadRef(a, 0)
+	mut.WriteRef(root, 1, v)
+	mut.WriteRef(a, 0, 0)
+
+	// Wait — root was already marked before root.1 was updated, so the
+	// collector will not revisit it; without the barrier the victim is
+	// hidden.
+	for col.Step(4) {
+	}
+	return col.CheckNoLostObjects()
+}
+
+func TestHiddenObjectRaceWithoutBarrier(t *testing.T) {
+	if err := hiddenObjectScenario(t, false); err == nil {
+		t.Fatal("race did not manifest: the hidden object survived without a write barrier (model too weak)")
+	}
+}
+
+func TestWriteBarrierClosesRace(t *testing.T) {
+	if err := hiddenObjectScenario(t, true); err != nil {
+		t.Fatalf("write barrier failed to close the race: %v", err)
+	}
+}
+
+func TestConcurrentTraceWithChurn(t *testing.T) {
+	sys := newSys(t)
+	h := sys.Heap
+	r := sim.NewRand(3)
+	var objs []heap.Ref
+	root := h.Alloc(8, 0, true)
+	sys.Roots.Add(root)
+	objs = append(objs, root)
+	// A long chain (slot 0) keeps every object reachable so the trace
+	// takes many slices; slot 1 carries random cross edges.
+	prev := root
+	for i := 0; i < 2000; i++ {
+		o := h.Alloc(2, 8, false)
+		objs = append(objs, o)
+		h.SetRefAt(prev, 0, o)
+		if r.Float64() < 0.5 {
+			h.SetRefAt(o, 1, objs[r.Intn(len(objs))])
+		}
+		prev = o
+	}
+	mut := NewMutator(sys)
+	col := NewCollector(sys, mut)
+	col.Start()
+	// Interleave tracing with mutation of the cross edges.
+	for col.Step(50) {
+		for k := 0; k < 20; k++ {
+			src := objs[r.Intn(len(objs))]
+			dst := objs[r.Intn(len(objs))]
+			mut.WriteRef(src, 1, dst)
+		}
+	}
+	if err := col.CheckNoLostObjects(); err != nil {
+		t.Fatal(err)
+	}
+	if mut.WriteBarrierHits == 0 {
+		t.Fatal("no barrier activity despite churn")
+	}
+}
+
+func TestAllocationDuringTraceSurvives(t *testing.T) {
+	sys := newSys(t)
+	h := sys.Heap
+	root := h.Alloc(4, 0, true)
+	sys.Roots.Add(root)
+	mut := NewMutator(sys)
+	col := NewCollector(sys, mut)
+	col.Start()
+	col.Step(1)
+	// Allocate mid-trace and attach to the (already marked) root.
+	fresh := h.Alloc(0, 8, false)
+	mut.WriteRef(root, 0, fresh)
+	for col.Step(10) {
+	}
+	if err := col.CheckNoLostObjects(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Relocation / read barrier ----------------------------------------------
+
+func TestEvacuateAndLookup(t *testing.T) {
+	sys := newSys(t)
+	h := sys.Heap
+	// Fill one page's worth of one block with objects.
+	var objs []heap.Ref
+	for i := 0; i < 64; i++ {
+		o := h.Alloc(1, 8, false)
+		objs = append(objs, o)
+		sys.Roots.Add(o)
+	}
+	// Mark everything (relocation evacuates marked objects).
+	h.FlipSense()
+	for o := range sys.Reachable() {
+		h.MarkAMO(h.StatusAddr(o))
+	}
+	rel := NewRelocator(sys)
+	victimPage := objs[0] &^ (vmem.PageSize - 1)
+	if err := rel.EvacuatePage(victimPage); err != nil {
+		t.Fatal(err)
+	}
+	if rel.Relocated == 0 {
+		t.Fatal("nothing relocated")
+	}
+	// Stale references resolve to new locations.
+	moved := 0
+	for _, o := range objs {
+		nw, _ := rel.Lookup(o)
+		if nw != o {
+			moved++
+			if nw&^(vmem.PageSize-1) == victimPage {
+				t.Fatal("forwarded address still in the victim page")
+			}
+			// The new location holds a live object.
+			if !heap.IsObject(h.Load(nw)) {
+				t.Fatalf("forwarded 0x%x is not an object", nw)
+			}
+		}
+	}
+	if uint64(moved) != rel.Relocated {
+		t.Fatalf("lookup found %d moved, relocator reports %d", moved, rel.Relocated)
+	}
+	// The old mapping is gone (accesses would fault, i.e. hit the
+	// reclamation unit's range).
+	if _, ok := sys.PT.Translate(victimPage); ok {
+		t.Fatal("victim page still mapped")
+	}
+}
+
+func TestLookupUnrelocatedIsFastPath(t *testing.T) {
+	sys := newSys(t)
+	o := sys.Heap.Alloc(0, 8, false)
+	rel := NewRelocator(sys)
+	nw, acquired := rel.Lookup(o)
+	if nw != o || acquired {
+		t.Fatalf("fast path broken: %x %v", nw, acquired)
+	}
+	if rel.Acquires != 0 {
+		t.Fatal("fast path performed an acquire")
+	}
+}
+
+func TestCoherenceAcquireOncePerLine(t *testing.T) {
+	sys := newSys(t)
+	h := sys.Heap
+	a := h.Alloc(0, 0, false) // 8-byte cells: several per line
+	b := h.Alloc(0, 0, false)
+	sys.Roots.Add(a)
+	sys.Roots.Add(b)
+	h.FlipSense()
+	for o := range sys.Reachable() {
+		h.MarkAMO(h.StatusAddr(o))
+	}
+	rel := NewRelocator(sys)
+	page := a &^ (vmem.PageSize - 1)
+	if err := rel.EvacuatePage(page); err != nil {
+		t.Fatal(err)
+	}
+	rel.Lookup(a)
+	first := rel.Acquires
+	rel.Lookup(a) // same line: cached
+	if rel.Acquires != first {
+		t.Fatal("second lookup of the same line acquired again")
+	}
+}
+
+func TestFixupObject(t *testing.T) {
+	sys := newSys(t)
+	h := sys.Heap
+	target := h.Alloc(0, 8, false)
+	holder := h.Alloc(1, 0, false)
+	h.SetRefAt(holder, 0, target)
+	sys.Roots.Add(target)
+	sys.Roots.Add(holder)
+	h.FlipSense()
+	for o := range sys.Reachable() {
+		h.MarkAMO(h.StatusAddr(o))
+	}
+	rel := NewRelocator(sys)
+	if err := rel.EvacuatePage(target &^ (vmem.PageSize - 1)); err != nil {
+		t.Fatal(err)
+	}
+	// holder may itself have moved (same page). Resolve it first.
+	holderNow, _ := rel.Lookup(holder)
+	fixed := rel.FixupObject(holderNow)
+	if fixed == 0 {
+		t.Fatal("no fields fixed")
+	}
+	got := h.RefAt(holderNow, 0)
+	want, _ := rel.Lookup(target)
+	if got != want {
+		t.Fatalf("fixup wrote %x, want %x", got, want)
+	}
+}
+
+func TestBarrierCostOrdering(t *testing.T) {
+	// Fast paths: trap is free, REFLOAD cheapest non-zero, coherence a
+	// cache hit, software check the most instructions.
+	if BarrierCost(BarrierTrap, false) != 0 {
+		t.Fatal("trap fast path should be free")
+	}
+	if BarrierCost(BarrierREFLOAD, false) >= BarrierCost(BarrierSoftware, false) {
+		t.Fatal("REFLOAD fast path should beat the software check")
+	}
+	// Slow paths: trap worst, coherence beats it, REFLOAD beats coherence.
+	if !(BarrierCost(BarrierTrap, true) > BarrierCost(BarrierCoherence, true) &&
+		BarrierCost(BarrierCoherence, true) > BarrierCost(BarrierREFLOAD, true)) {
+		t.Fatal("slow-path ordering violated")
+	}
+}

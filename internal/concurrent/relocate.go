@@ -1,0 +1,225 @@
+package concurrent
+
+import (
+	"fmt"
+
+	"hwgc/internal/heap"
+	"hwgc/internal/rts"
+	"hwgc/internal/vmem"
+)
+
+// Relocator models the paper's relocating reclamation with the
+// coherence-based read barrier (Section IV-D, Figure 9):
+//
+//   - Live objects of a victim page are evacuated to fresh cells and a
+//     per-page forwarding table of address deltas is kept by the
+//     reclamation unit.
+//   - The victim's virtual page is remapped to the unit's un-backed
+//     physical range; the read-barrier load of the shadow address (the
+//     reference with its MSB flipped) returns the delta, which the mutator
+//     adds to the stale reference. Unrelocated pages map to the zero page,
+//     so the fast path adds 0.
+//
+// Timing is modelled per-lookup: the first shadow access of a cache line
+// pays an acquire round trip, later ones hit in the mutator's cache.
+type Relocator struct {
+	sys *rts.System
+
+	// deltas maps a relocated page's base VA to its per-object forward
+	// deltas (old VA -> signed delta).
+	deltas map[uint64]map[uint64]int64
+
+	// linesAcquired models the coherence protocol: shadow lines the CPU
+	// already holds (later barrier checks are cache hits).
+	linesAcquired map[uint64]bool
+
+	// Relocated counts evacuated objects, Acquires the coherence
+	// round trips.
+	Relocated uint64
+	Acquires  uint64
+}
+
+// NewRelocator returns a relocator for sys.
+func NewRelocator(sys *rts.System) *Relocator {
+	return &Relocator{
+		sys:           sys,
+		deltas:        make(map[uint64]map[uint64]int64),
+		linesAcquired: make(map[uint64]bool),
+	}
+}
+
+// shadowBit is the stolen virtual-address bit (the paper proposes the MSB;
+// any unused high bit works).
+const shadowBit = uint64(1) << 40
+
+// ShadowAddr returns the read-barrier probe address for a reference.
+func ShadowAddr(ref heap.Ref) uint64 { return ref | shadowBit }
+
+// EvacuatePage moves every live (marked) object in the page containing
+// pageVA into fresh allocations, records forwarding deltas, rewrites
+// nothing (stale references are fixed lazily by the read barrier), and
+// invalidates the old page mapping.
+func (r *Relocator) EvacuatePage(pageVA uint64) error {
+	page := pageVA &^ (vmem.PageSize - 1)
+	if _, done := r.deltas[page]; done {
+		return fmt.Errorf("concurrent: page 0x%x already relocated", page)
+	}
+	h := r.sys.Heap
+	table := make(map[uint64]int64)
+	// Find cells in this page via the block mirrors.
+	ms := h.MS
+	for bi := 0; bi < ms.NumBlocks(); bi++ {
+		b := ms.Block(bi)
+		for i := 0; i < b.Cells; i++ {
+			cell := b.Base + uint64(i)*b.CellSize
+			if cell&^(vmem.PageSize-1) != page {
+				continue
+			}
+			w := h.Load(cell)
+			if !heap.IsObject(w) || !h.IsMarkedStatus(w) {
+				continue
+			}
+			nrefs := heap.NumRefs(w)
+			// Copy payload to a new cell outside the victim page
+			// (the allocator may hand back free cells from the
+			// page being evacuated; reject and re-free those).
+			var rejected []heap.Ref
+			var newCell heap.Ref
+			for {
+				newCell = h.Alloc(nrefs, int(b.CellSize)-8*(1+nrefs), heap.IsArray(w))
+				if newCell == 0 {
+					return fmt.Errorf("concurrent: heap full during evacuation")
+				}
+				if newCell&^(vmem.PageSize-1) != page {
+					break
+				}
+				rejected = append(rejected, newCell)
+			}
+			for _, cell := range rejected {
+				h.MS.FreeCell(cell)
+			}
+			for j := 0; j < nrefs; j++ {
+				h.SetRefAt(newCell, j, h.RefAt(cell, j))
+			}
+			table[cell] = int64(newCell) - int64(cell)
+			r.Relocated++
+		}
+	}
+	r.deltas[page] = table
+	// The page now belongs to the reclamation unit: accesses through the
+	// old mapping must go through the barrier.
+	r.sys.PT.Unmap(page)
+	return nil
+}
+
+// Lookup is the read barrier: given a reference just loaded into a
+// register, probe the shadow address and return the corrected reference
+// plus whether a coherence acquire round trip was needed.
+func (r *Relocator) Lookup(ref heap.Ref) (heap.Ref, bool) {
+	if ref == 0 {
+		return 0, false
+	}
+	page := ref &^ (vmem.PageSize - 1)
+	table, relocated := r.deltas[page]
+	if !relocated {
+		// Shadow maps to the zero page: delta 0, plain cache hit.
+		return ref, false
+	}
+	line := ShadowAddr(ref) &^ 63
+	acquired := false
+	if !r.linesAcquired[line] {
+		r.linesAcquired[line] = true
+		r.Acquires++
+		acquired = true
+	}
+	delta, moved := table[ref]
+	if !moved {
+		return ref, acquired
+	}
+	return heap.Ref(int64(ref) + delta), acquired
+}
+
+// FixupObject applies the read barrier to all reference fields of an
+// object, rewriting stale fields in place (what the mutator does naturally
+// as it touches them).
+func (r *Relocator) FixupObject(obj heap.Ref) int {
+	h := r.sys.Heap
+	fixed := 0
+	n := h.NumRefsOf(obj)
+	for i := 0; i < n; i++ {
+		old := h.RefAt(obj, i)
+		if old == 0 {
+			continue
+		}
+		nw, _ := r.Lookup(old)
+		if nw != old {
+			h.SetRefAt(obj, i, nw)
+			fixed++
+		}
+	}
+	return fixed
+}
+
+// BarrierKind enumerates the read-barrier implementations the paper
+// discusses.
+type BarrierKind uint8
+
+const (
+	// BarrierSoftware is the compiled check-and-branch fast path.
+	BarrierSoftware BarrierKind = iota
+	// BarrierTrap folds the check into virtual memory and traps on
+	// relocated pages (Pauseless-style).
+	BarrierTrap
+	// BarrierCoherence is the paper's proposal: a shadow load answered
+	// through the coherence protocol.
+	BarrierCoherence
+	// BarrierREFLOAD adds the CPU extension: the shadow load is fused
+	// into the load instruction and can be speculated over.
+	BarrierREFLOAD
+)
+
+func (k BarrierKind) String() string {
+	switch k {
+	case BarrierSoftware:
+		return "software check"
+	case BarrierTrap:
+		return "VM trap"
+	case BarrierCoherence:
+		return "coherence"
+	default:
+		return "REFLOAD"
+	}
+}
+
+// BarrierCost returns the cycle cost of one reference load under the given
+// barrier, split into the common fast path (object not moved) and slow path
+// (relocated page). Constants follow the paper's qualitative claims: the
+// software check costs extra instructions on every load; traps are cheap
+// until a relocation storm, then very expensive (pipeline flush + handler);
+// the coherence barrier costs a cache hit on the fast path and a line
+// acquire on the slow path; REFLOAD additionally overlaps the acquire with
+// execution.
+func BarrierCost(k BarrierKind, slowPath bool) uint64 {
+	switch k {
+	case BarrierSoftware:
+		if slowPath {
+			return 3 + 25 // check + table lookup
+		}
+		return 3
+	case BarrierTrap:
+		if slowPath {
+			return 300 // pipeline flush + kernel trap + fixup
+		}
+		return 0
+	case BarrierCoherence:
+		if slowPath {
+			return 40 // line acquire from the reclamation unit
+		}
+		return 2 // shadow load hits the zero-page line in cache
+	default: // BarrierREFLOAD
+		if slowPath {
+			return 25 // acquire overlapped with execution
+		}
+		return 1
+	}
+}

@@ -1,0 +1,376 @@
+// Package core assembles the paper's system: the simulated SoC with the
+// traversal unit and reclamation unit attached to the interconnect (the
+// hardware collector), the in-order CPU running the software Mark & Sweep
+// (the baseline), and the stop-the-world GC drivers and application loops
+// the experiments are built on.
+//
+// The two collectors operate on identical heaps (deterministic workload
+// construction from a seed), so every comparison in the evaluation runs
+// both sides over the same object graph.
+package core
+
+import (
+	"fmt"
+
+	"hwgc/internal/cpu"
+	"hwgc/internal/dram"
+	"hwgc/internal/rts"
+	"hwgc/internal/sim"
+	"hwgc/internal/sweep"
+	"hwgc/internal/swgc"
+	"hwgc/internal/tilelink"
+	"hwgc/internal/trace"
+	"hwgc/internal/workload"
+)
+
+// MemoryKind selects the main-memory model.
+type MemoryKind uint8
+
+const (
+	// MemDDR3 is the Table I DDR3-2000 model with an FR-FCFS scheduler.
+	MemDDR3 MemoryKind = iota
+	// MemPipe is Figure 17's ideal memory: 1-cycle latency, 8 GB/s.
+	MemPipe
+)
+
+// Config parameterizes a full system build.
+type Config struct {
+	System rts.Config
+	Unit   trace.Config
+	Sweep  sweep.Config
+	CPU    cpu.Config
+
+	Memory       MemoryKind
+	MaxReads     int // DDR3 in-flight requests (Table I: 16)
+	MemPolicy    dram.Policy
+	PipeLatency  uint64 // MemPipe only
+	PipeBPC      uint64 // MemPipe bytes/cycle
+	DriverCycles uint64 // fixed launch overhead per unit start (MMIO)
+}
+
+// DefaultConfig returns the paper's baseline configuration (Table I plus
+// the baseline unit parameters from Section VI-A).
+func DefaultConfig() Config {
+	return Config{
+		System:       rts.DefaultConfig(),
+		Unit:         trace.DefaultConfig(),
+		Sweep:        sweep.DefaultConfig(),
+		CPU:          cpu.DefaultConfig(),
+		Memory:       MemDDR3,
+		MaxReads:     16,
+		MemPolicy:    dram.FRFCFS,
+		PipeLatency:  1,
+		PipeBPC:      8,
+		DriverCycles: 200,
+	}
+}
+
+// GCResult reports one collection (either collector).
+type GCResult struct {
+	MarkCycles  uint64
+	SweepCycles uint64
+	Marked      uint64
+	Freed       uint64
+}
+
+// TotalCycles returns mark + sweep.
+func (r GCResult) TotalCycles() uint64 { return r.MarkCycles + r.SweepCycles }
+
+// MarkMS returns the mark time in milliseconds at the 1 GHz clock.
+func (r GCResult) MarkMS() float64 { return float64(r.MarkCycles) / 1e6 }
+
+// SweepMS returns the sweep time in milliseconds.
+func (r GCResult) SweepMS() float64 { return float64(r.SweepCycles) / 1e6 }
+
+// HW is the hardware-collector system: the GC units on the interconnect.
+type HW struct {
+	Cfg   Config
+	Eng   *sim.Engine
+	Sys   *rts.System
+	Bus   *tilelink.Bus
+	DDR   *dram.DDR3 // nil under MemPipe
+	Pipe  *dram.Pipe // nil under MemDDR3
+	Trace *trace.Unit
+	Sweep *sweep.Unit
+}
+
+// NewHW builds the hardware system around an existing runtime system.
+func NewHW(cfg Config, sys *rts.System) *HW {
+	eng := sim.NewEngine()
+	hw := &HW{Cfg: cfg, Eng: eng, Sys: sys}
+	var memory dram.Memory
+	switch cfg.Memory {
+	case MemPipe:
+		hw.Pipe = dram.NewPipe(eng, cfg.PipeLatency, cfg.PipeBPC)
+		memory = hw.Pipe
+	default:
+		dcfg := dram.DDR3_2000(cfg.MaxReads)
+		dcfg.Policy = cfg.MemPolicy
+		hw.DDR = dram.NewDDR3(eng, dcfg)
+		memory = hw.DDR
+	}
+	hw.Bus = tilelink.New(eng, memory)
+	hw.Trace = trace.NewUnit(eng, hw.Bus, sys, cfg.Unit)
+	hw.Sweep = sweep.NewUnit(eng, hw.Bus, sys, cfg.Sweep)
+	return hw
+}
+
+// MemStats returns the active memory model's counters.
+func (hw *HW) MemStats() dram.Stats {
+	if hw.DDR != nil {
+		return hw.DDR.Stats()
+	}
+	return hw.Pipe.Stats()
+}
+
+// RunMark executes one hardware mark phase to completion and returns its
+// cycle count. The caller must have written the roots (App.WriteRoots).
+func (hw *HW) RunMark() uint64 {
+	hw.Sys.Heap.FlipSense()
+	start := hw.Eng.Now()
+	hw.Eng.After(hw.Cfg.DriverCycles, func() {
+		hw.Trace.StartMark(hw.Sys.DriverConfig())
+	})
+	hw.Eng.Run()
+	if !hw.Trace.Drained() {
+		panic("core: traversal unit stalled (engine idle, queues non-empty): " +
+			hw.Trace.DebugState())
+	}
+	return hw.Eng.Now() - start
+}
+
+// RunSweep executes one hardware sweep phase and returns its cycle count.
+func (hw *HW) RunSweep() uint64 {
+	start := hw.Eng.Now()
+	hw.Eng.After(hw.Cfg.DriverCycles, func() {
+		hw.Sweep.StartSweep(hw.Sys.DriverConfig())
+	})
+	hw.Eng.Run()
+	if !hw.Sweep.Drained() {
+		panic("core: reclamation unit stalled")
+	}
+	hw.Sys.Heap.MS.SyncFromMemory()
+	return hw.Eng.Now() - start
+}
+
+// Collect runs a full stop-the-world hardware collection.
+func (hw *HW) Collect() GCResult {
+	var res GCResult
+	markedBefore := hw.Trace.Marker.NewlyMarked
+	freedBefore := hw.Sweep.CellsFreed
+	res.MarkCycles = hw.RunMark()
+	res.SweepCycles = hw.RunSweep()
+	res.Marked = hw.Trace.Marker.NewlyMarked - markedBefore
+	res.Freed = hw.Sweep.CellsFreed - freedBefore
+	hw.Trace.FlushTLBs()
+	return res
+}
+
+// SW is the software-collector system: the in-order core running the GC.
+type SW struct {
+	Cfg  Config
+	Sys  *rts.System
+	CPU  *cpu.CPU
+	GC   *swgc.Collector
+	Sync dram.SyncMemory
+}
+
+// NewSW builds the CPU baseline around an existing runtime system.
+func NewSW(cfg Config, sys *rts.System) *SW {
+	var m dram.SyncMemory
+	switch cfg.Memory {
+	case MemPipe:
+		m = dram.NewSyncPipe(cfg.PipeLatency, cfg.PipeBPC)
+	default:
+		dcfg := dram.DDR3_2000(cfg.MaxReads)
+		dcfg.Policy = cfg.MemPolicy
+		m = dram.NewSync(dcfg)
+	}
+	c := cpu.New(cfg.CPU, sys.PT, m)
+	return &SW{Cfg: cfg, Sys: sys, CPU: c, GC: swgc.New(sys, c, 1<<14), Sync: m}
+}
+
+// Collect runs a full software collection.
+func (sw *SW) Collect() GCResult {
+	r := sw.GC.Collect()
+	return GCResult{MarkCycles: r.MarkCycles, SweepCycles: r.SweepCycles,
+		Marked: r.Marked, Freed: r.FreedCells}
+}
+
+// MarkOnly runs just the software mark phase.
+func (sw *SW) MarkOnly() GCResult {
+	r := sw.GC.MarkOnly()
+	return GCResult{MarkCycles: r.MarkCycles, Marked: r.Marked}
+}
+
+// CollectorKind selects which collector an application run uses.
+type CollectorKind uint8
+
+const (
+	// SWCollector is the CPU baseline.
+	SWCollector CollectorKind = iota
+	// HWCollector is the GC unit.
+	HWCollector
+)
+
+func (k CollectorKind) String() string {
+	if k == HWCollector {
+		return "GC Unit"
+	}
+	return "Rocket CPU"
+}
+
+// AppResult summarizes an application run with periodic collections.
+type AppResult struct {
+	Bench         string
+	Collector     CollectorKind
+	GCs           []GCResult
+	MutatorCycles uint64
+	GCCycles      uint64
+}
+
+// GCFraction returns the share of CPU time spent in GC pauses (Figure 1a).
+func (a AppResult) GCFraction() float64 {
+	total := a.MutatorCycles + a.GCCycles
+	if total == 0 {
+		return 0
+	}
+	return float64(a.GCCycles) / float64(total)
+}
+
+// MeanGC averages the collections.
+func (a AppResult) MeanGC() GCResult {
+	var sum GCResult
+	if len(a.GCs) == 0 {
+		return sum
+	}
+	for _, g := range a.GCs {
+		sum.MarkCycles += g.MarkCycles
+		sum.SweepCycles += g.SweepCycles
+		sum.Marked += g.Marked
+		sum.Freed += g.Freed
+	}
+	n := uint64(len(a.GCs))
+	return GCResult{
+		MarkCycles:  sum.MarkCycles / n,
+		SweepCycles: sum.SweepCycles / n,
+		Marked:      sum.Marked / n,
+		Freed:       sum.Freed / n,
+	}
+}
+
+// AppRunner drives a benchmark against one collector, exposing the system
+// internals (bus, units, CPU) between collections so experiments can attach
+// instrumentation mid-run (e.g. the Figure 16 bandwidth series on the last
+// pause).
+type AppRunner struct {
+	Cfg  Config
+	Spec workload.Spec
+	Kind CollectorKind
+	Sys  *rts.System
+	App  *workload.App
+	HW   *HW // nil for SWCollector
+	SW   *SW // nil for HWCollector
+	Res  AppResult
+
+	// Validate cross-checks marks and sweeps against the functional
+	// reachability ground truth after every collection.
+	Validate bool
+}
+
+// NewAppRunner builds the system, populates the benchmark's heap, and
+// attaches the chosen collector.
+func NewAppRunner(cfg Config, spec workload.Spec, kind CollectorKind, seed uint64) (*AppRunner, error) {
+	sys := rts.NewSystem(cfg.System)
+	app := workload.NewApp(sys, spec, seed)
+	if !app.Populate() {
+		// The initial graph must fit: collecting during population is
+		// not modelled.
+		return nil, fmt.Errorf("core: %s: live set does not fit the heap", spec.Name)
+	}
+	r := &AppRunner{Cfg: cfg, Spec: spec, Kind: kind, Sys: sys, App: app,
+		Res: AppResult{Bench: spec.Name, Collector: kind}}
+	if kind == HWCollector {
+		r.HW = NewHW(cfg, sys)
+	} else {
+		r.SW = NewSW(cfg, sys)
+	}
+	return r, nil
+}
+
+// Step churns the mutator until the heap fills, then performs one
+// collection.
+func (r *AppRunner) Step() error {
+	allocBefore := r.App.AllocatedBytes
+	for r.App.Churn(1 << 20) {
+		// keep churning until the heap fills
+	}
+	if len(r.Res.GCs) > 0 && r.App.AllocatedBytes == allocBefore {
+		return fmt.Errorf("core: %s: no allocation progress after GC (heap too small for live set)", r.Spec.Name)
+	}
+	r.Res.MutatorCycles += uint64(float64(r.App.AllocatedBytes-allocBefore) * r.Spec.MutatorCyclesPerByte)
+
+	r.App.WriteRoots()
+	reach := r.Sys.Reachable()
+	var g GCResult
+	if r.Kind == HWCollector {
+		g = r.HW.Collect()
+	} else {
+		g = r.SW.Collect()
+	}
+	if r.Validate {
+		if err := r.Sys.CheckSweep(); err != nil {
+			return fmt.Errorf("core: %s GC %d: %w", r.Spec.Name, len(r.Res.GCs), err)
+		}
+	}
+	r.App.PruneDeadPool(reach)
+	r.Res.GCs = append(r.Res.GCs, g)
+	r.Res.GCCycles += g.TotalCycles()
+	return nil
+}
+
+// CollectNow performs one collection immediately (no mutator churn): root
+// scan, collect, prune. Used by workloads that drive allocation themselves
+// (the query-latency experiment).
+func (r *AppRunner) CollectNow() GCResult {
+	r.App.WriteRoots()
+	reach := r.Sys.Reachable()
+	var g GCResult
+	if r.Kind == HWCollector {
+		g = r.HW.Collect()
+	} else {
+		g = r.SW.Collect()
+	}
+	r.App.PruneDeadPool(reach)
+	r.Res.GCs = append(r.Res.GCs, g)
+	r.Res.GCCycles += g.TotalCycles()
+	return g
+}
+
+// RunGCs performs n collections.
+func (r *AppRunner) RunGCs(n int) error {
+	for i := 0; i < n; i++ {
+		if err := r.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunApp executes a benchmark: populate the heap, churn the mutator until
+// the heap fills, collect, and repeat for gcs collections. Mutator time is
+// charged per allocated byte from the spec's cost model; GC pauses come
+// from the chosen collector's timing model.
+//
+// validate, when set, cross-checks marks and sweeps against the functional
+// reachability ground truth after every collection (used by tests; slows
+// large runs).
+func RunApp(cfg Config, spec workload.Spec, kind CollectorKind, gcs int, seed uint64, validate bool) (AppResult, error) {
+	r, err := NewAppRunner(cfg, spec, kind, seed)
+	if err != nil {
+		return AppResult{}, err
+	}
+	r.Validate = validate
+	err = r.RunGCs(gcs)
+	return r.Res, err
+}

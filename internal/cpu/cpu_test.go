@@ -1,0 +1,88 @@
+package cpu
+
+import (
+	"testing"
+
+	"hwgc/internal/dram"
+	"hwgc/internal/heap"
+	"hwgc/internal/mem"
+	"hwgc/internal/vmem"
+)
+
+func newCPU(t *testing.T) (*CPU, *heap.Heap) {
+	t.Helper()
+	m := mem.New(256 << 20)
+	arena := mem.NewArena(m)
+	arena.Alloc(1<<20, 4096)
+	pt := vmem.NewPageTable(m, arena)
+	cfg := heap.DefaultConfig()
+	cfg.MarkSweepBytes = 2 << 20
+	cfg.BumpBytes = 1 << 20
+	h := heap.New(m, arena, pt, cfg)
+	return New(DefaultConfig(), pt, dram.NewSync(dram.DDR3_2000(16))), h
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	c, _ := newCPU(t)
+	c.Compute(10)
+	if c.Now() != 10 || c.Instructions != 10 {
+		t.Fatalf("now=%d instr=%d", c.Now(), c.Instructions)
+	}
+}
+
+func TestAccessColdVsWarm(t *testing.T) {
+	c, h := newCPU(t)
+	r := h.Alloc(1, 8, false)
+	c.Access(r, 8, dram.Read)
+	cold := c.Now()
+	c.Access(r, 8, dram.Read)
+	warm := c.Now() - cold
+	if warm >= cold {
+		t.Fatalf("warm access (%d) not faster than cold (%d)", warm, cold)
+	}
+	if warm != 2 { // L1 hit latency
+		t.Fatalf("L1 hit = %d cycles, want 2", warm)
+	}
+}
+
+func TestTLBMissWalksThroughL1(t *testing.T) {
+	c, h := newCPU(t)
+	r := h.Alloc(1, 8, false)
+	c.Access(r, 8, dram.Read)
+	missesAfterFirst := c.L1.Misses()
+	// Touch a different page: TLB miss drives PTE fetches through L1.
+	c.Access(r+8*vmem.PageSize, 8, dram.Read)
+	if c.L1.Misses() <= missesAfterFirst {
+		t.Fatal("TLB miss generated no L1 traffic")
+	}
+}
+
+func TestMispredictPenalty(t *testing.T) {
+	c, _ := newCPU(t)
+	before := c.Now()
+	c.Mispredict()
+	if c.Now()-before != DefaultConfig().MispredictPenalty {
+		t.Fatalf("penalty = %d", c.Now()-before)
+	}
+	if c.Mispredicts != 1 {
+		t.Fatalf("mispredicts = %d", c.Mispredicts)
+	}
+}
+
+func TestUnmappedAccessPanics(t *testing.T) {
+	c, _ := newCPU(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unmapped access did not panic")
+		}
+	}()
+	c.Access(0x7f_0000_0000, 8, dram.Read)
+}
+
+func TestAccessPhysSkipsTranslation(t *testing.T) {
+	c, _ := newCPU(t)
+	c.AccessPhys(0x10_0000, 8, dram.Read)
+	if c.MemOps != 1 {
+		t.Fatalf("memops = %d", c.MemOps)
+	}
+}

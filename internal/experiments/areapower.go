@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"hwgc/internal/core"
+	"hwgc/internal/power"
+)
+
+// Fig22 evaluates the area model: total Rocket vs GC unit, plus both
+// breakdowns (paper: the unit is 18.5% of the Rocket core, dominated by the
+// mark queue, roughly the area of 64 KB of SRAM).
+func Fig22(o Options) (Report, error) {
+	rep := Report{ID: "fig22", Title: "Area breakdown"}
+	cfg := core.DefaultConfig() // paper-parameter unit for area
+	rocket := power.RocketArea(cfg.CPU)
+	unit := power.UnitArea(cfg.Unit, cfg.Sweep)
+	rep.Rowf("(a) total: Rocket %.2f mm², GC unit %.2f mm² (%.1f%% of Rocket, ≈%.0f KB of SRAM)",
+		rocket.Total(), unit.Total(), unit.Total()/rocket.Total()*100,
+		power.SRAMEquivalentKB(unit.Total()))
+	rep.Rowf("(b) Rocket:")
+	for _, c := range rocket.Components {
+		rep.Rowf("    %-10s %5.2f mm²", c.Name, c.MM2)
+	}
+	rep.Rowf("(c) GC unit:")
+	for _, c := range unit.Components {
+		rep.Rowf("    %-10s %5.3f mm²", c.Name, c.MM2)
+	}
+	rep.Notef("paper: unit is 18.5%% the area of Rocket, equivalent to ~64 KB of SRAM; the mark queue dominates (Fig. 22)")
+	return rep, nil
+}
+
+// Fig23 runs each benchmark's collections on both collectors and evaluates
+// the energy model (paper: the unit's DRAM power is much higher, but total
+// energy improves by ~14.5%).
+func Fig23(o Options) (Report, error) {
+	rep := Report{ID: "fig23", Title: "Power and energy"}
+	cfg := ScaledConfig()
+	var swTotal, hwTotal float64
+	for _, spec := range specs(o) {
+		// Software run.
+		swRunner, err := core.NewAppRunner(cfg, spec, core.SWCollector, o.Seed)
+		if err != nil {
+			return rep, err
+		}
+		if err := swRunner.RunGCs(o.GCs); err != nil {
+			return rep, err
+		}
+		swStats := swRunner.SW.Sync.Stats()
+		swAct := power.Activity{
+			Cycles:        swRunner.Res.GCCycles,
+			DRAMAccesses:  swStats.Accesses,
+			DRAMBytes:     swStats.Bytes,
+			RowActivates:  swStats.RowMisses + swStats.RowConflicts,
+			ComputeActive: true,
+		}
+		swE := power.Energy(swAct)
+
+		// Hardware run.
+		hwRunner, err := core.NewAppRunner(cfg, spec, core.HWCollector, o.Seed)
+		if err != nil {
+			return rep, err
+		}
+		if err := hwRunner.RunGCs(o.GCs); err != nil {
+			return rep, err
+		}
+		hwStats := hwRunner.HW.MemStats()
+		hwAct := power.Activity{
+			Cycles:        hwRunner.Res.GCCycles,
+			DRAMAccesses:  hwStats.Accesses,
+			DRAMBytes:     hwStats.Bytes,
+			RowActivates:  hwStats.RowMisses + hwStats.RowConflicts,
+			ComputeActive: false,
+		}
+		hwE := power.Energy(hwAct)
+
+		swTotal += swE.Joules
+		hwTotal += hwE.Joules
+		rep.Rowf("%-9s CPU: %5.0f mW DRAM, %6.3f mJ | unit: %5.0f mW DRAM, %6.3f mJ | saving %5.1f%%",
+			spec.Name, swE.DRAMW*1000, swE.MilliJoules(),
+			hwE.DRAMW*1000, hwE.MilliJoules(),
+			(1-hwE.Joules/swE.Joules)*100)
+	}
+	rep.Rowf("overall energy saving: %.1f%%", (1-hwTotal/swTotal)*100)
+	rep.Notef("paper: the unit's DRAM power is much higher, but total GC energy improves by ~14.5%% (Fig. 23)")
+	return rep, nil
+}

@@ -1,0 +1,149 @@
+// Package experiments contains one runner per table and figure in the
+// paper's evaluation (Section II motivation and Section VI). Each runner
+// regenerates the corresponding result from the simulator — the same rows
+// or series the paper reports — and annotates it with the paper's value so
+// EXPERIMENTS.md can record paper-vs-measured for every experiment.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hwgc/internal/core"
+	"hwgc/internal/workload"
+)
+
+// Options control experiment scale.
+type Options struct {
+	// GCs is the number of collections averaged per benchmark.
+	GCs int
+	// Seed drives all workload construction.
+	Seed uint64
+	// Quick shrinks the workloads ~4x (used by tests and smoke runs;
+	// ratios hold, absolute times shrink).
+	Quick bool
+}
+
+// DefaultOptions returns the full-scale settings used for EXPERIMENTS.md.
+func DefaultOptions() Options { return Options{GCs: 2, Seed: 42} }
+
+// QuickOptions returns reduced-scale settings for tests.
+func QuickOptions() Options { return Options{GCs: 1, Seed: 42, Quick: true} }
+
+// ScaledConfig returns the experiment system configuration: the paper's
+// Table I plus the baseline unit, with the unit's translation reach (PTW
+// cache, shared L2 TLB) scaled proportionally to the 1:10 heap scale so
+// that TLB/PTW pressure — the paper's main unit bottleneck — is preserved.
+func ScaledConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.System.Heap.MarkSweepBytes = 20 << 20 // 1:10 of the paper's 200 MB
+	cfg.Unit.PTWCacheBytes = 2 << 10
+	cfg.Unit.L2TLBEntries = 64
+	return cfg
+}
+
+// specs returns the benchmark list at the requested scale.
+func specs(o Options) []workload.Spec {
+	out := workload.DaCapo()
+	if o.Quick {
+		for i := range out {
+			out[i].LiveObjects /= 6
+			out[i].Roots /= 3
+			if out[i].HotObjects > 16 {
+				out[i].HotObjects /= 2
+			}
+		}
+	}
+	return out
+}
+
+// Report is one experiment's regenerated result.
+type Report struct {
+	ID    string
+	Title string
+	Rows  []string
+	Notes []string
+}
+
+// Rowf appends a formatted row.
+func (r *Report) Rowf(format string, args ...interface{}) {
+	r.Rows = append(r.Rows, fmt.Sprintf(format, args...))
+}
+
+// Notef appends a formatted paper-comparison note.
+func (r *Report) Notef(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the report.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %s\n", row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "  # %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner regenerates one experiment.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(o Options) (Report, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Runner {
+	return []Runner{
+		{"fig1a", "CPU time spent in GC pauses", Fig1a},
+		{"fig1b", "Query latency CDF under GC (lusearch)", Fig1b},
+		{"table1", "System configuration", TableI},
+		{"fig15", "GC unit vs CPU: mark and sweep time", Fig15},
+		{"fig16", "Memory bandwidth during the last avrora pause", Fig16},
+		{"fig17", "Performance with 1-cycle / 8 GB/s memory", Fig17},
+		{"fig18", "Shared-cache contention and partitioning", Fig18},
+		{"fig19", "Mark queue size, spilling and compression", Fig19},
+		{"fig20", "Block sweeper scaling", Fig20},
+		{"fig21", "Mark access skew and mark-bit cache", Fig21},
+		{"fig22", "Area breakdown", Fig22},
+		{"fig23", "Power and energy", Fig23},
+		{"abl-mas", "Ablation: memory scheduler sensitivity", AblMAS},
+		{"abl-layout", "Ablation: object layout", AblLayout},
+		{"abl-barriers", "Ablation: read-barrier designs", AblBarriers},
+		{"abl-throttle", "Ablation: bandwidth throttling", AblThrottle},
+	}
+}
+
+// ByID returns the runner with the given ID.
+func ByID(id string) (Runner, bool) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// runBoth executes a benchmark on both collectors and returns the mean GC
+// results.
+func runBoth(cfg core.Config, spec workload.Spec, o Options) (sw, hw core.GCResult, err error) {
+	swRes, err := core.RunApp(cfg, spec, core.SWCollector, o.GCs, o.Seed, false)
+	if err != nil {
+		return sw, hw, err
+	}
+	hwRes, err := core.RunApp(cfg, spec, core.HWCollector, o.GCs, o.Seed, false)
+	if err != nil {
+		return sw, hw, err
+	}
+	return swRes.MeanGC(), hwRes.MeanGC(), nil
+}
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hwgc/internal/core"
+	"hwgc/internal/workload"
+)
+
+// Fig1a measures the fraction of CPU time spent in GC pauses per benchmark
+// (paper: up to 35%, ~10% on average across suites).
+func Fig1a(o Options) (Report, error) {
+	rep := Report{ID: "fig1a", Title: "CPU time spent in GC pauses"}
+	cfg := ScaledConfig()
+	for _, spec := range specs(o) {
+		res, err := core.RunApp(cfg, spec, core.SWCollector, o.GCs, o.Seed, false)
+		if err != nil {
+			return rep, err
+		}
+		rep.Rowf("%-9s GC %5.1f%%  (mutator %6.1f ms, GC %6.1f ms over %d pauses)",
+			spec.Name, res.GCFraction()*100,
+			float64(res.MutatorCycles)/1e6, float64(res.GCCycles)/1e6, len(res.GCs))
+	}
+	rep.Notef("paper: workloads spend up to 35%% of CPU time in GC pauses (Fig. 1a)")
+	return rep, nil
+}
+
+// Fig1b reproduces the lusearch tail-latency experiment: queries at a fixed
+// rate with stop-the-world pauses, latencies corrected for coordinated
+// omission. The long tail (orders of magnitude above the median) is the GC.
+func Fig1b(o Options) (Report, error) {
+	rep := Report{ID: "fig1b", Title: "Query latency CDF under GC (lusearch)"}
+	cfg := ScaledConfig()
+	spec, _ := workload.ByName("lusearch")
+	if o.Quick {
+		spec.LiveObjects /= 4
+	}
+	runner, err := core.NewAppRunner(cfg, spec, core.SWCollector, o.Seed)
+	if err != nil {
+		return rep, err
+	}
+	qcfg := workload.DefaultQueryConfig()
+	if o.Quick {
+		qcfg.Queries = 2000
+		qcfg.Warmup = 200
+	}
+	results := workload.RunQueries(qcfg,
+		func(n uint64) bool { return runner.App.Churn(n) },
+		func() uint64 { return runner.CollectNow().TotalCycles() })
+	cdf := workload.LatencyCDF(results)
+	for _, q := range []float64{0.50, 0.90, 0.99, 0.999, 1.0} {
+		idx := int(q*float64(len(cdf))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(cdf) {
+			idx = len(cdf) - 1
+		}
+		rep.Rowf("p%-6v %8.2f ms", q*100, cdf[idx].Value)
+	}
+	gcHit := 0
+	for _, r := range results {
+		if r.NearGC {
+			gcHit++
+		}
+	}
+	med := cdf[len(cdf)/2].Value
+	tail := cdf[len(cdf)-1].Value
+	rep.Rowf("queries near a pause: %d / %d", gcHit, len(results))
+	rep.Rowf("tail/median latency ratio: %.0fx", tail/med)
+	rep.Notef("paper: GC pauses make stragglers up to two orders of magnitude longer than the median (Fig. 1b)")
+	if len(runner.Res.GCs) == 0 {
+		return rep, fmt.Errorf("fig1b: no collections occurred")
+	}
+	return rep, nil
+}
+
+// TableI prints the simulated system configuration (the paper's Table I).
+func TableI(o Options) (Report, error) {
+	rep := Report{ID: "table1", Title: "System configuration"}
+	cfg := ScaledConfig()
+	rep.Rowf("Processor        in-order Rocket-class @ 1 GHz")
+	rep.Rowf("L1 caches        %d KiB I (modelled in frontend), %d KiB D, %d-way, %d-cycle hit",
+		cfg.CPU.L1Bytes>>10, cfg.CPU.L1Bytes>>10, cfg.CPU.L1Ways, cfg.CPU.L1HitLat)
+	rep.Rowf("L2 cache         %d KiB, %d-way, %d-cycle hit", cfg.CPU.L2Bytes>>10, cfg.CPU.L2Ways, cfg.CPU.L2HitLat)
+	rep.Rowf("CPU TLB          %d entries", cfg.CPU.TLBEntries)
+	rep.Rowf("Memory           DDR3-2000, single rank, 8 banks, FR-FCFS, %d in flight, open page", cfg.MaxReads)
+	rep.Rowf("DRAM timings     14-14-14 (ns)")
+	rep.Rowf("GC unit          %d marker slots, %d-entry mark queue, %d-entry tracer queue",
+		cfg.Unit.MarkerSlots, cfg.Unit.MarkQueueEntries, cfg.Unit.TracerQueueEntries)
+	rep.Rowf("Unit TLBs        %d-entry per client, %d-entry shared L2, %d KiB PTW cache",
+		cfg.Unit.TLBEntries, cfg.Unit.L2TLBEntries, cfg.Unit.PTWCacheBytes>>10)
+	rep.Rowf("Reclamation      %d block sweepers", cfg.Sweep.Sweepers)
+	rep.Rowf("Heap             %d MiB MarkSweep + %d MiB bump (1:10 scale of the paper's 200 MB)",
+		cfg.System.Heap.MarkSweepBytes>>20, cfg.System.Heap.BumpBytes>>20)
+	rep.Notef("paper Table I at full scale; heaps and unit translation reach scaled 1:10 here")
+	return rep, nil
+}

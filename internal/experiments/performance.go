@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"hwgc/internal/core"
+	"hwgc/internal/dram"
+	"hwgc/internal/sim"
+	"hwgc/internal/workload"
+)
+
+// Fig15 regenerates the headline comparison: mark and sweep time per
+// benchmark for the Rocket CPU and the GC unit under the DDR3 model
+// (paper: 4.2x mark, 1.9x sweep on average).
+func Fig15(o Options) (Report, error) {
+	rep := Report{ID: "fig15", Title: "GC unit vs CPU: mark and sweep time (DDR3)"}
+	cfg := ScaledConfig()
+	var markSum, sweepSum float64
+	n := 0
+	for _, spec := range specs(o) {
+		sw, hw, err := runBoth(cfg, spec, o)
+		if err != nil {
+			return rep, err
+		}
+		mx := ratio(sw.MarkCycles, hw.MarkCycles)
+		sx := ratio(sw.SweepCycles, hw.SweepCycles)
+		markSum += mx
+		sweepSum += sx
+		n++
+		rep.Rowf("%-9s CPU mark %7.2f ms  sweep %7.2f ms | unit mark %6.2f ms  sweep %6.2f ms | mark %4.2fx sweep %4.2fx",
+			spec.Name, sw.MarkMS(), sw.SweepMS(), hw.MarkMS(), hw.SweepMS(), mx, sx)
+	}
+	rep.Rowf("mean speedup: mark %.2fx, sweep %.2fx", markSum/float64(n), sweepSum/float64(n))
+	rep.Notef("paper: unit outperforms the CPU by 4.2x on mark and 1.9x on sweep (Fig. 15); overall GC 3.3x")
+	return rep, nil
+}
+
+// Fig16 measures memory bandwidth over time during the last GC pause of
+// avrora for both collectors (paper: the unit sustains far higher bandwidth
+// during the mark phase).
+func Fig16(o Options) (Report, error) {
+	rep := Report{ID: "fig16", Title: "Memory bandwidth during the last avrora pause"}
+	cfg := ScaledConfig()
+	spec, _ := workload.ByName("avrora")
+	if o.Quick {
+		spec.LiveObjects /= 4
+	}
+	const interval = 10000 // cycles per bandwidth sample (10 us)
+
+	// Hardware side.
+	hwRunner, err := core.NewAppRunner(cfg, spec, core.HWCollector, o.Seed)
+	if err != nil {
+		return rep, err
+	}
+	if err := hwRunner.RunGCs(o.GCs - 1); err != nil {
+		return rep, err
+	}
+	hwRunner.HW.Bus.Bandwidth = sim.NewSeries(interval)
+	hwStart := hwRunner.HW.Eng.Now()
+	if err := hwRunner.Step(); err != nil {
+		return rep, err
+	}
+	hwLast := hwRunner.Res.GCs[len(hwRunner.Res.GCs)-1]
+	hwSeries := markWindow(hwRunner.HW.Bus.Bandwidth.Finish(), interval, hwStart, hwLast.MarkCycles)
+
+	// Software side.
+	swRunner, err := core.NewAppRunner(cfg, spec, core.SWCollector, o.Seed)
+	if err != nil {
+		return rep, err
+	}
+	if err := swRunner.RunGCs(o.GCs - 1); err != nil {
+		return rep, err
+	}
+	var swSeries []float64
+	swStart := swRunner.SW.CPU.Now()
+	if ddr, isDDR := swRunner.SW.Sync.(*dram.Sync); isDDR {
+		ddr.Bandwidth = sim.NewSeries(interval)
+		if err := swRunner.Step(); err != nil {
+			return rep, err
+		}
+		swSeries = ddr.Bandwidth.Finish()
+	} else {
+		if err := swRunner.Step(); err != nil {
+			return rep, err
+		}
+	}
+	swLast := swRunner.Res.GCs[len(swRunner.Res.GCs)-1]
+	swSeries = markWindow(swSeries, interval, swStart, swLast.MarkCycles)
+
+	toGBs := func(series []float64) (peak, mean float64) {
+		if len(series) == 0 {
+			return 0, 0
+		}
+		sum := 0.0
+		for _, v := range series {
+			g := v / float64(interval) // bytes/cycle = GB/s at 1 GHz
+			if g > peak {
+				peak = g
+			}
+			sum += g
+		}
+		return peak, sum / float64(len(series))
+	}
+	hwPeak, hwMean := toGBs(hwSeries)
+	swPeak, swMean := toGBs(swSeries)
+	rep.Rowf("GC unit   : mark %6.2f ms, mark-phase bandwidth mean %5.2f GB/s, peak %5.2f GB/s",
+		hwLast.MarkMS(), hwMean, hwPeak)
+	rep.Rowf("Rocket CPU: mark %6.2f ms, mark-phase bandwidth mean %5.2f GB/s, peak %5.2f GB/s",
+		swLast.MarkMS(), swMean, swPeak)
+	if swMean > 0 {
+		rep.Rowf("unit/CPU mean mark-phase bandwidth: %.1fx", hwMean/swMean)
+	}
+	rep.Notef("paper: the unit exploits much higher bandwidth than the CPU, particularly during mark (Fig. 16)")
+	return rep, nil
+}
+
+// markWindow clips a bandwidth series to the mark phase of the last pause
+// (the series bins start at cycle zero of the run).
+func markWindow(series []float64, interval, start, markCycles uint64) []float64 {
+	lo := int(start / interval)
+	hi := int((start + markCycles) / interval)
+	if lo >= len(series) {
+		return nil
+	}
+	if hi >= len(series) {
+		hi = len(series) - 1
+	}
+	return series[lo : hi+1]
+}
+
+// Fig17 re-runs the Figure 15 comparison on the ideal latency-bandwidth
+// pipe (1 cycle, 8 GB/s) and reports the unit's port utilization (paper:
+// 9.0x mark speedup; one request per 8.66 cycles; port busy 88% of mark
+// cycles; max 3.3 GB/s of useful data).
+func Fig17(o Options) (Report, error) {
+	rep := Report{ID: "fig17", Title: "Performance with 1-cycle / 8 GB/s memory"}
+	cfg := ScaledConfig()
+	cfg.Memory = core.MemPipe
+	var markSum float64
+	var busySum, cprSum float64
+	n := 0
+	for _, spec := range specs(o) {
+		swRes, err := core.RunApp(cfg, spec, core.SWCollector, o.GCs, o.Seed, false)
+		if err != nil {
+			return rep, err
+		}
+		hwRunner, err := core.NewAppRunner(cfg, spec, core.HWCollector, o.Seed)
+		if err != nil {
+			return rep, err
+		}
+		if err := hwRunner.RunGCs(o.GCs); err != nil {
+			return rep, err
+		}
+		sw := swRes.MeanGC()
+		hw := hwRunner.Res.MeanGC()
+		mx := ratio(sw.MarkCycles, hw.MarkCycles)
+		busy := hwRunner.HW.Bus.BusyFraction()
+		cpr := hwRunner.HW.Bus.CyclesPerRequest()
+		markSum += mx
+		busySum += busy
+		cprSum += cpr
+		n++
+		rep.Rowf("%-9s CPU mark %7.2f ms | unit mark %6.2f ms | mark %5.2fx | port busy %4.1f%% | %.2f cycles/request",
+			spec.Name, sw.MarkMS(), hw.MarkMS(), mx, busy*100, cpr)
+	}
+	rep.Rowf("mean: mark %.2fx, port busy %.1f%%, %.2f cycles/request",
+		markSum/float64(n), busySum/float64(n)*100, cprSum/float64(n))
+	rep.Notef("paper: 9.0x mark speedup; TileLink port busy 88%% of mark cycles; one request every 8.66 cycles (Fig. 17)")
+	return rep, nil
+}

@@ -1,0 +1,290 @@
+package heap
+
+import "fmt"
+
+// DescriptorBytes is the size of one block-descriptor entry in the
+// in-memory block table the reclamation unit iterates over.
+//
+// Entry layout:
+//
+//	+0  block base VA
+//	+8  cell size in bytes
+//	+16 free-list head VA (0 = none)
+//	+24 live-cell count (written back by the sweeper)
+const DescriptorBytes = 32
+
+// MarkSweep is the segregated-free-list space (the paper's main MarkSweep
+// space, Figure 11): memory divided into blocks, each block assigned a size
+// class that fixes its cell size; every cell holds either an object or a
+// free-list next pointer.
+type MarkSweep struct {
+	h          *Heap
+	base       uint64
+	capBytes   uint64
+	blockBytes uint64
+	classes    []uint64
+
+	blocks    []*Block
+	partial   [][]int // per class: block indices with free cells
+	empty     []int   // fully-free blocks, reusable by any class
+	nextBlock uint64  // byte offset of the next virgin block
+
+	tableVA   uint64
+	maxBlocks int
+}
+
+// Block mirrors one in-memory block descriptor on the runtime side.
+type Block struct {
+	Index    int
+	Base     uint64 // VA
+	CellSize uint64
+	FreeHead uint64 // VA of first free cell, 0 = full
+	Cells    int
+	Class    int
+}
+
+func newMarkSweep(h *Heap, base uint64, cfg Config) *MarkSweep {
+	ms := &MarkSweep{
+		h:          h,
+		base:       base,
+		capBytes:   cfg.MarkSweepBytes,
+		blockBytes: cfg.BlockBytes,
+		classes:    cfg.SizeClasses,
+		maxBlocks:  int(cfg.MarkSweepBytes / cfg.BlockBytes),
+	}
+	ms.partial = make([][]int, len(ms.classes))
+	return ms
+}
+
+func (ms *MarkSweep) allocTable() {
+	ms.tableVA = ms.h.Aux.Alloc(uint64(DescriptorBytes * ms.maxBlocks))
+	if ms.tableVA == 0 {
+		panic("heap: aux space exhausted allocating block table")
+	}
+}
+
+// TableVA returns the VA of the block descriptor table.
+func (ms *MarkSweep) TableVA() uint64 { return ms.tableVA }
+
+// EntryVA returns the VA of block i's descriptor.
+func (ms *MarkSweep) EntryVA(i int) uint64 { return ms.tableVA + uint64(i*DescriptorBytes) }
+
+// NumBlocks returns the number of blocks carved so far.
+func (ms *MarkSweep) NumBlocks() int { return len(ms.blocks) }
+
+// Block returns the i-th block mirror.
+func (ms *MarkSweep) Block(i int) *Block { return ms.blocks[i] }
+
+// BlockBytes returns the block size.
+func (ms *MarkSweep) BlockBytes() uint64 { return ms.blockBytes }
+
+// Base returns the space's VA base.
+func (ms *MarkSweep) Base() uint64 { return ms.base }
+
+// Capacity returns the space capacity in bytes.
+func (ms *MarkSweep) Capacity() uint64 { return ms.capBytes }
+
+// classFor returns the smallest size class index fitting size, or -1.
+func (ms *MarkSweep) classFor(size uint64) int {
+	for i, c := range ms.classes {
+		if c >= size {
+			return i
+		}
+	}
+	return -1
+}
+
+// alloc hands out one cell of at least size bytes. It returns 0 when the
+// space is exhausted (GC required).
+func (ms *MarkSweep) alloc(size uint64) uint64 {
+	class := ms.classFor(size)
+	if class < 0 {
+		panic(fmt.Sprintf("heap: size %d exceeds largest size class", size))
+	}
+	for {
+		list := ms.partial[class]
+		if len(list) > 0 {
+			b := ms.blocks[list[len(list)-1]]
+			va := b.FreeHead
+			next := ms.h.Load(va) // free cells hold the next pointer in word 0
+			b.FreeHead = next
+			ms.writeFreeHead(b)
+			if next == 0 {
+				ms.partial[class] = list[:len(list)-1]
+			}
+			return va
+		}
+		// Reuse a fully-free block (the reclamation unit's empty block
+		// list, Figure 8) before carving virgin space.
+		if len(ms.empty) > 0 {
+			idx := ms.empty[len(ms.empty)-1]
+			ms.empty = ms.empty[:len(ms.empty)-1]
+			ms.formatBlock(ms.blocks[idx], class)
+			continue
+		}
+		if !ms.carveBlock(class) {
+			return 0
+		}
+	}
+}
+
+// formatBlock (re)assigns a block to a size class, linking every cell into
+// its free list and rewriting the descriptor.
+func (ms *MarkSweep) formatBlock(b *Block, class int) {
+	cellSize := ms.classes[class]
+	cells := int(ms.blockBytes / cellSize)
+	b.CellSize = cellSize
+	b.Cells = cells
+	b.Class = class
+	for i := 0; i < cells; i++ {
+		cell := b.Base + uint64(i)*cellSize
+		next := uint64(0)
+		if i+1 < cells {
+			next = cell + cellSize
+		}
+		ms.h.Store(cell, next)
+	}
+	b.FreeHead = b.Base
+	ms.partial[class] = append(ms.partial[class], b.Index)
+	e := ms.EntryVA(b.Index)
+	ms.h.Store(e, b.Base)
+	ms.h.Store(e+8, cellSize)
+	ms.h.Store(e+16, b.FreeHead)
+	ms.h.Store(e+24, 0)
+}
+
+// carveBlock claims a virgin block for class, builds its free list in
+// memory, and writes its descriptor.
+func (ms *MarkSweep) carveBlock(class int) bool {
+	if ms.nextBlock+ms.blockBytes > ms.capBytes {
+		return false
+	}
+	base := ms.base + ms.nextBlock
+	ms.nextBlock += ms.blockBytes
+	b := &Block{Index: len(ms.blocks), Base: base}
+	ms.blocks = append(ms.blocks, b)
+	ms.formatBlock(b, class)
+	return true
+}
+
+func (ms *MarkSweep) writeFreeHead(b *Block) {
+	ms.h.Store(ms.EntryVA(b.Index)+16, b.FreeHead)
+}
+
+// BlockFor returns the block containing va, or nil if va is outside the
+// carved part of the space.
+func (ms *MarkSweep) BlockFor(va uint64) *Block {
+	if va < ms.base || va >= ms.base+ms.nextBlock {
+		return nil
+	}
+	return ms.blocks[(va-ms.base)/ms.blockBytes]
+}
+
+// FreeCell returns one cell to its block's free list (used by the
+// relocating collector to give back rejected evacuation targets). The cell
+// must have been handed out by alloc.
+func (ms *MarkSweep) FreeCell(cell uint64) {
+	b := ms.BlockFor(cell)
+	if b == nil || (cell-b.Base)%b.CellSize != 0 {
+		panic("heap: FreeCell on a non-cell address")
+	}
+	wasFull := b.FreeHead == 0
+	ms.h.Store(cell, b.FreeHead)
+	b.FreeHead = cell
+	ms.writeFreeHead(b)
+	if wasFull {
+		ms.partial[b.Class] = append(ms.partial[b.Class], b.Index)
+	}
+}
+
+// SyncFromMemory refreshes the runtime-side block mirrors from the
+// in-memory descriptors after a sweep (hardware or software) rebuilt the
+// free lists. Blocks whose live count dropped to zero join the empty block
+// list (Figure 8) and may be re-assigned to a different size class. Only
+// call after a sweep: the live counts must be current.
+func (ms *MarkSweep) SyncFromMemory() {
+	for i := range ms.partial {
+		ms.partial[i] = ms.partial[i][:0]
+	}
+	ms.empty = ms.empty[:0]
+	for _, b := range ms.blocks {
+		e := ms.EntryVA(b.Index)
+		b.FreeHead = ms.h.Load(e + 16)
+		live := ms.h.Load(e + 24)
+		switch {
+		case live == 0 && b.FreeHead != 0:
+			ms.empty = append(ms.empty, b.Index)
+		case b.FreeHead != 0:
+			ms.partial[b.Class] = append(ms.partial[b.Class], b.Index)
+		}
+	}
+}
+
+// EmptyBlocks returns the number of fully-free blocks awaiting reuse.
+func (ms *MarkSweep) EmptyBlocks() int { return len(ms.empty) }
+
+// FreeCells returns the total number of free cells (walks the in-memory
+// free lists; used by tests and occupancy stats).
+func (ms *MarkSweep) FreeCells() int {
+	n := 0
+	for _, b := range ms.blocks {
+		for cell := b.FreeHead; cell != 0; cell = ms.h.Load(cell) {
+			n++
+		}
+	}
+	return n
+}
+
+// LiveObjects enumerates the VAs of all cells currently holding objects
+// (tag bit set), in address order. Bidirectional layout only.
+func (ms *MarkSweep) LiveObjects() []Ref {
+	var out []Ref
+	for _, b := range ms.blocks {
+		for i := 0; i < b.Cells; i++ {
+			cell := b.Base + uint64(i)*b.CellSize
+			if IsObject(ms.h.Load(cell)) {
+				out = append(out, cell)
+			}
+		}
+	}
+	return out
+}
+
+// BumpSpace is a linearly allocated space (large objects, immortal data,
+// runtime metadata). It is traced but never swept.
+type BumpSpace struct {
+	h    *Heap
+	base uint64
+	size uint64
+	next uint64
+
+	objects []Ref
+}
+
+func newBumpSpace(h *Heap, base, size uint64) *BumpSpace {
+	return &BumpSpace{h: h, base: base, size: size}
+}
+
+// Alloc reserves size bytes (8-byte aligned) and returns the VA, or 0 when
+// full.
+func (s *BumpSpace) Alloc(size uint64) uint64 {
+	size = (size + 7) &^ 7
+	if s.next+size > s.size {
+		return 0
+	}
+	va := s.base + s.next
+	s.next += size
+	return va
+}
+
+// Used returns allocated bytes.
+func (s *BumpSpace) Used() uint64 { return s.next }
+
+// Base returns the space base VA.
+func (s *BumpSpace) Base() uint64 { return s.base }
+
+// noteObject records an object allocation for enumeration.
+func (s *BumpSpace) noteObject(r Ref) { s.objects = append(s.objects, r) }
+
+// Objects returns the objects allocated in this space.
+func (s *BumpSpace) Objects() []Ref { return s.objects }

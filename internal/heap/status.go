@@ -1,0 +1,63 @@
+// Package heap implements the simulated JikesRVM-style heap the collectors
+// operate on: object layouts (the paper's bidirectional layout and the
+// conventional TIB layout), status words with tag/mark bits and reference
+// counts, a segregated-free-list MarkSweep space divided into blocks and
+// size-classed cells, and bump-allocated spaces for large objects and
+// metadata.
+//
+// Everything correctness-critical lives in simulated physical memory
+// (internal/mem): status words, reference fields, free-list next pointers
+// and the block descriptor table. The software collector and the GC unit
+// both operate on these bytes, which lets tests cross-check them — the same
+// technique the paper used for debugging (swapping libhwgc for a software
+// implementation).
+package heap
+
+// Status word layout (one 64-bit word per object, Figure 11 analogue):
+//
+//	bit  0      tag bit: 1 = live cell containing an object. Free-list
+//	            entries store an 8-aligned next pointer in the same word,
+//	            so their bit 0 is always 0 — one read classifies a cell.
+//	bit  1      mark bit (interpreted relative to the heap's mark sense,
+//	            which flips every collection).
+//	bit  2      array flag (the paper stores it as the MSB of the 32-bit
+//	            reference count).
+//	bits 3..31  thin lock / unused runtime state (zero here).
+//	bits 32..63 number of reference fields (#REFS).
+//
+// The paper's key property holds: a single fetch-or (or fetch-and, on the
+// opposite mark sense) both marks the object and returns #REFS.
+const (
+	TagBit   = uint64(1) << 0
+	MarkBit  = uint64(1) << 1
+	ArrayBit = uint64(1) << 2
+
+	refsShift = 32
+)
+
+// EncodeStatus builds a status word for a live object with nrefs reference
+// fields. markSense gives the mark-bit value meaning "not yet marked in the
+// next collection" (callers use Heap.AllocStatusMark).
+func EncodeStatus(nrefs int, array bool, mark bool) uint64 {
+	w := TagBit | uint64(uint32(nrefs))<<refsShift
+	if array {
+		w |= ArrayBit
+	}
+	if mark {
+		w |= MarkBit
+	}
+	return w
+}
+
+// IsObject reports whether a cell's first word holds an object status (tag
+// bit set) rather than a free-list next pointer.
+func IsObject(w uint64) bool { return w&TagBit != 0 }
+
+// MarkOf extracts the raw mark bit.
+func MarkOf(w uint64) bool { return w&MarkBit != 0 }
+
+// NumRefs extracts the reference-field count.
+func NumRefs(w uint64) int { return int(uint32(w >> refsShift)) }
+
+// IsArray extracts the array flag.
+func IsArray(w uint64) bool { return w&ArrayBit != 0 }

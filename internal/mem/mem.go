@@ -1,0 +1,196 @@
+// Package mem implements the functional (untimed) physical memory that
+// underlies the whole simulation: a sparse, page-granular byte store with
+// 64-bit little-endian accessors and the fetch-or atomic the traversal
+// unit's marker uses to mark objects.
+//
+// Timing is layered on top by internal/dram; correctness-critical state
+// (object headers, reference fields, free lists, page tables) lives here so
+// that the software collector and the GC unit can be cross-checked against
+// each other on identical heaps.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the physical page granule of the sparse store. It matches the
+// 4 KiB virtual page size used by the simulated page tables.
+const PageSize = 4096
+
+// Physical is a sparse physical memory of a fixed capacity. Accesses beyond
+// the capacity panic: they indicate a simulator bug, not a recoverable
+// condition.
+type Physical struct {
+	size  uint64
+	pages map[uint64]*[PageSize]byte
+}
+
+// New returns a physical memory with the given capacity in bytes.
+func New(size uint64) *Physical {
+	return &Physical{size: size, pages: make(map[uint64]*[PageSize]byte)}
+}
+
+// Size returns the configured capacity in bytes.
+func (m *Physical) Size() uint64 { return m.size }
+
+// Pages returns the number of physical pages that have been touched.
+func (m *Physical) Pages() int { return len(m.pages) }
+
+func (m *Physical) page(pa uint64, create bool) *[PageSize]byte {
+	if pa >= m.size {
+		panic(fmt.Sprintf("mem: physical access 0x%x beyond capacity 0x%x", pa, m.size))
+	}
+	idx := pa / PageSize
+	p := m.pages[idx]
+	if p == nil {
+		if !create {
+			return nil
+		}
+		p = new([PageSize]byte)
+		m.pages[idx] = p
+	}
+	return p
+}
+
+// Load64 reads the 64-bit word at pa. pa must be 8-byte aligned.
+func (m *Physical) Load64(pa uint64) uint64 {
+	checkAlign(pa, 8)
+	p := m.page(pa, false)
+	if p == nil {
+		return 0
+	}
+	off := pa % PageSize
+	return binary.LittleEndian.Uint64(p[off : off+8])
+}
+
+// Store64 writes the 64-bit word v at pa. pa must be 8-byte aligned.
+func (m *Physical) Store64(pa, v uint64) {
+	checkAlign(pa, 8)
+	p := m.page(pa, true)
+	off := pa % PageSize
+	binary.LittleEndian.PutUint64(p[off:off+8], v)
+}
+
+// Load32 reads the 32-bit word at pa. pa must be 4-byte aligned.
+func (m *Physical) Load32(pa uint64) uint32 {
+	checkAlign(pa, 4)
+	p := m.page(pa, false)
+	if p == nil {
+		return 0
+	}
+	off := pa % PageSize
+	return binary.LittleEndian.Uint32(p[off : off+4])
+}
+
+// Store32 writes the 32-bit word v at pa. pa must be 4-byte aligned.
+func (m *Physical) Store32(pa uint64, v uint32) {
+	checkAlign(pa, 4)
+	p := m.page(pa, true)
+	off := pa % PageSize
+	binary.LittleEndian.PutUint32(p[off:off+4], v)
+}
+
+// FetchOr64 atomically ORs bits into the word at pa and returns the
+// previous value. This is the single-AMO mark operation from the paper:
+// the marker sets the mark bit and receives the old status word (mark bit
+// plus #REFS) in one memory round trip.
+func (m *Physical) FetchOr64(pa, bits uint64) uint64 {
+	old := m.Load64(pa)
+	m.Store64(pa, old|bits)
+	return old
+}
+
+// FetchAnd64 atomically ANDs bits into the word at pa and returns the
+// previous value. Together with FetchOr64 it lets the marker set or clear
+// the mark bit depending on the current mark-bit polarity (the mark sense
+// flips every collection so that sweeping never has to clear mark bits).
+func (m *Physical) FetchAnd64(pa, bits uint64) uint64 {
+	old := m.Load64(pa)
+	m.Store64(pa, old&bits)
+	return old
+}
+
+// Read copies len(buf) bytes starting at pa into buf, crossing pages as
+// needed.
+func (m *Physical) Read(pa uint64, buf []byte) {
+	for len(buf) > 0 {
+		off := pa % PageSize
+		n := PageSize - off
+		if uint64(len(buf)) < n {
+			n = uint64(len(buf))
+		}
+		p := m.page(pa, false)
+		if p == nil {
+			for i := uint64(0); i < n; i++ {
+				buf[i] = 0
+			}
+		} else {
+			copy(buf[:n], p[off:off+n])
+		}
+		buf = buf[n:]
+		pa += n
+	}
+}
+
+// Write copies buf into memory starting at pa, crossing pages as needed.
+func (m *Physical) Write(pa uint64, buf []byte) {
+	for len(buf) > 0 {
+		off := pa % PageSize
+		n := PageSize - off
+		if uint64(len(buf)) < n {
+			n = uint64(len(buf))
+		}
+		p := m.page(pa, true)
+		copy(p[off:off+n], buf[:n])
+		buf = buf[n:]
+		pa += n
+	}
+}
+
+func checkAlign(pa uint64, n uint64) {
+	if pa%n != 0 {
+		panic(fmt.Sprintf("mem: misaligned %d-byte access at 0x%x", n, pa))
+	}
+}
+
+// Region is a contiguous physical address range handed out by Arena.
+type Region struct {
+	Base uint64
+	Size uint64
+}
+
+// End returns the first address past the region.
+func (r Region) End() uint64 { return r.Base + r.Size }
+
+// Contains reports whether pa falls inside the region.
+func (r Region) Contains(pa uint64) bool { return pa >= r.Base && pa < r.Base+r.Size }
+
+// Arena carves non-overlapping regions out of a physical memory, the way
+// the simulated boot code lays out heap, page tables, spill region and the
+// root (hwgc) space.
+type Arena struct {
+	mem  *Physical
+	next uint64
+}
+
+// NewArena returns an arena allocating from the start of m.
+func NewArena(m *Physical) *Arena { return &Arena{mem: m} }
+
+// Alloc reserves size bytes aligned to align (a power of two) and returns
+// the region. It panics when physical memory is exhausted.
+func (a *Arena) Alloc(size, align uint64) Region {
+	if align == 0 {
+		align = 8
+	}
+	base := (a.next + align - 1) &^ (align - 1)
+	if base+size > a.mem.Size() {
+		panic(fmt.Sprintf("mem: arena exhausted: need 0x%x at 0x%x, capacity 0x%x", size, base, a.mem.Size()))
+	}
+	a.next = base + size
+	return Region{Base: base, Size: size}
+}
+
+// Used returns the number of bytes allocated so far (including alignment
+// padding).
+func (a *Arena) Used() uint64 { return a.next }

@@ -1,0 +1,131 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadStore64(t *testing.T) {
+	m := New(1 << 20)
+	m.Store64(0x100, 0xdeadbeefcafebabe)
+	if v := m.Load64(0x100); v != 0xdeadbeefcafebabe {
+		t.Fatalf("Load64 = %x", v)
+	}
+	if v := m.Load64(0x108); v != 0 {
+		t.Fatalf("untouched word = %x, want 0", v)
+	}
+}
+
+func TestLoad32Halves(t *testing.T) {
+	m := New(1 << 20)
+	m.Store64(0x200, 0x1122334455667788)
+	if lo := m.Load32(0x200); lo != 0x55667788 {
+		t.Fatalf("low half = %x", lo)
+	}
+	if hi := m.Load32(0x204); hi != 0x11223344 {
+		t.Fatalf("high half = %x", hi)
+	}
+	m.Store32(0x204, 0xaabbccdd)
+	if v := m.Load64(0x200); v != 0xaabbccdd55667788 {
+		t.Fatalf("after Store32: %x", v)
+	}
+}
+
+func TestFetchOr64(t *testing.T) {
+	m := New(1 << 20)
+	m.Store64(0x300, 0x0f)
+	old := m.FetchOr64(0x300, 0xf0)
+	if old != 0x0f {
+		t.Fatalf("FetchOr old = %x, want 0f", old)
+	}
+	if v := m.Load64(0x300); v != 0xff {
+		t.Fatalf("after FetchOr = %x, want ff", v)
+	}
+}
+
+func TestReadWriteCrossPage(t *testing.T) {
+	m := New(1 << 20)
+	data := make([]byte, 300)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	base := uint64(PageSize - 100) // straddles a page boundary
+	m.Write(base, data)
+	got := make([]byte, 300)
+	m.Read(base, got)
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d = %d, want %d", i, got[i], data[i])
+		}
+	}
+}
+
+func TestReadUntouchedIsZero(t *testing.T) {
+	m := New(1 << 20)
+	buf := []byte{1, 2, 3, 4}
+	m.Read(0x5000, buf)
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("byte %d = %d, want 0", i, b)
+		}
+	}
+}
+
+func TestMisalignedPanics(t *testing.T) {
+	m := New(1 << 20)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("misaligned Load64 did not panic")
+		}
+	}()
+	m.Load64(0x101)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := New(1 << 12)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range access did not panic")
+		}
+	}()
+	m.Store64(1<<12, 1)
+}
+
+func TestLoadStoreRoundTripProperty(t *testing.T) {
+	m := New(1 << 24)
+	f := func(addr uint32, v uint64) bool {
+		pa := (uint64(addr) % ((1 << 24) - 8)) &^ 7
+		m.Store64(pa, v)
+		return m.Load64(pa) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArena(t *testing.T) {
+	m := New(1 << 20)
+	a := NewArena(m)
+	r1 := a.Alloc(100, 64)
+	r2 := a.Alloc(100, 64)
+	if r1.Base%64 != 0 || r2.Base%64 != 0 {
+		t.Fatalf("misaligned regions: %x %x", r1.Base, r2.Base)
+	}
+	if r2.Base < r1.End() {
+		t.Fatalf("overlapping regions: %+v %+v", r1, r2)
+	}
+	if !r1.Contains(r1.Base) || r1.Contains(r1.End()) {
+		t.Fatal("Contains boundary conditions wrong")
+	}
+}
+
+func TestArenaExhaustionPanics(t *testing.T) {
+	m := New(4096)
+	a := NewArena(m)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arena exhaustion did not panic")
+		}
+	}()
+	a.Alloc(8192, 8)
+}

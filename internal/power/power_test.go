@@ -1,0 +1,104 @@
+package power
+
+import (
+	"testing"
+
+	"hwgc/internal/cpu"
+	"hwgc/internal/sweep"
+	"hwgc/internal/trace"
+)
+
+func TestRocketAreaBallpark(t *testing.T) {
+	a := RocketArea(cpu.DefaultConfig())
+	total := a.Total()
+	if total < 4 || total > 12 {
+		t.Fatalf("Rocket area = %.2f mm², want the paper's ~8 mm² ballpark", total)
+	}
+	if a.Get("L2 Cache") <= a.Get("L1 DCache") {
+		t.Fatal("L2 should dominate the cache area")
+	}
+}
+
+func TestUnitAreaRatio(t *testing.T) {
+	rocket := RocketArea(cpu.DefaultConfig()).Total()
+	unit := UnitArea(trace.DefaultConfig(), sweep.DefaultConfig()).Total()
+	ratio := unit / rocket
+	// Paper: 18.5% of the Rocket core.
+	if ratio < 0.10 || ratio > 0.30 {
+		t.Fatalf("unit/rocket area = %.3f, want ~0.185", ratio)
+	}
+}
+
+func TestMarkQueueDominatesUnit(t *testing.T) {
+	a := UnitArea(trace.DefaultConfig(), sweep.DefaultConfig())
+	mq := a.Get("Mark Q.")
+	for _, c := range a.Components {
+		if c.Name != "Mark Q." && c.MM2 > mq {
+			t.Fatalf("%s (%.3f) larger than the mark queue (%.3f)", c.Name, c.MM2, mq)
+		}
+	}
+}
+
+func TestAreaRespondsToConfig(t *testing.T) {
+	small := trace.DefaultConfig()
+	small.MarkQueueEntries = 64
+	big := trace.DefaultConfig()
+	big.MarkQueueEntries = 4096
+	s := UnitArea(small, sweep.DefaultConfig()).Get("Mark Q.")
+	b := UnitArea(big, sweep.DefaultConfig()).Get("Mark Q.")
+	if b <= s {
+		t.Fatal("mark queue area does not scale with entries")
+	}
+	comp := trace.DefaultConfig()
+	comp.Compress = true
+	if UnitArea(comp, sweep.DefaultConfig()).Get("Mark Q.") >= UnitArea(trace.DefaultConfig(), sweep.DefaultConfig()).Get("Mark Q.") {
+		t.Fatal("compression does not shrink the mark queue")
+	}
+}
+
+func TestSRAMEquivalent(t *testing.T) {
+	unit := UnitArea(trace.DefaultConfig(), sweep.DefaultConfig()).Total()
+	kb := SRAMEquivalentKB(unit)
+	// Paper: "an amount equivalent to 64KB of SRAM".
+	if kb < 32 || kb > 512 {
+		t.Fatalf("unit ≈ %.0f KB of SRAM, want the 64 KB ballpark (order of magnitude)", kb)
+	}
+}
+
+func TestEnergyUnitBeatsCPUDespiteHigherDRAMPower(t *testing.T) {
+	// Same work (bytes, activates); unit finishes 3.3x faster.
+	cpuAct := Activity{Cycles: 33_000_000, DRAMAccesses: 900_000, DRAMBytes: 60 << 20,
+		RowActivates: 200_000, ComputeActive: true}
+	unitAct := Activity{Cycles: 10_000_000, DRAMAccesses: 900_000, DRAMBytes: 60 << 20,
+		RowActivates: 200_000, ComputeActive: false}
+	ec := Energy(cpuAct)
+	eu := Energy(unitAct)
+	if eu.DRAMW <= ec.DRAMW {
+		t.Fatalf("unit DRAM power (%.3f W) should exceed CPU's (%.3f W)", eu.DRAMW, ec.DRAMW)
+	}
+	if eu.Joules >= ec.Joules {
+		t.Fatalf("unit energy (%.3f mJ) should be lower than CPU's (%.3f mJ)",
+			eu.MilliJoules(), ec.MilliJoules())
+	}
+	saving := 1 - eu.Joules/ec.Joules
+	if saving < 0.05 || saving > 0.60 {
+		t.Fatalf("energy saving = %.1f%%, want a moderate saving (paper: 14.5%%)", saving*100)
+	}
+}
+
+func TestEnergyZeroCycles(t *testing.T) {
+	r := Energy(Activity{})
+	if r.Joules != 0 {
+		t.Fatalf("zero-cycle energy = %v", r.Joules)
+	}
+}
+
+func TestEnergyScalesWithActivity(t *testing.T) {
+	base := Activity{Cycles: 1_000_000, DRAMBytes: 1 << 20, RowActivates: 1000}
+	double := base
+	double.DRAMBytes *= 2
+	double.RowActivates *= 2
+	if Energy(double).Joules <= Energy(base).Joules {
+		t.Fatal("energy does not scale with DRAM activity")
+	}
+}

@@ -1,0 +1,155 @@
+// Package rts is the language-runtime-system stand-in (the JikesRVM role in
+// the paper): it assembles the simulated machine's memory image — physical
+// memory, page tables, the heap, the root region ("hwgc-space") and the
+// unit's physical spill region — and produces the driver configuration that
+// the memory-mapped GC unit consumes (page-table base pointer, root region,
+// block table, spill bounds).
+//
+// The paper's flow (Figure 10): JikesRVM's MMTk plan calls through
+// libhwgc.so into a Linux driver, which writes the process's page-table
+// base and the unit's configuration registers, then launches the GC and
+// polls for completion. Here the same information travels through
+// DriverConfig.
+package rts
+
+import (
+	"hwgc/internal/heap"
+	"hwgc/internal/mem"
+	"hwgc/internal/vmem"
+)
+
+// Config sizes the simulated system.
+type Config struct {
+	PhysBytes    uint64 // physical memory capacity
+	Heap         heap.Config
+	RootCapacity int    // maximum roots in the hwgc-space
+	SpillBytes   uint64 // physical spill region for the mark queue
+}
+
+// DefaultConfig returns a system sized for the scaled DaCapo workloads.
+func DefaultConfig() Config {
+	return Config{
+		PhysBytes:    2 << 30, // Table I: 2 GiB single rank
+		Heap:         heap.DefaultConfig(),
+		RootCapacity: 1 << 16,
+		SpillBytes:   4 << 20, // the driver's static 4 MB default
+	}
+}
+
+// System is the assembled software side: one simulated process with a heap,
+// page tables and the regions the GC unit needs.
+type System struct {
+	Mem   *mem.Physical
+	Arena *mem.Arena
+	PT    *vmem.PageTable
+	Heap  *heap.Heap
+	Roots *RootSpace
+	Spill mem.Region // physical, not mapped into the process
+}
+
+// NewSystem builds the memory image.
+func NewSystem(cfg Config) *System {
+	m := mem.New(cfg.PhysBytes)
+	arena := mem.NewArena(m)
+	arena.Alloc(1<<20, vmem.PageSize) // low memory: keep PA 0 unused
+	pt := vmem.NewPageTable(m, arena)
+	h := heap.New(m, arena, pt, cfg.Heap)
+	s := &System{Mem: m, Arena: arena, PT: pt, Heap: h}
+	s.Roots = newRootSpace(h, cfg.RootCapacity)
+	// The spill region is contiguous physical memory owned by the
+	// driver, not mapped into the process (Section V-E).
+	s.Spill = arena.Alloc(cfg.SpillBytes, vmem.PageSize)
+	return s
+}
+
+// DriverConfig is what the driver writes into the unit's MMIO registers.
+type DriverConfig struct {
+	// PTRoot is the physical address of the process's root page table.
+	PTRoot uint64
+	// RootsVA / RootCount locate the hwgc-space holding the roots.
+	RootsVA   uint64
+	RootCount int
+	// BlockTableVA / NumBlocks locate the block descriptor table for the
+	// reclamation unit.
+	BlockTableVA uint64
+	NumBlocks    int
+	// SpillBase / SpillSize bound the physical mark-queue spill region.
+	SpillBase uint64
+	SpillSize uint64
+	// CompressBase is the VA subtracted by the address-compression
+	// function (Section V-C); references are stored as 32-bit
+	// word offsets from it when compression is enabled.
+	CompressBase uint64
+}
+
+// DriverConfig snapshots the current configuration for the unit.
+func (s *System) DriverConfig() DriverConfig {
+	return DriverConfig{
+		PTRoot:       s.PT.Root(),
+		RootsVA:      s.Roots.VA(),
+		RootCount:    s.Roots.Count(),
+		BlockTableVA: s.Heap.MS.TableVA(),
+		NumBlocks:    s.Heap.MS.NumBlocks(),
+		SpillBase:    s.Spill.Base,
+		SpillSize:    s.Spill.Size,
+		CompressBase: heap.VAHeapBase,
+	}
+}
+
+// RootSpace is the hwgc-space: a memory region the runtime's root-scanning
+// pass fills with references, visible to the GC unit (and, in the
+// concurrent design, the region write barriers append overwritten
+// references to).
+type RootSpace struct {
+	h        *heap.Heap
+	va       uint64
+	capacity int
+	count    int
+	mirror   []heap.Ref
+}
+
+func newRootSpace(h *heap.Heap, capacity int) *RootSpace {
+	va := h.Aux.Alloc(uint64(8 * capacity))
+	if va == 0 {
+		panic("rts: aux space exhausted allocating root space")
+	}
+	return &RootSpace{h: h, va: va, capacity: capacity}
+}
+
+// VA returns the base of the root region.
+func (rs *RootSpace) VA() uint64 { return rs.va }
+
+// SlotVA returns the address of slot i.
+func (rs *RootSpace) SlotVA(i int) uint64 { return rs.va + uint64(8*i) }
+
+// Count returns the number of roots written.
+func (rs *RootSpace) Count() int { return rs.count }
+
+// Capacity returns the maximum root count.
+func (rs *RootSpace) Capacity() int { return rs.capacity }
+
+// Add writes a root reference into the region (the software root-scanning
+// pass). Null references are skipped.
+func (rs *RootSpace) Add(r heap.Ref) {
+	if r == 0 {
+		return
+	}
+	if rs.count >= rs.capacity {
+		panic("rts: root space overflow")
+	}
+	rs.h.Store(rs.SlotVA(rs.count), r)
+	rs.mirror = append(rs.mirror, r)
+	rs.count++
+}
+
+// At reads root i from memory.
+func (rs *RootSpace) At(i int) heap.Ref { return rs.h.Load(rs.SlotVA(i)) }
+
+// Reset clears the region for the next collection's root scan.
+func (rs *RootSpace) Reset() {
+	rs.count = 0
+	rs.mirror = rs.mirror[:0]
+}
+
+// Mirror returns the runtime-side copy of the roots (workload bookkeeping).
+func (rs *RootSpace) Mirror() []heap.Ref { return rs.mirror }

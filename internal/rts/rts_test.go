@@ -1,0 +1,137 @@
+package rts
+
+import (
+	"testing"
+
+	"hwgc/internal/heap"
+)
+
+func smallSystem(t *testing.T) *System {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.PhysBytes = 256 << 20
+	cfg.Heap.MarkSweepBytes = 2 << 20
+	cfg.Heap.BumpBytes = 1 << 20
+	return NewSystem(cfg)
+}
+
+func TestSystemAssembly(t *testing.T) {
+	s := smallSystem(t)
+	dc := s.DriverConfig()
+	if dc.PTRoot == 0 {
+		t.Fatal("no page-table root")
+	}
+	if dc.SpillSize != 4<<20 {
+		t.Fatalf("spill size = %d", dc.SpillSize)
+	}
+	if dc.RootsVA == 0 || dc.BlockTableVA == 0 {
+		t.Fatal("missing region addresses")
+	}
+	// The spill region must not overlap heap physical backing.
+	if s.Spill.Contains(s.Heap.PA(heap.VAHeapBase)) {
+		t.Fatal("spill region overlaps heap")
+	}
+}
+
+func TestRootSpace(t *testing.T) {
+	s := smallSystem(t)
+	a := s.Heap.Alloc(1, 8, false)
+	b := s.Heap.Alloc(0, 8, false)
+	s.Roots.Add(a)
+	s.Roots.Add(0) // null roots skipped
+	s.Roots.Add(b)
+	if s.Roots.Count() != 2 {
+		t.Fatalf("count = %d", s.Roots.Count())
+	}
+	if s.Roots.At(0) != a || s.Roots.At(1) != b {
+		t.Fatal("root readback mismatch")
+	}
+	// The in-memory region and the mirror agree.
+	for i, r := range s.Roots.Mirror() {
+		if s.Roots.At(i) != r {
+			t.Fatal("mirror out of sync")
+		}
+	}
+	s.Roots.Reset()
+	if s.Roots.Count() != 0 || len(s.Roots.Mirror()) != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestReachableBFS(t *testing.T) {
+	s := smallSystem(t)
+	h := s.Heap
+	a := h.Alloc(2, 0, false)
+	b := h.Alloc(1, 0, false)
+	c := h.Alloc(0, 0, false)
+	d := h.Alloc(0, 0, false) // unreachable
+	h.SetRefAt(a, 0, b)
+	h.SetRefAt(a, 1, c)
+	h.SetRefAt(b, 0, c) // diamond
+	s.Roots.Add(a)
+	reach := s.Reachable()
+	if len(reach) != 3 || !reach[a] || !reach[b] || !reach[c] {
+		t.Fatalf("reachable = %v", reach)
+	}
+	if reach[d] {
+		t.Fatal("unreachable object in set")
+	}
+}
+
+func TestReachableHandlesCycles(t *testing.T) {
+	s := smallSystem(t)
+	h := s.Heap
+	a := h.Alloc(1, 0, false)
+	b := h.Alloc(1, 0, false)
+	h.SetRefAt(a, 0, b)
+	h.SetRefAt(b, 0, a)
+	s.Roots.Add(a)
+	reach := s.Reachable()
+	if len(reach) != 2 {
+		t.Fatalf("cycle reachability = %d objects", len(reach))
+	}
+}
+
+func TestCheckMarksDetectsMissingMark(t *testing.T) {
+	s := smallSystem(t)
+	h := s.Heap
+	a := h.Alloc(1, 0, false)
+	b := h.Alloc(0, 0, false)
+	h.SetRefAt(a, 0, b)
+	s.Roots.Add(a)
+	h.FlipSense()
+	// Mark only a.
+	h.MarkAMO(h.StatusAddr(a))
+	if err := s.CheckMarks(); err == nil {
+		t.Fatal("missing mark not detected")
+	}
+	h.MarkAMO(h.StatusAddr(b))
+	if err := s.CheckMarks(); err != nil {
+		t.Fatalf("complete marks rejected: %v", err)
+	}
+}
+
+func TestCheckMarksDetectsOverMark(t *testing.T) {
+	s := smallSystem(t)
+	h := s.Heap
+	a := h.Alloc(0, 0, false)
+	dead := h.Alloc(0, 0, false)
+	s.Roots.Add(a)
+	h.FlipSense()
+	h.MarkAMO(h.StatusAddr(a))
+	h.MarkAMO(h.StatusAddr(dead)) // bogus mark
+	if err := s.CheckMarks(); err == nil {
+		t.Fatal("over-marking not detected")
+	}
+}
+
+func TestCheckSweepDetectsSurvivingDead(t *testing.T) {
+	s := smallSystem(t)
+	h := s.Heap
+	a := h.Alloc(0, 0, false)
+	h.Alloc(0, 0, false) // dead object, never swept
+	s.Roots.Add(a)
+	if err := s.CheckSweep(); err == nil {
+		t.Fatal("dead survivor not detected")
+	}
+}

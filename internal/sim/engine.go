@@ -1,0 +1,107 @@
+// Package sim provides the discrete-event simulation kernel used by every
+// timed component in the GC-accelerator model: an event engine with a cycle
+// clock, self-scheduling tickers for pipelined units, bounded queues with
+// back-pressure, a deterministic random number generator, and statistics
+// helpers (counters, histograms, time series).
+//
+// The engine is single-threaded and deterministic: events at the same cycle
+// run in the order they were scheduled.
+package sim
+
+import "container/heap"
+
+// event is a single scheduled callback. seq breaks ties so that events
+// scheduled earlier at the same cycle run first, which keeps runs
+// deterministic.
+type event struct {
+	cycle uint64
+	seq   uint64
+	fn    func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator clocked in cycles.
+//
+// The zero value is ready to use and starts at cycle 0.
+type Engine struct {
+	now  uint64
+	seq  uint64
+	evts eventHeap
+}
+
+// NewEngine returns a new engine starting at cycle 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation cycle.
+func (e *Engine) Now() uint64 { return e.now }
+
+// At schedules fn to run at the given absolute cycle. Scheduling in the past
+// runs fn at the current cycle (it will still execute after all events
+// already scheduled for this cycle).
+func (e *Engine) At(cycle uint64, fn func()) {
+	if cycle < e.now {
+		cycle = e.now
+	}
+	e.seq++
+	heap.Push(&e.evts, event{cycle: cycle, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay uint64, fn func()) {
+	e.At(e.now+delay, fn)
+}
+
+// Pending reports the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.evts) }
+
+// Step executes the next event, advancing the clock to its cycle. It returns
+// false if no events remain.
+func (e *Engine) Step() bool {
+	if len(e.evts) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.evts).(event)
+	e.now = ev.cycle
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain and returns the final cycle.
+func (e *Engine) Run() uint64 {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with cycle <= limit. It returns true if the event
+// queue drained before the limit was reached (i.e. the simulation finished).
+func (e *Engine) RunUntil(limit uint64) bool {
+	for {
+		if len(e.evts) == 0 {
+			return true
+		}
+		if e.evts[0].cycle > limit {
+			e.now = limit
+			return false
+		}
+		e.Step()
+	}
+}

@@ -1,0 +1,121 @@
+package sim
+
+import "testing"
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(10, func() { got = append(got, 2) })
+	e.At(5, func() { got = append(got, 1) })
+	e.At(10, func() { got = append(got, 3) }) // same cycle: FIFO by seq
+	end := e.Run()
+	if end != 10 {
+		t.Fatalf("final cycle = %d, want 10", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineAfterAndNow(t *testing.T) {
+	e := NewEngine()
+	var at uint64
+	e.After(7, func() {
+		at = e.Now()
+		e.After(3, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 10 {
+		t.Fatalf("nested After fired at %d, want 10", at)
+	}
+}
+
+func TestEngineSchedulingInPastClamps(t *testing.T) {
+	e := NewEngine()
+	fired := uint64(999)
+	e.At(5, func() {
+		e.At(1, func() { fired = e.Now() }) // in the past -> now
+	})
+	e.Run()
+	if fired != 5 {
+		t.Fatalf("past event fired at %d, want 5", fired)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		e.After(10, tick)
+	}
+	e.After(10, tick)
+	if done := e.RunUntil(55); done {
+		t.Fatal("RunUntil reported drained on an infinite ticker")
+	}
+	if count != 5 {
+		t.Fatalf("ticks = %d, want 5", count)
+	}
+	if e.Now() != 55 {
+		t.Fatalf("Now = %d, want 55", e.Now())
+	}
+}
+
+func TestTickerRunsUntilIdleAndWakes(t *testing.T) {
+	e := NewEngine()
+	work := 3
+	steps := 0
+	var tk *Ticker
+	tk = NewTicker(e, func() bool {
+		steps++
+		work--
+		return work > 0
+	})
+	tk.Wake()
+	e.Run()
+	if steps != 3 {
+		t.Fatalf("steps = %d, want 3", steps)
+	}
+	// Wake again after idle: one more step.
+	work = 1
+	tk.Wake()
+	e.Run()
+	if steps != 4 {
+		t.Fatalf("steps after rewake = %d, want 4", steps)
+	}
+}
+
+func TestTickerWakeCoalesces(t *testing.T) {
+	e := NewEngine()
+	steps := 0
+	tk := NewTicker(e, func() bool { steps++; return false })
+	tk.Wake()
+	tk.Wake()
+	tk.Wake()
+	e.Run()
+	if steps != 1 {
+		t.Fatalf("steps = %d, want 1 (Wake must coalesce)", steps)
+	}
+}
+
+func TestTickerStepsOncePerCycle(t *testing.T) {
+	e := NewEngine()
+	var cycles []uint64
+	n := 0
+	tk := NewTicker(e, func() bool {
+		cycles = append(cycles, e.Now())
+		n++
+		return n < 3
+	})
+	tk.Wake()
+	e.Run()
+	for i := 1; i < len(cycles); i++ {
+		if cycles[i] != cycles[i-1]+1 {
+			t.Fatalf("cycles = %v, want consecutive", cycles)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package sim
+
+// Queue is a bounded FIFO used to connect pipeline stages. Push fails when
+// the queue is full, which is how back-pressure propagates between units.
+//
+// A capacity of 0 means unbounded (used for software-side queues whose
+// spilling is modelled separately).
+type Queue[T any] struct {
+	buf   []T
+	head  int
+	size  int
+	cap   int
+	peak  int
+	total uint64
+}
+
+// NewQueue returns a queue with the given capacity (0 = unbounded).
+func NewQueue[T any](capacity int) *Queue[T] {
+	n := capacity
+	if n <= 0 {
+		n = 16
+	}
+	return &Queue[T]{buf: make([]T, n), cap: capacity}
+}
+
+// Len returns the current number of elements.
+func (q *Queue[T]) Len() int { return q.size }
+
+// Cap returns the configured capacity (0 = unbounded).
+func (q *Queue[T]) Cap() int { return q.cap }
+
+// Full reports whether a Push would fail.
+func (q *Queue[T]) Full() bool { return q.cap > 0 && q.size >= q.cap }
+
+// Empty reports whether the queue holds no elements.
+func (q *Queue[T]) Empty() bool { return q.size == 0 }
+
+// Free returns the number of free slots, or a large value if unbounded.
+func (q *Queue[T]) Free() int {
+	if q.cap <= 0 {
+		return int(^uint(0) >> 1)
+	}
+	return q.cap - q.size
+}
+
+// Peak returns the high-water mark of the queue occupancy.
+func (q *Queue[T]) Peak() int { return q.peak }
+
+// Pushed returns the total number of elements ever pushed.
+func (q *Queue[T]) Pushed() uint64 { return q.total }
+
+// Push appends v. It returns false (and drops nothing) if the queue is full.
+func (q *Queue[T]) Push(v T) bool {
+	if q.Full() {
+		return false
+	}
+	if q.size == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = v
+	q.size++
+	q.total++
+	if q.size > q.peak {
+		q.peak = q.size
+	}
+	return true
+}
+
+// Pop removes and returns the oldest element.
+func (q *Queue[T]) Pop() (T, bool) {
+	var zero T
+	if q.size == 0 {
+		return zero, false
+	}
+	v := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	return v, true
+}
+
+// Peek returns the oldest element without removing it.
+func (q *Queue[T]) Peek() (T, bool) {
+	var zero T
+	if q.size == 0 {
+		return zero, false
+	}
+	return q.buf[q.head], true
+}
+
+func (q *Queue[T]) grow() {
+	nb := make([]T, 2*len(q.buf))
+	for i := 0; i < q.size; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = nb
+	q.head = 0
+}

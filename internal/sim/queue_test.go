@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[int](4)
+	for i := 0; i < 4; i++ {
+		if !q.Push(i) {
+			t.Fatalf("Push(%d) failed below capacity", i)
+		}
+	}
+	if q.Push(99) {
+		t.Fatal("Push succeeded on a full queue")
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop succeeded on an empty queue")
+	}
+}
+
+func TestQueueUnbounded(t *testing.T) {
+	q := NewQueue[int](0)
+	for i := 0; i < 1000; i++ {
+		if !q.Push(i) {
+			t.Fatalf("unbounded Push(%d) failed", i)
+		}
+	}
+	if q.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", q.Len())
+	}
+	if q.Peak() != 1000 {
+		t.Fatalf("Peak = %d, want 1000", q.Peak())
+	}
+	for i := 0; i < 1000; i++ {
+		v, _ := q.Pop()
+		if v != i {
+			t.Fatalf("Pop order broken at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestQueuePeek(t *testing.T) {
+	q := NewQueue[string](2)
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty queue succeeded")
+	}
+	q.Push("a")
+	q.Push("b")
+	if v, _ := q.Peek(); v != "a" {
+		t.Fatalf("Peek = %q, want a", v)
+	}
+	if q.Len() != 2 {
+		t.Fatal("Peek must not consume")
+	}
+}
+
+func TestQueueWrapAround(t *testing.T) {
+	q := NewQueue[int](3)
+	for round := 0; round < 10; round++ {
+		q.Push(round * 10)
+		q.Push(round*10 + 1)
+		a, _ := q.Pop()
+		b, _ := q.Pop()
+		if a != round*10 || b != round*10+1 {
+			t.Fatalf("round %d: got %d,%d", round, a, b)
+		}
+	}
+}
+
+// Property: any interleaving of pushes and pops preserves FIFO order and
+// never exceeds capacity.
+func TestQueueFIFOProperty(t *testing.T) {
+	f := func(ops []bool, capacity uint8) bool {
+		c := int(capacity%8) + 1
+		q := NewQueue[int](c)
+		next := 0
+		var model []int
+		for _, push := range ops {
+			if push {
+				ok := q.Push(next)
+				if ok != (len(model) < c) {
+					return false
+				}
+				if ok {
+					model = append(model, next)
+				}
+				next++
+			} else {
+				v, ok := q.Pop()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

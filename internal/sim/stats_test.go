@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a = NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRand(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRand(7)
+	z := NewZipf(r, 1000, 1.0)
+	counts := make([]int, 1000)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[500] {
+		t.Fatalf("rank 0 (%d) should dominate rank 500 (%d)", counts[0], counts[500])
+	}
+	// Head concentration: top 10 ranks should hold a sizable share.
+	top := 0
+	for i := 0; i < 10; i++ {
+		top += counts[i]
+	}
+	if top < 20000 {
+		t.Fatalf("top-10 share = %d/100000, want >= 20000 for s=1", top)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := NewRand(3)
+	sum := 0
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(4)
+	}
+	mean := float64(sum) / float64(n)
+	if mean < 3.5 || mean > 4.5 {
+		t.Fatalf("geometric mean = %.2f, want ~4", mean)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{1, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 110 || h.Max() != 100 {
+		t.Fatalf("count/sum/max = %d/%d/%d", h.Count(), h.Sum(), h.Max())
+	}
+	if h.Mean() != 22 {
+		t.Fatalf("mean = %v, want 22", h.Mean())
+	}
+	if h.Bucket(2) != 2 { // 3 and 4 round up to 2^2
+		t.Fatalf("bucket(2) = %d, want 2", h.Bucket(2))
+	}
+}
+
+func TestSampleQuantiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Observe(float64(i))
+	}
+	if q := s.Quantile(0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := s.Quantile(1); q != 100 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := s.Quantile(0.5); q < 49 || q > 52 {
+		t.Fatalf("median = %v", q)
+	}
+	cdf := s.CDF()
+	if len(cdf) != 100 || cdf[99].Fraction != 1 {
+		t.Fatalf("bad CDF tail: %+v", cdf[len(cdf)-1])
+	}
+}
+
+func TestSeriesBinning(t *testing.T) {
+	s := NewSeries(10)
+	s.Add(0, 1)
+	s.Add(5, 1)
+	s.Add(25, 3) // skips bin 1 (zero-filled)
+	pts := s.Finish()
+	want := []float64{2, 0, 3}
+	if len(pts) != 3 {
+		t.Fatalf("points = %v", pts)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("points = %v, want %v", pts, want)
+		}
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[uint64]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for v, want := range cases {
+		if got := log2ceil(v); got != want {
+			t.Fatalf("log2ceil(%d) = %d, want %d", v, got, want)
+		}
+	}
+}

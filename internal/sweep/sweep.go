@@ -1,0 +1,346 @@
+// Package sweep implements the paper's Reclamation Unit (Figure 8): a
+// block-list reader distributing block descriptors to a set of parallel
+// block sweepers. Each sweeper is a small state machine that streams
+// through a block's cells, classifies each cell from its first word (free
+// cell, dead object, or live marked object), links dead and free cells into
+// the block's free list, and writes the updated descriptor back.
+//
+// Like the traversal unit, the sweepers are functional: they rebuild the
+// actual free lists in simulated memory, so results can be cross-checked
+// against the software collector.
+package sweep
+
+import (
+	"hwgc/internal/cache"
+	"hwgc/internal/dram"
+	"hwgc/internal/heap"
+	"hwgc/internal/rts"
+	"hwgc/internal/sim"
+	"hwgc/internal/tilelink"
+	"hwgc/internal/vmem"
+)
+
+// Config parameterizes the reclamation unit.
+type Config struct {
+	Sweepers     int // parallel block sweepers (paper baseline: 2)
+	TLBEntries   int
+	L2TLBEntries int
+	PortDepth    int
+	// OutstandingReads bounds each sweeper's in-flight cell-scan reads.
+	// The paper's sweepers are small serial state machines (1).
+	OutstandingReads int
+	// CellCycles is the FSM overhead per cell (classification, address
+	// generation, free-list pointer update).
+	CellCycles uint64
+	// BatchLines lets a sweeper fetch whole 64-byte lines covering
+	// several small cells per probe instead of one word per cell — an
+	// optimization beyond the paper's serial FSM (ablation knob).
+	BatchLines bool
+}
+
+// DefaultConfig returns the paper's baseline (2 sweepers).
+func DefaultConfig() Config {
+	return Config{Sweepers: 2, TLBEntries: 16, L2TLBEntries: 64, PortDepth: 8,
+		OutstandingReads: 1, CellCycles: 4}
+}
+
+// Unit is the assembled reclamation unit.
+type Unit struct {
+	eng *sim.Engine
+	sys *rts.System
+	cfg Config
+
+	Walker   *vmem.Walker
+	PTWPort  *tilelink.Port
+	PTWCache *cache.Event
+	sweepers []*sweeper
+
+	nextBlock int
+	numBlocks int
+
+	// Stats.
+	CellsScanned uint64
+	CellsFreed   uint64
+	CellsLive    uint64
+	BlocksSwept  uint64
+}
+
+// NewUnit wires a reclamation unit into the bus.
+func NewUnit(eng *sim.Engine, bus *tilelink.Bus, sys *rts.System, cfg Config) *Unit {
+	u := &Unit{eng: eng, sys: sys, cfg: cfg}
+	u.PTWPort = bus.NewPort("sweep-ptw", 4)
+	u.PTWCache = cache.NewEvent(eng, 8<<10, 4, 1, 8, 4, u.PTWPort)
+	u.Walker = vmem.NewWalker(eng, sys.PT, u.PTWCache, nil, vmem.NewTLB(cfg.L2TLBEntries))
+	for i := 0; i < cfg.Sweepers; i++ {
+		sw := newSweeper(u, i, bus.NewPort(sweeperName(i), cfg.PortDepth),
+			vmem.NewTranslator(eng, vmem.NewTLB(cfg.TLBEntries), u.Walker))
+		u.sweepers = append(u.sweepers, sw)
+	}
+	return u
+}
+
+func sweeperName(i int) string { return "sweep" + string(rune('0'+i)) }
+
+// StartSweep launches the sweep over the block table described by dc.
+func (u *Unit) StartSweep(dc rts.DriverConfig) {
+	u.nextBlock = 0
+	u.numBlocks = dc.NumBlocks
+	for _, sw := range u.sweepers {
+		sw.tick.Wake()
+	}
+}
+
+// Drained reports completion (assert after the engine idles).
+func (u *Unit) Drained() bool {
+	if u.nextBlock < u.numBlocks {
+		return false
+	}
+	for _, sw := range u.sweepers {
+		if !sw.idle() {
+			return false
+		}
+	}
+	return true
+}
+
+// claimBlock hands the next unswept block index to a sweeper, or -1.
+func (u *Unit) claimBlock() int {
+	if u.nextBlock >= u.numBlocks {
+		return -1
+	}
+	i := u.nextBlock
+	u.nextBlock++
+	return i
+}
+
+type sweeperState uint8
+
+const (
+	swIdle sweeperState = iota
+	swLoadDesc
+	swScan
+	swWriteback
+)
+
+// sweeper scans one block at a time.
+type sweeper struct {
+	u    *Unit
+	id   int
+	port *tilelink.Port
+	tr   *vmem.Translator
+	tick *sim.Ticker
+
+	state    sweeperState
+	block    int
+	base     uint64 // block base VA
+	cellSize uint64
+	cells    int
+
+	scanned  int // cells whose word0 has been requested
+	resolved int // cells processed from responses
+	inflight int
+	writeOut bool     // a free-list write is outstanding (serial FSM)
+	pendingW []uint64 // free-list writes to issue (cell VAs)
+	freeHead uint64
+	live     uint64
+	pendingT bool
+}
+
+func newSweeper(u *Unit, id int, port *tilelink.Port, tr *vmem.Translator) *sweeper {
+	sw := &sweeper{u: u, id: id, port: port, tr: tr}
+	sw.tick = sim.NewTicker(u.eng, sw.step)
+	port.SetOnSpace(func() { sw.tick.Wake() })
+	return sw
+}
+
+func (sw *sweeper) idle() bool {
+	return sw.state == swIdle && sw.inflight == 0 && len(sw.pendingW) == 0 &&
+		!sw.pendingT && !sw.writeOut
+}
+
+// chunkCells returns how many cells one scan read covers and its size. The
+// paper's sweeper is a serial FSM probing the first word of each cell; with
+// BatchLines set, small power-of-two cells are fetched a full 64-byte line
+// at a time instead (their first words are line-aligned).
+func (sw *sweeper) chunkCells() (n int, size uint64) {
+	if sw.u.cfg.BatchLines && sw.cellSize < 64 && 64%sw.cellSize == 0 {
+		return int(64 / sw.cellSize), 64
+	}
+	return 1, 8
+}
+
+// step performs at most one memory operation per cycle.
+func (sw *sweeper) step() bool {
+	if sw.pendingT {
+		return false
+	}
+	switch sw.state {
+	case swIdle:
+		b := sw.u.claimBlock()
+		if b < 0 {
+			return false
+		}
+		sw.block = b
+		sw.state = swLoadDesc
+		return sw.loadDescriptor()
+	case swLoadDesc:
+		return false // waiting for the descriptor response
+	case swScan:
+		// The FSM is serial: it waits for its free-list write to
+		// complete before probing the next cell.
+		if sw.writeOut {
+			return false
+		}
+		if len(sw.pendingW) > 0 {
+			cell := sw.pendingW[0]
+			if !sw.translateThen(cell, func(pa uint64) { sw.issueFreeWrite(pa) }) {
+				return false
+			}
+			sw.pendingW = sw.pendingW[1:]
+			return true
+		}
+		if sw.scanned < sw.cells && sw.inflight < sw.u.cfg.OutstandingReads {
+			n, size := sw.chunkCells()
+			if n > sw.cells-sw.scanned {
+				n = sw.cells - sw.scanned
+			}
+			va := sw.base + uint64(sw.scanned)*sw.cellSize
+			first := sw.scanned
+			if !sw.translateThen(va, func(pa uint64) { sw.issueScan(va, pa, size, first, n) }) {
+				return false
+			}
+			sw.scanned += n
+			return true
+		}
+		if sw.scanned == sw.cells && sw.resolved == sw.cells && sw.inflight == 0 && len(sw.pendingW) == 0 {
+			sw.state = swWriteback
+			return sw.writeDescriptor()
+		}
+		return false
+	case swWriteback:
+		return false
+	}
+	return false
+}
+
+// translateThen resolves va and runs fn(pa); it returns false when the
+// translator is busy (retry after wake).
+func (sw *sweeper) translateThen(va uint64, fn func(pa uint64)) bool {
+	done := false
+	accepted := sw.tr.Translate(va, func(pa uint64, ok bool) {
+		if !ok {
+			panic("sweep: page fault")
+		}
+		sw.pendingT = false
+		done = true
+		fn(pa)
+		sw.tick.Wake()
+	})
+	if !accepted {
+		return false
+	}
+	if !done {
+		sw.pendingT = true
+	}
+	return true
+}
+
+func (sw *sweeper) loadDescriptor() bool {
+	entry := sw.u.sys.Heap.MS.EntryVA(sw.block)
+	ok := sw.translateThen(entry, func(pa uint64) {
+		sw.issueDescRead(entry, pa)
+	})
+	return ok
+}
+
+func (sw *sweeper) issueDescRead(entryVA, pa uint64) {
+	sw.inflight++
+	if !sw.port.Issue(dram.Request{Addr: pa, Size: 32, Kind: dram.Read, Done: func(uint64) {
+		h := sw.u.sys.Heap
+		sw.base = h.Load(entryVA)
+		sw.cellSize = h.Load(entryVA + 8)
+		sw.cells = int(h.MS.BlockBytes() / sw.cellSize)
+		sw.scanned, sw.resolved = 0, 0
+		sw.freeHead = 0
+		sw.live = 0
+		sw.inflight--
+		sw.state = swScan
+		sw.tick.Wake()
+	}}) {
+		sw.inflight--
+		sw.u.eng.After(1, func() { sw.issueDescRead(entryVA, pa) })
+	}
+}
+
+func (sw *sweeper) issueScan(va, pa, size uint64, first, n int) {
+	sw.inflight++
+	if !sw.port.Issue(dram.Request{Addr: pa, Size: size, Kind: dram.Read, Done: func(uint64) {
+		// FSM classification time per cell before the next probe.
+		sw.u.eng.After(sw.u.cfg.CellCycles*uint64(n), func() {
+			sw.processCells(first, n)
+			sw.inflight--
+			sw.tick.Wake()
+		})
+	}}) {
+		sw.inflight--
+		sw.u.eng.After(1, func() { sw.issueScan(va, pa, size, first, n) })
+	}
+}
+
+// processCells classifies the cells covered by one response. Live marked
+// objects are skipped; dead objects and existing free cells are linked into
+// the rebuilt free list (the functional store happens here; the write
+// request is issued by the scan loop, one per cycle).
+func (sw *sweeper) processCells(first, n int) {
+	h := sw.u.sys.Heap
+	for i := 0; i < n; i++ {
+		cell := sw.base + uint64(first+i)*sw.cellSize
+		w := h.Load(cell)
+		sw.u.CellsScanned++
+		if heap.IsObject(w) && h.IsMarkedStatus(w) {
+			sw.live++
+			sw.u.CellsLive++
+		} else {
+			if heap.IsObject(w) {
+				sw.u.CellsFreed++
+			}
+			h.Store(cell, sw.freeHead)
+			sw.freeHead = cell
+			sw.pendingW = append(sw.pendingW, cell)
+		}
+		sw.resolved++
+	}
+}
+
+func (sw *sweeper) issueFreeWrite(pa uint64) {
+	sw.writeOut = true
+	if !sw.port.Issue(dram.Request{Addr: pa, Size: 8, Kind: dram.Write, Done: func(uint64) {
+		sw.writeOut = false
+		sw.tick.Wake()
+	}}) {
+		sw.u.eng.After(1, func() { sw.issueFreeWrite(pa) })
+	}
+}
+
+// writeDescriptor stores the rebuilt free-list head and live count (a
+// single aligned 16-byte write at entry+16).
+func (sw *sweeper) writeDescriptor() bool {
+	h := sw.u.sys.Heap
+	entry := h.MS.EntryVA(sw.block)
+	h.Store(entry+16, sw.freeHead)
+	h.Store(entry+24, sw.live)
+	ok := sw.translateThen(entry+16, func(pa uint64) {
+		sw.issueDescWrite(pa)
+	})
+	return ok
+}
+
+func (sw *sweeper) issueDescWrite(pa uint64) {
+	if !sw.port.Issue(dram.Request{Addr: pa, Size: 16, Kind: dram.Write, Done: func(uint64) {
+		sw.u.BlocksSwept++
+		sw.state = swIdle
+		sw.tick.Wake()
+	}}) {
+		sw.u.eng.After(1, func() { sw.issueDescWrite(pa) })
+	}
+}

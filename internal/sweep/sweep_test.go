@@ -1,0 +1,211 @@
+package sweep
+
+import (
+	"testing"
+
+	"hwgc/internal/dram"
+	"hwgc/internal/heap"
+	"hwgc/internal/rts"
+	"hwgc/internal/sim"
+	"hwgc/internal/tilelink"
+)
+
+type env struct {
+	eng  *sim.Engine
+	sys  *rts.System
+	bus  *tilelink.Bus
+	mem  *dram.DDR3
+	unit *Unit
+}
+
+func newEnv(t *testing.T, cfg Config) *env {
+	t.Helper()
+	scfg := rts.DefaultConfig()
+	scfg.PhysBytes = 256 << 20
+	scfg.Heap.MarkSweepBytes = 2 << 20
+	scfg.Heap.BumpBytes = 1 << 20
+	sys := rts.NewSystem(scfg)
+	eng := sim.NewEngine()
+	memory := dram.NewDDR3(eng, dram.DDR3_2000(16))
+	bus := tilelink.New(eng, memory)
+	unit := NewUnit(eng, bus, sys, cfg)
+	return &env{eng: eng, sys: sys, bus: bus, mem: memory, unit: unit}
+}
+
+// buildAndMark allocates a graph, picks roots, and performs a functional
+// mark (the sweep unit only depends on mark bits being set).
+func buildAndMark(sys *rts.System, n int, seed uint64) {
+	h := sys.Heap
+	r := sim.NewRand(seed)
+	objs := make([]heap.Ref, 0, n)
+	for i := 0; i < n; i++ {
+		nrefs := r.Intn(4)
+		o := h.Alloc(nrefs, r.Intn(64), false)
+		if o == 0 {
+			break
+		}
+		objs = append(objs, o)
+		for j := 0; j < nrefs; j++ {
+			if len(objs) > 1 && r.Float64() < 0.7 {
+				h.SetRefAt(o, j, objs[r.Intn(len(objs))])
+			}
+		}
+	}
+	for i := 0; i < len(objs); i += 41 {
+		sys.Roots.Add(objs[i])
+	}
+	h.FlipSense()
+	for o := range sys.Reachable() {
+		h.MarkAMO(h.StatusAddr(o))
+	}
+}
+
+func runSweep(t *testing.T, e *env) uint64 {
+	t.Helper()
+	start := e.eng.Now()
+	e.unit.StartSweep(e.sys.DriverConfig())
+	e.eng.Run()
+	if !e.unit.Drained() {
+		t.Fatal("engine idle but sweep unit not drained")
+	}
+	e.sys.Heap.MS.SyncFromMemory()
+	return e.eng.Now() - start
+}
+
+func TestSweepInvariants(t *testing.T) {
+	e := newEnv(t, DefaultConfig())
+	buildAndMark(e.sys, 3000, 1)
+	cycles := runSweep(t, e)
+	if err := e.sys.CheckSweep(); err != nil {
+		t.Fatal(err)
+	}
+	if cycles == 0 || e.unit.BlocksSwept == 0 {
+		t.Fatalf("cycles=%d blocks=%d", cycles, e.unit.BlocksSwept)
+	}
+	if e.unit.CellsFreed == 0 {
+		t.Fatal("no dead cells found (graph should contain garbage)")
+	}
+}
+
+func TestSweepMatchesReachability(t *testing.T) {
+	e := newEnv(t, DefaultConfig())
+	buildAndMark(e.sys, 2000, 2)
+	reach := len(e.sys.Reachable())
+	runSweep(t, e)
+	live := len(e.sys.Heap.MS.LiveObjects())
+	bumpLive := 0
+	for _, o := range e.sys.Heap.Bump.Objects() {
+		if e.sys.Heap.IsMarked(o) {
+			bumpLive++
+		}
+	}
+	if live+bumpLive != reach {
+		t.Fatalf("survivors %d+%d, reachable %d", live, bumpLive, reach)
+	}
+}
+
+func TestSweepAllSizeClasses(t *testing.T) {
+	e := newEnv(t, DefaultConfig())
+	h := e.sys.Heap
+	// One live and one dead object in many size classes, including the
+	// non-power-of-two ones (48, 96, ...).
+	for _, scalars := range []int{0, 8, 24, 40, 80, 120, 180, 300, 700, 1500, 3000} {
+		live := h.Alloc(0, scalars, false)
+		h.Alloc(0, scalars, false) // dead
+		e.sys.Roots.Add(live)
+	}
+	h.FlipSense()
+	for o := range e.sys.Reachable() {
+		h.MarkAMO(h.StatusAddr(o))
+	}
+	runSweep(t, e)
+	if err := e.sys.CheckSweep(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepEmptyHeap(t *testing.T) {
+	e := newEnv(t, DefaultConfig())
+	e.sys.Heap.FlipSense()
+	e.unit.StartSweep(e.sys.DriverConfig())
+	e.eng.Run()
+	if !e.unit.Drained() {
+		t.Fatal("not drained on empty heap")
+	}
+	if e.unit.BlocksSwept != 0 {
+		t.Fatal("swept blocks on an empty heap")
+	}
+}
+
+func TestSweepGarbageOnlyHeapFreesEverything(t *testing.T) {
+	e := newEnv(t, DefaultConfig())
+	h := e.sys.Heap
+	n := 0
+	for i := 0; i < 500; i++ {
+		if h.Alloc(0, 8, false) == 0 {
+			break
+		}
+		n++
+	}
+	h.FlipSense()
+	runSweep(t, e)
+	if int(e.unit.CellsFreed) != n {
+		t.Fatalf("freed %d, want %d", e.unit.CellsFreed, n)
+	}
+	if err := e.sys.CheckSweep(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepAllocationAfterSweep(t *testing.T) {
+	e := newEnv(t, DefaultConfig())
+	h := e.sys.Heap
+	for h.Alloc(0, 8, false) != 0 {
+	}
+	h.FlipSense()
+	runSweep(t, e)
+	if h.Alloc(0, 8, false) == 0 {
+		t.Fatal("allocation failed after hardware sweep of garbage heap")
+	}
+}
+
+func TestMoreSweepersFaster(t *testing.T) {
+	run := func(n int) uint64 {
+		cfg := DefaultConfig()
+		cfg.Sweepers = n
+		e := newEnv(t, cfg)
+		buildAndMark(e.sys, 14000, 3)
+		return runSweep(t, e)
+	}
+	one := run(1)
+	two := run(2)
+	if two >= one {
+		t.Fatalf("2 sweepers (%d) not faster than 1 (%d)", two, one)
+	}
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	run := func() uint64 {
+		e := newEnv(t, DefaultConfig())
+		buildAndMark(e.sys, 1500, 4)
+		return runSweep(t, e)
+	}
+	if run() != run() {
+		t.Fatal("identical sweeps diverged")
+	}
+}
+
+func TestSweepAgreesWithDescriptors(t *testing.T) {
+	e := newEnv(t, DefaultConfig())
+	buildAndMark(e.sys, 1000, 5)
+	runSweep(t, e)
+	h := e.sys.Heap
+	ms := h.MS
+	var live uint64
+	for i := 0; i < ms.NumBlocks(); i++ {
+		live += h.Load(ms.EntryVA(i) + 24)
+	}
+	if live != e.unit.CellsLive {
+		t.Fatalf("descriptor live %d != unit live %d", live, e.unit.CellsLive)
+	}
+}

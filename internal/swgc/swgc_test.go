@@ -1,0 +1,171 @@
+package swgc
+
+import (
+	"testing"
+
+	"hwgc/internal/cpu"
+	"hwgc/internal/dram"
+	"hwgc/internal/heap"
+	"hwgc/internal/rts"
+	"hwgc/internal/sim"
+)
+
+func newEnv(t *testing.T, layout heap.Layout) (*rts.System, *Collector) {
+	t.Helper()
+	cfg := rts.DefaultConfig()
+	cfg.PhysBytes = 256 << 20
+	cfg.Heap.MarkSweepBytes = 2 << 20
+	cfg.Heap.BumpBytes = 1 << 20
+	cfg.Heap.Layout = layout
+	sys := rts.NewSystem(cfg)
+	c := cpu.New(cpu.DefaultConfig(), sys.PT, dram.NewSync(dram.DDR3_2000(16)))
+	return sys, New(sys, c, 1<<12)
+}
+
+// buildGraph allocates a random object graph and returns the count of
+// objects allocated.
+func buildGraph(sys *rts.System, n int, seed uint64) int {
+	h := sys.Heap
+	r := sim.NewRand(seed)
+	objs := make([]heap.Ref, 0, n)
+	for i := 0; i < n; i++ {
+		nrefs := r.Intn(4)
+		o := h.Alloc(nrefs, r.Intn(48), false)
+		if o == 0 {
+			break
+		}
+		objs = append(objs, o)
+		for j := 0; j < nrefs; j++ {
+			if len(objs) > 1 && r.Float64() < 0.8 {
+				h.SetRefAt(o, j, objs[r.Intn(len(objs))])
+			}
+		}
+	}
+	// Roots: a handful of objects; everything else reachable only
+	// through them (or garbage).
+	for i := 0; i < len(objs); i += 97 {
+		sys.Roots.Add(objs[i])
+	}
+	return len(objs)
+}
+
+func TestCollectMarksExactlyReachable(t *testing.T) {
+	sys, gc := newEnv(t, heap.Bidirectional)
+	buildGraph(sys, 2000, 1)
+	res := gc.MarkOnly()
+	if err := sys.CheckMarks(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Marked == 0 || res.MarkCycles == 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	if uint64(len(sys.Reachable())) != res.Marked {
+		t.Fatalf("marked %d, reachable %d", res.Marked, len(sys.Reachable()))
+	}
+}
+
+func TestCollectSweepInvariants(t *testing.T) {
+	sys, gc := newEnv(t, heap.Bidirectional)
+	buildGraph(sys, 2000, 2)
+	res := gc.Collect()
+	if err := sys.CheckSweep(); err != nil {
+		t.Fatal(err)
+	}
+	if res.FreedCells == 0 {
+		t.Fatal("no garbage freed (graph should contain garbage)")
+	}
+	if res.SweepCycles == 0 {
+		t.Fatal("sweep took zero time")
+	}
+}
+
+func TestAllocationReusesFreedCells(t *testing.T) {
+	sys, gc := newEnv(t, heap.Bidirectional)
+	h := sys.Heap
+	// Fill with garbage (no roots), collect, then allocate again.
+	for h.Alloc(1, 8, false) != 0 {
+	}
+	gc.Collect()
+	if h.Alloc(1, 8, false) == 0 {
+		t.Fatal("allocation failed after collecting a garbage-only heap")
+	}
+}
+
+func TestRepeatedCollections(t *testing.T) {
+	sys, gc := newEnv(t, heap.Bidirectional)
+	buildGraph(sys, 1000, 3)
+	for i := 0; i < 4; i++ {
+		gc.Collect()
+		if err := sys.CheckSweep(); err != nil {
+			t.Fatalf("GC %d: %v", i, err)
+		}
+	}
+}
+
+func TestVisitedAtLeastMarked(t *testing.T) {
+	sys, gc := newEnv(t, heap.Bidirectional)
+	buildGraph(sys, 3000, 4)
+	res := gc.MarkOnly()
+	if res.Visited < res.Marked {
+		t.Fatalf("visited %d < marked %d", res.Visited, res.Marked)
+	}
+}
+
+func TestTIBLayoutMarksCorrectly(t *testing.T) {
+	sys, gc := newEnv(t, heap.TIBLayout)
+	buildGraph(sys, 1000, 5)
+	gc.MarkOnly()
+	if err := sys.CheckMarks(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTIBLayoutSlowerThanBidirectional(t *testing.T) {
+	sysA, gcA := newEnv(t, heap.Bidirectional)
+	buildGraph(sysA, 3000, 6)
+	resA := gcA.MarkOnly()
+
+	sysB, gcB := newEnv(t, heap.TIBLayout)
+	buildGraph(sysB, 3000, 6)
+	resB := gcB.MarkOnly()
+
+	if resB.MarkCycles <= resA.MarkCycles {
+		t.Fatalf("TIB mark (%d) should be slower than bidirectional (%d)",
+			resB.MarkCycles, resA.MarkCycles)
+	}
+}
+
+func TestMarkProbesHistogram(t *testing.T) {
+	sys, gc := newEnv(t, heap.Bidirectional)
+	h := sys.Heap
+	hot := h.Alloc(0, 8, false)
+	for i := 0; i < 10; i++ {
+		o := h.Alloc(1, 8, false)
+		h.SetRefAt(o, 0, hot)
+		sys.Roots.Add(o)
+	}
+	gc.MarkProbes = make(map[heap.Ref]int)
+	gc.MarkOnly()
+	if gc.MarkProbes[hot] != 10 {
+		t.Fatalf("hot object probed %d times, want 10", gc.MarkProbes[hot])
+	}
+}
+
+func TestMarkFasterOnIdealMemory(t *testing.T) {
+	mk := func(memory dram.SyncMemory) uint64 {
+		cfg := rts.DefaultConfig()
+		cfg.PhysBytes = 256 << 20
+		cfg.Heap.MarkSweepBytes = 2 << 20
+		cfg.Heap.BumpBytes = 1 << 20
+		sys := rts.NewSystem(cfg)
+		c := cpu.New(cpu.DefaultConfig(), sys.PT, memory)
+		gc := New(sys, c, 1<<12)
+		buildGraph(sys, 3000, 7)
+		return gc.MarkOnly().MarkCycles
+	}
+	ddr := mk(dram.NewSync(dram.DDR3_2000(16)))
+	pipe := mk(dram.NewSyncPipe(1, 8))
+	if pipe >= ddr {
+		t.Fatalf("ideal memory (%d) not faster than DDR3 (%d)", pipe, ddr)
+	}
+}

@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"hwgc/internal/cache"
+	"hwgc/internal/dram"
+	"hwgc/internal/tilelink"
+)
+
+// memIssuer abstracts where a unit sends its memory requests: directly to
+// an interconnect port (the partitioned design) or through the shared
+// cache (the paper's first design, Figure 18a).
+type memIssuer interface {
+	// TryIssue submits a physical-address request; false means "stall
+	// and retry" (downstream full).
+	TryIssue(addr, size uint64, kind dram.Kind, done func(uint64)) bool
+	// Free returns the available request slots.
+	Free() int
+}
+
+// portIssuer sends requests straight to a TileLink port.
+type portIssuer struct {
+	port *tilelink.Port
+}
+
+func (p portIssuer) TryIssue(addr, size uint64, kind dram.Kind, done func(uint64)) bool {
+	return p.port.Issue(dram.Request{Addr: addr, Size: size, Kind: kind, Done: done})
+}
+
+func (p portIssuer) Free() int { return p.port.Free() }
+
+// cacheIssuer routes requests through the shared event-driven cache,
+// labelled with the unit's name for per-source accounting.
+type cacheIssuer struct {
+	c      *cache.Event
+	source string
+}
+
+func (ci cacheIssuer) TryIssue(addr, size uint64, kind dram.Kind, done func(uint64)) bool {
+	return ci.c.Access(cache.Access{Addr: addr, Size: size, Kind: kind, Source: ci.source, Done: done})
+}
+
+func (ci cacheIssuer) Free() int { return ci.c.Free() }

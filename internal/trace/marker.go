@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"hwgc/internal/cache"
+	"hwgc/internal/dram"
+	"hwgc/internal/heap"
+	"hwgc/internal/sim"
+	"hwgc/internal/vmem"
+)
+
+// Span is a contiguous run of reference slots to be fetched by the tracer:
+// the reference section of a newly marked object, or a slice of the root
+// region.
+type Span struct {
+	VA    uint64
+	Bytes uint64
+}
+
+// Marker is the traversal unit's mark pipeline (Figure 13). Instead of a
+// cache with MSHRs it manages its own request slots — every request is an
+// identical, unordered 8-byte status-word read, so a slot only needs a tag
+// and an address. For each response it decides: already marked -> free the
+// slot (write-back elided); newly marked -> issue the write-back and, if
+// the object has references, enqueue its reference section to the tracer.
+type Marker struct {
+	eng    *sim.Engine
+	h      *heap.Heap
+	mq     *MarkQueue
+	tq     *sim.Queue[Span]
+	tr     *vmem.Translator
+	issuer memIssuer
+	mbc    *cache.MarkBits // optional filter; nil = disabled
+
+	slots    int
+	inflight int
+	pendingT bool // a translation miss is outstanding
+
+	tick *sim.Ticker
+
+	onTracerWork func() // wakes the tracer when tq gains an entry
+
+	// Stats.
+	Marks          uint64 // status reads issued
+	NewlyMarked    uint64
+	AlreadyMarked  uint64 // write-back elided
+	Filtered       uint64 // elided entirely by the mark-bit cache
+	EnqueuedSpans  uint64
+	WritebackStall uint64
+
+	// Probes, when non-nil, histograms status-word accesses per object
+	// (Figure 21a). It counts every mark-queue pop for an object,
+	// including ones the mark-bit cache filters.
+	Probes map[uint64]int
+}
+
+// NewMarker builds a marker with the given number of request slots.
+func NewMarker(eng *sim.Engine, h *heap.Heap, mq *MarkQueue, tq *sim.Queue[Span],
+	tr *vmem.Translator, issuer memIssuer, slots int, mbc *cache.MarkBits) *Marker {
+	m := &Marker{eng: eng, h: h, mq: mq, tq: tq, tr: tr, issuer: issuer, slots: slots, mbc: mbc}
+	m.tick = sim.NewTicker(eng, m.step)
+	return m
+}
+
+// Wake schedules the marker (queues wire this to their notify hooks).
+func (m *Marker) Wake() { m.tick.Wake() }
+
+// SetOnTracerWork registers the tracer wake callback.
+func (m *Marker) SetOnTracerWork(fn func()) { m.onTracerWork = fn }
+
+// Idle reports whether the marker has no work in flight.
+func (m *Marker) Idle() bool { return m.inflight == 0 && !m.pendingT }
+
+// step issues at most one mark per cycle.
+func (m *Marker) step() bool {
+	if m.inflight >= m.slots || m.pendingT {
+		return false
+	}
+	// Back-pressure: every in-flight mark may produce one tracer entry.
+	if m.tq.Free() <= m.inflight {
+		return false
+	}
+	if m.issuer.Free() == 0 {
+		return false
+	}
+	ref, ok := m.mq.Pop()
+	if !ok {
+		return false
+	}
+	if m.Probes != nil {
+		m.Probes[ref]++
+	}
+	if m.mbc != nil && m.mbc.Probe(ref) {
+		m.Filtered++
+		return true
+	}
+	statusVA := m.h.StatusAddr(ref)
+	m.inflight++
+	issued := m.tr.Translate(statusVA, func(pa uint64, ok bool) {
+		m.pendingT = false
+		if !ok {
+			panic("trace: marker page fault")
+		}
+		m.issueMark(ref, pa)
+		m.tick.Wake()
+	})
+	if !issued {
+		panic("trace: translator rejected while not busy")
+	}
+	if m.tr.Busy() {
+		m.pendingT = true
+	}
+	return true
+}
+
+// issueMark sends the status read; the functional fetch-or happens at issue
+// so that overlapping marks of the same object stay idempotent.
+func (m *Marker) issueMark(ref, pa uint64) {
+	old := m.h.MarkAMO(m.h.StatusAddr(ref))
+	ok := m.issuer.TryIssue(pa, 8, dram.Read, func(uint64) {
+		m.complete(ref, pa, old)
+	})
+	if !ok {
+		// Port full: undo nothing (AMO already applied, response
+		// ordering is unaffected); retry next cycle.
+		m.eng.After(1, func() { m.retryMark(ref, pa, old) })
+		return
+	}
+	m.Marks++
+}
+
+func (m *Marker) retryMark(ref, pa, old uint64) {
+	ok := m.issuer.TryIssue(pa, 8, dram.Read, func(uint64) {
+		m.complete(ref, pa, old)
+	})
+	if !ok {
+		m.eng.After(1, func() { m.retryMark(ref, pa, old) })
+		return
+	}
+	m.Marks++
+}
+
+func (m *Marker) complete(ref, pa, old uint64) {
+	if m.h.IsMarkedStatus(old) {
+		m.AlreadyMarked++
+		m.freeSlot()
+		return
+	}
+	m.NewlyMarked++
+	m.writeback(pa)
+	if n := heap.NumRefs(old); n > 0 {
+		va, bytes := m.h.RefSpan(ref, n)
+		if !m.tq.Push(Span{VA: va, Bytes: bytes}) {
+			// Cannot happen: step reserves a tq slot per in-flight
+			// mark.
+			panic("trace: tracer queue overflow despite reservation")
+		}
+		m.EnqueuedSpans++
+		if m.onTracerWork != nil {
+			m.onTracerWork()
+		}
+	}
+	m.freeSlot()
+}
+
+// writeback stores the updated status word (fire-and-forget).
+func (m *Marker) writeback(pa uint64) {
+	if !m.issuer.TryIssue(pa, 8, dram.Write, nil) {
+		m.WritebackStall++
+		m.eng.After(1, func() { m.writeback(pa) })
+	}
+}
+
+func (m *Marker) freeSlot() {
+	m.inflight--
+	m.tick.Wake()
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hwgc/internal/dram"
+	"hwgc/internal/heap"
+	"hwgc/internal/mem"
+	"hwgc/internal/sim"
+	"hwgc/internal/tilelink"
+)
+
+// newMQ builds a mark queue over a fresh engine and memory.
+func newMQ(t *testing.T, mainEntries, stageEntries int, compress bool) (*sim.Engine, *MarkQueue) {
+	t.Helper()
+	eng := sim.NewEngine()
+	m := mem.New(64 << 20)
+	memory := dram.NewDDR3(eng, dram.DDR3_2000(16))
+	bus := tilelink.New(eng, memory)
+	port := bus.NewPort("markq", 4)
+	spill := SpillConfig{Base: 1 << 20, Size: 1 << 20, Compress: compress, CompressBase: heap.VAHeapBase}
+	mq := NewMarkQueue(eng, m, portIssuer{port: port}, spill, mainEntries, stageEntries)
+	port.SetOnSpace(func() { mq.Wake() })
+	return eng, mq
+}
+
+// TestMarkQueueMultisetProperty: any push sequence that overflows into the
+// spill path comes back out as the same multiset of references.
+func TestMarkQueueMultisetProperty(t *testing.T) {
+	f := func(seed uint64, n16 uint16) bool {
+		n := int(n16%2000) + 50
+		eng, mq := newMQ(t, 16, 8, seed%2 == 0)
+		r := sim.NewRand(seed)
+		want := map[uint64]int{}
+		pushed := 0
+		popped := map[uint64]int{}
+		for pushed < n {
+			// Push a small batch, run the engine, pop a few —
+			// mimicking the producer/consumer interleaving.
+			for i := 0; i < 8 && pushed < n; i++ {
+				ref := heap.VAHeapBase + uint64(r.Intn(1<<20))*8
+				if mq.Push(ref) {
+					want[ref]++
+					pushed++
+				}
+			}
+			eng.Run()
+			for i := 0; i < 4; i++ {
+				if v, ok := mq.Pop(); ok {
+					popped[v]++
+				}
+			}
+			eng.Run()
+		}
+		// Drain.
+		for !mq.Empty() {
+			if v, ok := mq.Pop(); ok {
+				popped[v]++
+			}
+			eng.Run()
+		}
+		if len(want) != len(popped) {
+			return false
+		}
+		for k, c := range want {
+			if popped[k] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarkQueueStageMinimumForCompression(t *testing.T) {
+	// Compressed bursts are 16 entries; a 8-entry stage request must be
+	// widened so spilling can fire below the tracer-throttle watermark.
+	_, mq := newMQ(t, 16, 8, true)
+	if mq.outQ.Cap() < 32 {
+		t.Fatalf("outQ capacity = %d, want >= 2 bursts (32)", mq.outQ.Cap())
+	}
+}
+
+func TestMarkQueueCompressionRoundTrip(t *testing.T) {
+	eng, mq := newMQ(t, 8, 16, true)
+	refs := make([]uint64, 0, 200)
+	for i := 0; i < 200; i++ {
+		// Include bump-space addresses: compression must cover every
+		// heap region.
+		base := heap.VAHeapBase
+		if i%3 == 0 {
+			base = heap.VABumpBase
+		}
+		refs = append(refs, base+uint64(i)*64)
+	}
+	for _, r := range refs {
+		if !mq.Push(r) {
+			eng.Run()
+			if !mq.Push(r) {
+				t.Fatal("push failed twice")
+			}
+		}
+		eng.Run()
+	}
+	got := map[uint64]bool{}
+	for !mq.Empty() {
+		if v, ok := mq.Pop(); ok {
+			got[v] = true
+		}
+		eng.Run()
+	}
+	for _, r := range refs {
+		if !got[r] {
+			t.Fatalf("reference 0x%x lost or corrupted through compressed spill", r)
+		}
+	}
+	if mq.SpillWriteReqs == 0 {
+		t.Fatal("test exercised no spilling")
+	}
+}
+
+func TestMarkQueueThrottleSignal(t *testing.T) {
+	_, mq := newMQ(t, 2, 16, false)
+	if mq.TracerThrottled() {
+		t.Fatal("empty queue throttled")
+	}
+	// Fill q (2) then outQ to 3/4.
+	for i := 0; i < 2+12; i++ {
+		mq.Push(heap.VAHeapBase + uint64(i)*8)
+	}
+	if !mq.TracerThrottled() {
+		t.Fatalf("outQ at %d/%d did not throttle", mq.outQ.Len(), mq.outQ.Cap())
+	}
+}

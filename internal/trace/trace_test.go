@@ -1,0 +1,337 @@
+package trace
+
+import (
+	"testing"
+
+	"hwgc/internal/dram"
+	"hwgc/internal/heap"
+	"hwgc/internal/rts"
+	"hwgc/internal/sim"
+	"hwgc/internal/tilelink"
+)
+
+type env struct {
+	eng  *sim.Engine
+	sys  *rts.System
+	bus  *tilelink.Bus
+	unit *Unit
+}
+
+func newEnv(t *testing.T, cfg Config) *env {
+	t.Helper()
+	scfg := rts.DefaultConfig()
+	scfg.PhysBytes = 256 << 20
+	scfg.Heap.MarkSweepBytes = 2 << 20
+	scfg.Heap.BumpBytes = 1 << 20
+	sys := rts.NewSystem(scfg)
+	eng := sim.NewEngine()
+	memory := dram.NewDDR3(eng, dram.DDR3_2000(16))
+	bus := tilelink.New(eng, memory)
+	unit := NewUnit(eng, bus, sys, cfg)
+	return &env{eng: eng, sys: sys, bus: bus, unit: unit}
+}
+
+func buildGraph(sys *rts.System, n int, seed uint64) {
+	h := sys.Heap
+	r := sim.NewRand(seed)
+	objs := make([]heap.Ref, 0, n)
+	for i := 0; i < n; i++ {
+		nrefs := r.Intn(5)
+		o := h.Alloc(nrefs, r.Intn(40), false)
+		if o == 0 {
+			break
+		}
+		objs = append(objs, o)
+		for j := 0; j < nrefs; j++ {
+			if len(objs) > 1 && r.Float64() < 0.8 {
+				h.SetRefAt(o, j, objs[r.Intn(len(objs))])
+			}
+		}
+	}
+	for i := 0; i < len(objs); i += 61 {
+		sys.Roots.Add(objs[i])
+	}
+}
+
+// runMark drives one hardware mark phase to completion and returns the
+// cycle count.
+func runMark(t *testing.T, e *env) uint64 {
+	t.Helper()
+	e.sys.Heap.FlipSense()
+	start := e.eng.Now()
+	e.unit.StartMark(e.sys.DriverConfig())
+	e.eng.Run()
+	if !e.unit.Drained() {
+		t.Fatal("engine idle but unit not drained (stall/deadlock)")
+	}
+	return e.eng.Now() - start
+}
+
+func TestUnitMarksExactlyReachable(t *testing.T) {
+	e := newEnv(t, DefaultConfig())
+	buildGraph(e.sys, 3000, 1)
+	cycles := runMark(t, e)
+	if err := e.sys.CheckMarks(); err != nil {
+		t.Fatal(err)
+	}
+	if cycles == 0 {
+		t.Fatal("mark took zero cycles")
+	}
+	reach := len(e.sys.Reachable())
+	if int(e.unit.Marker.NewlyMarked) != reach {
+		t.Fatalf("newly marked %d, reachable %d", e.unit.Marker.NewlyMarked, reach)
+	}
+}
+
+func TestUnitMarksCycles(t *testing.T) {
+	e := newEnv(t, DefaultConfig())
+	h := e.sys.Heap
+	a := h.Alloc(1, 0, false)
+	b := h.Alloc(1, 0, false)
+	h.SetRefAt(a, 0, b)
+	h.SetRefAt(b, 0, a)
+	e.sys.Roots.Add(a)
+	runMark(t, e)
+	if err := e.sys.CheckMarks(); err != nil {
+		t.Fatal(err)
+	}
+	if e.unit.Marker.NewlyMarked != 2 {
+		t.Fatalf("marked %d, want 2", e.unit.Marker.NewlyMarked)
+	}
+}
+
+func TestUnitEmptyRoots(t *testing.T) {
+	e := newEnv(t, DefaultConfig())
+	buildGraph(e.sys, 100, 2)
+	e.sys.Roots.Reset() // no roots at all
+	e.sys.Heap.FlipSense()
+	e.unit.StartMark(e.sys.DriverConfig())
+	e.eng.Run()
+	if !e.unit.Drained() {
+		t.Fatal("not drained")
+	}
+	if e.unit.Marker.NewlyMarked != 0 {
+		t.Fatal("marked objects without roots")
+	}
+}
+
+func TestUnitSharedRefsDeduplicated(t *testing.T) {
+	e := newEnv(t, DefaultConfig())
+	h := e.sys.Heap
+	hot := h.Alloc(0, 8, false)
+	for i := 0; i < 64; i++ {
+		o := h.Alloc(1, 0, false)
+		h.SetRefAt(o, 0, hot)
+		e.sys.Roots.Add(o)
+	}
+	runMark(t, e)
+	if e.unit.Marker.NewlyMarked != 65 {
+		t.Fatalf("newly marked = %d, want 65", e.unit.Marker.NewlyMarked)
+	}
+	if e.unit.Marker.AlreadyMarked != 63 {
+		t.Fatalf("already marked = %d, want 63", e.unit.Marker.AlreadyMarked)
+	}
+}
+
+func TestUnitTinyMarkQueueSpills(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MarkQueueEntries = 16
+	cfg.StageEntries = 8
+	e := newEnv(t, cfg)
+	buildGraph(e.sys, 4000, 3)
+	runMark(t, e)
+	if err := e.sys.CheckMarks(); err != nil {
+		t.Fatal(err)
+	}
+	if e.unit.MQ.SpillWriteReqs == 0 {
+		t.Fatal("tiny queue never spilled")
+	}
+	if e.unit.MQ.SpillReadReqs != e.unit.MQ.SpillWriteReqs {
+		t.Fatalf("spill reads (%d) != writes (%d): entries leaked",
+			e.unit.MQ.SpillReadReqs, e.unit.MQ.SpillWriteReqs)
+	}
+}
+
+func TestUnitCompressionHalvesSpillTraffic(t *testing.T) {
+	run := func(compress bool) uint64 {
+		cfg := DefaultConfig()
+		cfg.MarkQueueEntries = 16
+		cfg.StageEntries = 16
+		cfg.Compress = compress
+		e := newEnv(t, cfg)
+		buildGraph(e.sys, 4000, 4)
+		runMark(t, e)
+		if err := e.sys.CheckMarks(); err != nil {
+			t.Fatal(err)
+		}
+		return e.unit.MQ.SpillWriteReqs
+	}
+	plain := run(false)
+	comp := run(true)
+	if plain == 0 {
+		t.Skip("no spilling in this configuration")
+	}
+	if comp*3 > plain*2 {
+		t.Fatalf("compression did not reduce spill traffic: %d vs %d", comp, plain)
+	}
+}
+
+func TestUnitSmallTracerQueue(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TracerQueueEntries = 8
+	e := newEnv(t, cfg)
+	buildGraph(e.sys, 3000, 5)
+	runMark(t, e)
+	if err := e.sys.CheckMarks(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnitMarkBitCacheFilters(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MarkBitCacheSize = 64
+	e := newEnv(t, cfg)
+	h := e.sys.Heap
+	hot := h.Alloc(0, 8, false)
+	for i := 0; i < 128; i++ {
+		o := h.Alloc(1, 0, false)
+		h.SetRefAt(o, 0, hot)
+		e.sys.Roots.Add(o)
+	}
+	runMark(t, e)
+	if err := e.sys.CheckMarks(); err != nil {
+		t.Fatal(err)
+	}
+	if e.unit.Marker.Filtered == 0 {
+		t.Fatal("mark-bit cache filtered nothing on a hot-object workload")
+	}
+	// Filtered marks save status reads.
+	if e.unit.Marker.Marks+e.unit.Marker.Filtered !=
+		e.unit.Marker.NewlyMarked+e.unit.Marker.AlreadyMarked+e.unit.Marker.Filtered {
+		t.Fatalf("mark accounting inconsistent: %+v", e.unit.Marker)
+	}
+}
+
+func TestUnitSharedCacheConfiguration(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SharedCache = true
+	e := newEnv(t, cfg)
+	buildGraph(e.sys, 2000, 6)
+	runMark(t, e)
+	if err := e.sys.CheckMarks(); err != nil {
+		t.Fatal(err)
+	}
+	if e.unit.Shared == nil {
+		t.Fatal("shared cache not built")
+	}
+	reqs := e.unit.Shared.RequestsBySource
+	if reqs["ptw"] == 0 || reqs["marker"] == 0 || reqs["tracer"] == 0 {
+		t.Fatalf("per-source accounting: %v", reqs)
+	}
+}
+
+// TestUnitSharedCacheSlowerThanPartitioned reproduces the Figure 18 effect:
+// on a heap large enough to defeat the small shared cache and the TLBs, the
+// crossbar contention from page-table-walker traffic makes the shared-cache
+// design slower than the partitioned one. (On tiny heaps the shared cache
+// can win through spatial locality — the paper's heaps are 200 MB.)
+func TestUnitSharedCacheSlowerThanPartitioned(t *testing.T) {
+	run := func(shared bool) uint64 {
+		cfg := DefaultConfig()
+		cfg.SharedCache = shared
+		scfg := rts.DefaultConfig()
+		scfg.PhysBytes = 512 << 20
+		scfg.Heap.MarkSweepBytes = 8 << 20
+		scfg.Heap.BumpBytes = 2 << 20
+		sys := rts.NewSystem(scfg)
+		eng := sim.NewEngine()
+		memory := dram.NewDDR3(eng, dram.DDR3_2000(16))
+		bus := tilelink.New(eng, memory)
+		unit := NewUnit(eng, bus, sys, cfg)
+		e := &env{eng: eng, sys: sys, bus: bus, unit: unit}
+
+		// Dense workload: many small objects, randomized edges, so
+		// marker/tracer traffic dominates and page-table-walker
+		// requests contend on the shared crossbar.
+		h := sys.Heap
+		r := sim.NewRand(7)
+		objs := make([]heap.Ref, 0, 60000)
+		for i := 0; i < 60000; i++ {
+			o := h.Alloc(3, 8, false)
+			if o == 0 {
+				break
+			}
+			objs = append(objs, o)
+		}
+		for _, o := range objs {
+			for j := 0; j < 3; j++ {
+				h.SetRefAt(o, j, objs[r.Intn(len(objs))])
+			}
+		}
+		for i := 0; i < len(objs); i += 501 {
+			sys.Roots.Add(objs[i])
+		}
+		return runMark(t, e)
+	}
+	part := run(false)
+	sh := run(true)
+	if sh <= part {
+		t.Fatalf("shared cache (%d cycles) should be slower than partitioned (%d)", sh, part)
+	}
+}
+
+func TestUnitProbesHistogram(t *testing.T) {
+	e := newEnv(t, DefaultConfig())
+	h := e.sys.Heap
+	hot := h.Alloc(0, 8, false)
+	for i := 0; i < 10; i++ {
+		o := h.Alloc(1, 0, false)
+		h.SetRefAt(o, 0, hot)
+		e.sys.Roots.Add(o)
+	}
+	e.unit.Marker.Probes = make(map[uint64]int)
+	runMark(t, e)
+	if e.unit.Marker.Probes[hot] != 10 {
+		t.Fatalf("hot probes = %d, want 10", e.unit.Marker.Probes[hot])
+	}
+}
+
+func TestUnitDeterministic(t *testing.T) {
+	run := func() uint64 {
+		e := newEnv(t, DefaultConfig())
+		buildGraph(e.sys, 2000, 8)
+		return runMark(t, e)
+	}
+	if run() != run() {
+		t.Fatal("identical runs diverged")
+	}
+}
+
+func TestChunkSizeRespectsPageBoundary(t *testing.T) {
+	e := newEnv(t, DefaultConfig())
+	tr := e.unit.Tracer
+	tr.cur = Span{VA: heap.VAHeapBase + 4096 - 16, Bytes: 64}
+	tr.curValid = true
+	if got := tr.chunkSize(); got != 16 {
+		t.Fatalf("chunk at page edge = %d, want 16", got)
+	}
+}
+
+func TestMarkQueuePushPopOrder(t *testing.T) {
+	e := newEnv(t, DefaultConfig())
+	mq := e.unit.MQ
+	for i := uint64(1); i <= 10; i++ {
+		if !mq.Push(heap.VAHeapBase + i*8) {
+			t.Fatal("push failed")
+		}
+	}
+	for i := uint64(1); i <= 10; i++ {
+		v, ok := mq.Pop()
+		if !ok || v != heap.VAHeapBase+i*8 {
+			t.Fatalf("pop %d = %x,%v", i, v, ok)
+		}
+	}
+	if !mq.Empty() {
+		t.Fatal("queue not empty")
+	}
+}

@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"hwgc/internal/dram"
+	"hwgc/internal/heap"
+	"hwgc/internal/sim"
+	"hwgc/internal/vmem"
+)
+
+// Tracer is the traversal unit's reference-fetch pipeline (Figure 14): it
+// pops reference-section spans from its input queue and issues the largest
+// aligned transfers the interconnect allows (8–64 bytes), splitting at page
+// boundaries so every request re-passes the TLB. Requests are untagged —
+// the tracer keeps no per-request state and pushes the references from each
+// response into the mark queue in whatever order responses return.
+//
+// The unit pre-reserves mark-queue capacity per chunk so a response never
+// has to drop references, and it stops issuing while the mark queue asserts
+// its throttle signal (outQ nearly full).
+type Tracer struct {
+	eng    *sim.Engine
+	h      *heap.Heap
+	in     *sim.Queue[Span]
+	mq     *MarkQueue
+	tr     *vmem.Translator
+	issuer memIssuer
+
+	cur        Span
+	curPA      uint64
+	curValid   bool
+	translated bool
+	pendingT   bool
+
+	inflight int
+	tick     *sim.Ticker
+
+	onSpanConsumed func() // wakes the marker when input space frees
+
+	// Stats.
+	Spans       uint64
+	ChunkReqs   uint64
+	RefsFetched uint64
+	RefsPushed  uint64
+	Throttled   uint64 // cycles skipped due to the mark-queue throttle
+}
+
+// NewTracer builds a tracer over the given input span queue.
+func NewTracer(eng *sim.Engine, h *heap.Heap, in *sim.Queue[Span], mq *MarkQueue,
+	tr *vmem.Translator, issuer memIssuer) *Tracer {
+	t := &Tracer{eng: eng, h: h, in: in, mq: mq, tr: tr, issuer: issuer}
+	t.tick = sim.NewTicker(eng, t.step)
+	return t
+}
+
+// Wake schedules the tracer.
+func (t *Tracer) Wake() { t.tick.Wake() }
+
+// SetOnSpanConsumed registers the producer wake callback.
+func (t *Tracer) SetOnSpanConsumed(fn func()) { t.onSpanConsumed = fn }
+
+// Idle reports whether the tracer holds no work.
+func (t *Tracer) Idle() bool {
+	return !t.curValid && t.inflight == 0 && t.in.Empty() && !t.pendingT
+}
+
+// step issues at most one chunk request per cycle.
+func (t *Tracer) step() bool {
+	if t.pendingT {
+		return false
+	}
+	if t.mq.TracerThrottled() {
+		t.Throttled++
+		return false
+	}
+	if !t.curValid {
+		span, ok := t.in.Pop()
+		if !ok {
+			return false
+		}
+		t.cur = span
+		t.curValid = true
+		t.translated = false
+		t.Spans++
+		if t.onSpanConsumed != nil {
+			t.onSpanConsumed()
+		}
+	}
+	if !t.translated {
+		issued := t.tr.Translate(t.cur.VA, func(pa uint64, ok bool) {
+			t.pendingT = false
+			if !ok {
+				panic("trace: tracer page fault")
+			}
+			t.curPA = pa
+			t.translated = true
+			t.tick.Wake()
+		})
+		if !issued {
+			panic("trace: translator rejected while not busy")
+		}
+		if t.tr.Busy() {
+			t.pendingT = true
+			return false
+		}
+		// TLB hit resolved synchronously; fall through and issue.
+	}
+
+	size := t.chunkSize()
+	refs := int(size / 8)
+	if !t.mq.CanReserve(refs) || t.issuer.Free() == 0 {
+		return false
+	}
+	t.mq.Reserve(refs)
+	pa := t.curPA
+	if !t.issuer.TryIssue(pa, size, dram.Read, func(uint64) { t.chunkDone(pa, refs) }) {
+		t.mq.Unreserve(refs)
+		return false
+	}
+	t.ChunkReqs++
+	t.inflight++
+
+	// Advance the span; crossing into a new page forces re-translation.
+	t.cur.VA += size
+	t.curPA += size
+	t.cur.Bytes -= size
+	if t.cur.Bytes == 0 {
+		t.curValid = false
+	} else if t.cur.VA%vmem.PageSize == 0 {
+		t.translated = false
+	}
+	return true
+}
+
+// chunkSize picks the largest legal transfer: a power of two in [8, 64]
+// that divides the current VA and does not overshoot the span or the page.
+func (t *Tracer) chunkSize() uint64 {
+	remaining := t.cur.Bytes
+	toPage := vmem.PageSize - t.cur.VA%vmem.PageSize
+	max := uint64(64)
+	if remaining < max {
+		max = remaining
+	}
+	if toPage < max {
+		max = toPage
+	}
+	size := uint64(64)
+	for size > 8 && (t.cur.VA%size != 0 || size > max) {
+		size >>= 1
+	}
+	return size
+}
+
+// chunkDone functionally reads the fetched reference slots and pushes the
+// non-null ones into the mark queue.
+func (t *Tracer) chunkDone(pa uint64, refs int) {
+	for i := 0; i < refs; i++ {
+		t.RefsFetched++
+		ref := t.h.Mem.Load64(pa + uint64(8*i))
+		if ref == 0 {
+			t.mq.Unreserve(1)
+			continue
+		}
+		if !t.mq.Push(ref) {
+			panic("trace: mark queue overflow despite reservation")
+		}
+		t.RefsPushed++
+	}
+	t.inflight--
+	t.tick.Wake()
+}

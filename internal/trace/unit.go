@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"fmt"
+	"hwgc/internal/cache"
+	"hwgc/internal/rts"
+	"hwgc/internal/sim"
+	"hwgc/internal/tilelink"
+	"hwgc/internal/vmem"
+)
+
+// Config parameterizes the traversal unit. The zero value is not valid;
+// use DefaultConfig (the paper's baseline: 16 request slots, 1024-entry
+// mark queue, 32-entry TLBs, 128-entry shared L2 TLB).
+type Config struct {
+	MarkerSlots        int
+	MarkQueueEntries   int
+	StageEntries       int // inQ and outQ each
+	TracerQueueEntries int
+	TLBEntries         int
+	L2TLBEntries       int
+	Compress           bool
+	MarkBitCacheSize   int // 0 disables the filter
+
+	// SharedCache routes every unit through one small shared cache (the
+	// paper's first design, Figure 18a) instead of the partitioned
+	// configuration (dedicated 8 KB PTW cache, direct marker/tracer
+	// ports).
+	SharedCache      bool
+	SharedCacheBytes int
+	PTWCacheBytes    int
+	PortDepth        int
+}
+
+// DefaultConfig returns the paper's baseline unit configuration.
+func DefaultConfig() Config {
+	return Config{
+		MarkerSlots:        16,
+		MarkQueueEntries:   1024,
+		StageEntries:       16,
+		TracerQueueEntries: 128,
+		TLBEntries:         32,
+		L2TLBEntries:       128,
+		SharedCacheBytes:   16 << 10,
+		PTWCacheBytes:      8 << 10,
+		PortDepth:          16,
+	}
+}
+
+// Unit is the assembled traversal unit attached to the interconnect.
+type Unit struct {
+	Eng *sim.Engine
+	Bus *tilelink.Bus
+	sys *rts.System
+	cfg Config
+
+	MQ     *MarkQueue
+	Marker *Marker
+	Tracer *Tracer
+	Reader *Tracer // root reader: a tracer over the hwgc-space
+	Walker *vmem.Walker
+	MBC    *cache.MarkBits
+
+	// Shared is non-nil in the shared-cache configuration; PTWCache in
+	// the partitioned one.
+	Shared   *cache.Event
+	PTWCache *cache.Event
+
+	rootSpans *sim.Queue[Span]
+
+	// Port handles (nil entries in the shared-cache configuration).
+	MarkerPort *tilelink.Port
+	TracerPort *tilelink.Port
+	MarkQPort  *tilelink.Port
+	ReaderPort *tilelink.Port
+	PTWPort    *tilelink.Port
+}
+
+// NewUnit wires a traversal unit into the bus for the given system.
+func NewUnit(eng *sim.Engine, bus *tilelink.Bus, sys *rts.System, cfg Config) *Unit {
+	u := &Unit{Eng: eng, Bus: bus, sys: sys, cfg: cfg}
+	dc := sys.DriverConfig()
+
+	spill := SpillConfig{
+		Base:         dc.SpillBase,
+		Size:         dc.SpillSize,
+		Compress:     cfg.Compress,
+		CompressBase: dc.CompressBase,
+	}
+
+	var markerIss, tracerIss, readerIss, markqIss memIssuer
+	if cfg.SharedCache {
+		sharedPort := bus.NewPort("shared", cfg.PortDepth)
+		u.Shared = cache.NewEvent(eng, cfg.SharedCacheBytes, 4, 2, 2*cfg.PortDepth, 32, sharedPort)
+		markerIss = cacheIssuer{c: u.Shared, source: "marker"}
+		tracerIss = cacheIssuer{c: u.Shared, source: "tracer"}
+		readerIss = cacheIssuer{c: u.Shared, source: "reader"}
+		markqIss = cacheIssuer{c: u.Shared, source: "markq"}
+		u.Walker = vmem.NewWalker(eng, sys.PT, u.Shared, nil, vmem.NewTLB(cfg.L2TLBEntries))
+	} else {
+		u.MarkerPort = bus.NewPort("marker", cfg.PortDepth)
+		u.TracerPort = bus.NewPort("tracer", cfg.PortDepth)
+		u.MarkQPort = bus.NewPort("markq", 4)
+		u.ReaderPort = bus.NewPort("reader", 8)
+		u.PTWPort = bus.NewPort("ptw", 8)
+		markerIss = portIssuer{port: u.MarkerPort}
+		tracerIss = portIssuer{port: u.TracerPort}
+		readerIss = portIssuer{port: u.ReaderPort}
+		markqIss = portIssuer{port: u.MarkQPort}
+		u.PTWCache = cache.NewEvent(eng, cfg.PTWCacheBytes, 4, 1, 8, 4, u.PTWPort)
+		u.Walker = vmem.NewWalker(eng, sys.PT, u.PTWCache, nil, vmem.NewTLB(cfg.L2TLBEntries))
+	}
+
+	u.MQ = NewMarkQueue(eng, sys.Mem, markqIss, spill, cfg.MarkQueueEntries, cfg.StageEntries)
+	if cfg.MarkBitCacheSize > 0 {
+		u.MBC = cache.NewMarkBits(cfg.MarkBitCacheSize)
+	}
+
+	tq := sim.NewQueue[Span](cfg.TracerQueueEntries)
+	u.rootSpans = sim.NewQueue[Span](0)
+
+	markerTr := vmem.NewTranslator(eng, vmem.NewTLB(cfg.TLBEntries), u.Walker)
+	tracerTr := vmem.NewTranslator(eng, vmem.NewTLB(cfg.TLBEntries), u.Walker)
+	readerTr := vmem.NewTranslator(eng, vmem.NewTLB(8), u.Walker)
+
+	u.Marker = NewMarker(eng, sys.Heap, u.MQ, tq, markerTr, markerIss, cfg.MarkerSlots, u.MBC)
+	u.Tracer = NewTracer(eng, sys.Heap, tq, u.MQ, tracerTr, tracerIss)
+	u.Reader = NewTracer(eng, sys.Heap, u.rootSpans, u.MQ, readerTr, readerIss)
+
+	// Wake wiring.
+	u.MQ.SetNotify(
+		func() { u.Marker.Wake() },
+		func() { u.Tracer.Wake(); u.Reader.Wake() },
+	)
+	u.Marker.SetOnTracerWork(func() { u.Tracer.Wake() })
+	u.Tracer.SetOnSpanConsumed(func() { u.Marker.Wake() })
+
+	wakeAll := func() {
+		u.Marker.Wake()
+		u.Tracer.Wake()
+		u.Reader.Wake()
+		u.MQ.Wake()
+	}
+	if cfg.SharedCache {
+		u.Shared.SetOnSpace(wakeAll)
+	} else {
+		u.MarkerPort.SetOnSpace(func() { u.Marker.Wake() })
+		u.TracerPort.SetOnSpace(func() { u.Tracer.Wake() })
+		u.ReaderPort.SetOnSpace(func() { u.Reader.Wake() })
+		u.MarkQPort.SetOnSpace(func() { u.MQ.Wake() })
+	}
+	return u
+}
+
+// StartMark launches the mark phase: the reader streams the hwgc-space
+// roots into the mark queue and the marker/tracer pipeline drains it. The
+// caller is responsible for flipping the heap's mark sense first (the
+// driver does this) and for running the engine; the phase is complete when
+// the engine goes idle.
+func (u *Unit) StartMark(dc rts.DriverConfig) {
+	if dc.RootCount > 0 {
+		u.rootSpans.Push(Span{VA: dc.RootsVA, Bytes: uint64(8 * dc.RootCount)})
+	}
+	u.Reader.Wake()
+	u.Marker.Wake()
+	u.Tracer.Wake()
+}
+
+// Drained reports whether the traversal fully completed (all queues empty,
+// no requests in flight). Assert after the engine goes idle.
+func (u *Unit) Drained() bool {
+	return u.MQ.Empty() && u.Marker.Idle() && u.Tracer.Idle() && u.Reader.Idle() &&
+		u.rootSpans.Empty()
+}
+
+// DebugState summarizes queue and pipeline occupancy (stall diagnostics).
+func (u *Unit) DebugState() string {
+	return fmt.Sprintf(
+		"mq{q=%d in=%d out=%d stored=%d reserved=%d} marker{inflight=%d pendingT=%v tqLen=%d} tracer{cur=%v inflight=%d pendingT=%v} reader{cur=%v inflight=%d pendingT=%v} roots=%d",
+		u.MQ.q.Len(), u.MQ.inQ.Len(), u.MQ.outQ.Len(), u.MQ.stored, u.MQ.reserved,
+		u.Marker.inflight, u.Marker.pendingT, u.Marker.tq.Len(),
+		u.Tracer.curValid, u.Tracer.inflight, u.Tracer.pendingT,
+		u.Reader.curValid, u.Reader.inflight, u.Reader.pendingT,
+		u.rootSpans.Len())
+}
+
+// FlushTLBs clears all unit TLBs (between GC passes or on context switch).
+func (u *Unit) FlushTLBs() {
+	u.Marker.tr.TLB().Flush()
+	u.Tracer.tr.TLB().Flush()
+	u.Reader.tr.TLB().Flush()
+}

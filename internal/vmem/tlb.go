@@ -1,0 +1,91 @@
+package vmem
+
+// TLB is a fully-associative translation lookaside buffer with LRU
+// replacement. Entries remember their page size so superpage translations
+// occupy a single entry with 2 MiB reach (the paper's suggested mitigation
+// for large heaps).
+type TLB struct {
+	capacity int
+	slots    map[uint64]tlbEntry // key: va >> pageBits combined with size
+	tick     uint64
+
+	// Hits and Misses count lookups.
+	Hits   uint64
+	Misses uint64
+}
+
+type tlbEntry struct {
+	base     uint64 // physical base of the page
+	pageBits int
+	lastUse  uint64
+}
+
+// NewTLB returns a TLB with the given entry count.
+func NewTLB(capacity int) *TLB {
+	return &TLB{capacity: capacity, slots: make(map[uint64]tlbEntry, capacity)}
+}
+
+// Capacity returns the configured entry count.
+func (t *TLB) Capacity() int { return t.capacity }
+
+func key(va uint64, pageBits int) uint64 {
+	return va>>uint(pageBits)<<6 | uint64(pageBits)
+}
+
+// Lookup translates va. It probes both 4 KiB and superpage entries.
+func (t *TLB) Lookup(va uint64) (pa uint64, ok bool) {
+	t.tick++
+	for _, bits := range []int{PageBits, SuperPageBits} {
+		k := key(va, bits)
+		if e, found := t.slots[k]; found {
+			e.lastUse = t.tick
+			t.slots[k] = e
+			t.Hits++
+			return e.base + va&((1<<uint(bits))-1), true
+		}
+	}
+	t.Misses++
+	return 0, false
+}
+
+// Insert installs a translation for the page containing va.
+func (t *TLB) Insert(va, pa uint64, pageBits int) {
+	if t.capacity == 0 {
+		return
+	}
+	t.tick++
+	if len(t.slots) >= t.capacity {
+		var lruKey uint64
+		lru := ^uint64(0)
+		for k, e := range t.slots {
+			if e.lastUse < lru {
+				lru = e.lastUse
+				lruKey = k
+			}
+		}
+		delete(t.slots, lruKey)
+	}
+	mask := uint64(1)<<uint(pageBits) - 1
+	t.slots[key(va, pageBits)] = tlbEntry{base: pa &^ mask, pageBits: pageBits, lastUse: t.tick}
+}
+
+// InvalidatePage removes the entry covering va, if present.
+func (t *TLB) InvalidatePage(va uint64) {
+	for _, bits := range []int{PageBits, SuperPageBits} {
+		delete(t.slots, key(va, bits))
+	}
+}
+
+// Flush empties the TLB.
+func (t *TLB) Flush() {
+	t.slots = make(map[uint64]tlbEntry, t.capacity)
+}
+
+// HitRate returns Hits / (Hits + Misses).
+func (t *TLB) HitRate() float64 {
+	total := t.Hits + t.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.Hits) / float64(total)
+}

@@ -1,0 +1,154 @@
+package vmem
+
+import (
+	"testing"
+
+	"hwgc/internal/dram"
+	"hwgc/internal/mem"
+	"hwgc/internal/sim"
+	"hwgc/internal/tilelink"
+)
+
+type walkerEnv struct {
+	eng *sim.Engine
+	m   *mem.Physical
+	pt  *PageTable
+	w   *Walker
+}
+
+func newWalkerEnv(t *testing.T, l2 *TLB) *walkerEnv {
+	t.Helper()
+	eng := sim.NewEngine()
+	m := mem.New(256 << 20)
+	a := mem.NewArena(m)
+	a.Alloc(1<<20, PageSize)
+	pt := NewPageTable(m, a)
+	memory := dram.NewDDR3(eng, dram.DDR3_2000(16))
+	bus := tilelink.New(eng, memory)
+	port := bus.NewPort("ptw", 8)
+	w := NewWalker(eng, pt, nil, port, l2)
+	return &walkerEnv{eng: eng, m: m, pt: pt, w: w}
+}
+
+func TestWalkerResolves(t *testing.T) {
+	env := newWalkerEnv(t, nil)
+	env.pt.Map(0x4000_0000, 0x20_0000)
+	var gotPA uint64
+	var gotOK bool
+	env.w.Walk(0x4000_0000, func(pa uint64, bits int, ok bool) { gotPA, gotOK = pa, ok })
+	env.eng.Run()
+	if !gotOK || gotPA != 0x20_0000 {
+		t.Fatalf("walk = 0x%x,%v", gotPA, gotOK)
+	}
+	if env.w.PTEFetches != 3 {
+		t.Fatalf("PTE fetches = %d, want 3", env.w.PTEFetches)
+	}
+}
+
+func TestWalkerFault(t *testing.T) {
+	env := newWalkerEnv(t, nil)
+	ok := true
+	env.w.Walk(0x7000_0000, func(_ uint64, _ int, o bool) { ok = o })
+	env.eng.Run()
+	if ok {
+		t.Fatal("fault reported success")
+	}
+	if env.w.Faults != 1 {
+		t.Fatalf("faults = %d", env.w.Faults)
+	}
+}
+
+func TestWalkerSerializesWalks(t *testing.T) {
+	env := newWalkerEnv(t, nil)
+	env.pt.Map(0x4000_0000, 0x20_0000)
+	env.pt.Map(0x4000_1000, 0x20_1000)
+	var t1, t2 uint64
+	env.w.Walk(0x4000_0000, func(uint64, int, bool) { t1 = env.eng.Now() })
+	env.w.Walk(0x4000_1000, func(uint64, int, bool) { t2 = env.eng.Now() })
+	env.eng.Run()
+	if t2 <= t1 {
+		t.Fatalf("walks not serialized: t1=%d t2=%d", t1, t2)
+	}
+	if env.w.Walks != 2 {
+		t.Fatalf("walks = %d", env.w.Walks)
+	}
+}
+
+func TestWalkerL2TLBShortCircuits(t *testing.T) {
+	l2 := NewTLB(128)
+	env := newWalkerEnv(t, l2)
+	env.pt.Map(0x4000_0000, 0x20_0000)
+	env.w.Walk(0x4000_0000, func(uint64, int, bool) {})
+	env.eng.Run()
+	fetchesAfterFirst := env.w.PTEFetches
+	env.w.Walk(0x4000_0000, func(uint64, int, bool) {})
+	env.eng.Run()
+	if env.w.PTEFetches != fetchesAfterFirst {
+		t.Fatal("L2 TLB hit still walked the page table")
+	}
+	if env.w.L2Hits != 1 {
+		t.Fatalf("L2 hits = %d", env.w.L2Hits)
+	}
+}
+
+func TestTranslatorBlockingSemantics(t *testing.T) {
+	env := newWalkerEnv(t, nil)
+	env.pt.Map(0x4000_0000, 0x20_0000)
+	tr := NewTranslator(env.eng, NewTLB(32), env.w)
+
+	resolved := false
+	if !tr.Translate(0x4000_0000, func(uint64, bool) { resolved = true }) {
+		t.Fatal("first Translate rejected")
+	}
+	if resolved {
+		t.Fatal("miss resolved synchronously")
+	}
+	// While the walk is outstanding, the translator is busy.
+	if tr.Translate(0x4000_0008, func(uint64, bool) {}) {
+		t.Fatal("translator accepted a second request while busy")
+	}
+	env.eng.Run()
+	if !resolved {
+		t.Fatal("walk never resolved")
+	}
+	// Now a hit: resolves synchronously.
+	hit := false
+	var hitPA uint64
+	if !tr.Translate(0x4000_0010, func(pa uint64, ok bool) { hit = ok; hitPA = pa }) {
+		t.Fatal("post-fill Translate rejected")
+	}
+	if !hit || hitPA != 0x20_0010 {
+		t.Fatalf("TLB hit = 0x%x,%v", hitPA, hit)
+	}
+}
+
+func TestSyncTranslatorTiming(t *testing.T) {
+	m := mem.New(256 << 20)
+	a := mem.NewArena(m)
+	a.Alloc(1<<20, PageSize)
+	pt := NewPageTable(m, a)
+	pt.Map(0x4000_0000, 0x20_0000)
+	sm := dram.NewSync(dram.DDR3_2000(16))
+	st := NewSyncTranslator(NewTLB(32), pt, sm)
+
+	pa, fin, ok := st.Translate(0, 0x4000_0040)
+	if !ok || pa != 0x20_0040 {
+		t.Fatalf("miss translate = 0x%x,%v", pa, ok)
+	}
+	if fin == 0 {
+		t.Fatal("page walk took zero time")
+	}
+	pa2, fin2, ok2 := st.Translate(fin, 0x4000_0080)
+	if !ok2 || pa2 != 0x20_0080 {
+		t.Fatalf("hit translate = 0x%x,%v", pa2, ok2)
+	}
+	if fin2 != fin {
+		t.Fatalf("TLB hit advanced time: %d -> %d", fin, fin2)
+	}
+	if _, _, ok3 := st.Translate(fin2, 0x9000_0000); ok3 {
+		t.Fatal("fault translated")
+	}
+	if st.Faults != 1 {
+		t.Fatalf("faults = %d", st.Faults)
+	}
+}

@@ -1,0 +1,87 @@
+package workload
+
+import "hwgc/internal/sim"
+
+// QueryConfig models the paper's Figure 1b experiment: the lusearch
+// benchmark serving interactive queries at a fixed arrival rate, with GC
+// pauses injected by the collector under test, and latencies measured
+// against scheduled arrival times (accounting for coordinated omission).
+type QueryConfig struct {
+	Queries        int
+	Warmup         int    // discarded leading queries
+	IntervalCycles uint64 // arrival period (paper: one query per 100 ms)
+	ServiceCycles  uint64 // mean CPU service time per query
+	AllocPerQuery  uint64 // bytes allocated per query
+	Seed           uint64
+}
+
+// DefaultQueryConfig mirrors the paper's setup scaled to the simulator: a
+// 10K-query run at 10 QPS with the first 1K discarded. The scaled run keeps
+// the ratios (service time << interval, GC pause >> service time).
+func DefaultQueryConfig() QueryConfig {
+	return QueryConfig{
+		Queries:        10000,
+		Warmup:         1000,
+		IntervalCycles: 100 * 1000 * 100, // 10 ms at 1 GHz (scaled 1:10)
+		ServiceCycles:  400 * 1000,       // 0.4 ms mean service
+		AllocPerQuery:  48 << 10,
+		Seed:           1,
+	}
+}
+
+// QueryResult is one query's measured latency and whether it overlapped a
+// collection pause.
+type QueryResult struct {
+	LatencyCycles uint64
+	NearGC        bool
+}
+
+// GCFunc runs one collection and returns its pause length in cycles.
+type GCFunc func() uint64
+
+// AllocFunc allocates n bytes of query garbage; it returns false when the
+// heap is full and a collection is needed.
+type AllocFunc func(n uint64) bool
+
+// RunQueries simulates the arrival/service timeline. Queries arrive every
+// IntervalCycles; the server processes them in order. When the heap fills,
+// a stop-the-world pause (gc) blocks service. Latency is measured from the
+// scheduled arrival time, so queuing behind a pause is charged to every
+// affected query (coordinated-omission-corrected, as in the paper).
+func RunQueries(cfg QueryConfig, alloc AllocFunc, gc GCFunc) []QueryResult {
+	rand := sim.NewRand(cfg.Seed)
+	var now uint64
+	out := make([]QueryResult, 0, cfg.Queries-cfg.Warmup)
+	for q := 0; q < cfg.Queries; q++ {
+		arrival := uint64(q) * cfg.IntervalCycles
+		if now < arrival {
+			now = arrival
+		}
+		nearGC := false
+		if !alloc(cfg.AllocPerQuery) {
+			now += gc()
+			nearGC = true
+			if !alloc(cfg.AllocPerQuery) {
+				// Still full right after a collection: the live
+				// set has outgrown the heap.
+				panic("workload: heap exhausted even after GC")
+			}
+		}
+		// Service time: exponential-ish around the mean.
+		service := cfg.ServiceCycles/2 + uint64(rand.Geometric(float64(cfg.ServiceCycles)/2))
+		now += service
+		if q >= cfg.Warmup {
+			out = append(out, QueryResult{LatencyCycles: now - arrival, NearGC: nearGC})
+		}
+	}
+	return out
+}
+
+// LatencyCDF extracts the latency CDF in milliseconds (1 GHz clock).
+func LatencyCDF(results []QueryResult) []sim.CDFPoint {
+	var s sim.Sample
+	for _, r := range results {
+		s.Observe(float64(r.LatencyCycles) / 1e6)
+	}
+	return s.CDF()
+}

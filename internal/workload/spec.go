@@ -1,0 +1,114 @@
+// Package workload provides the DaCapo-stand-in benchmarks: synthetic
+// object-graph and mutator models calibrated to exhibit the heap properties
+// the paper's evaluation depends on — per-benchmark live-set sizes and
+// object shapes, reference fan-out, hot-object skew (the ~56 objects that
+// receive 10% of mark accesses in Figure 21a), garbage ratios, and mutator
+// cost models for the end-to-end GC-overhead experiments (Figure 1).
+//
+// Heaps are scaled roughly 1:10 against the paper's 200 MB configuration so
+// experiments run in seconds; every reported comparison is a ratio, which
+// is scale-robust (EXPERIMENTS.md records paper-vs-measured values).
+package workload
+
+import "hwgc/internal/heap"
+
+// Spec describes one benchmark's heap and mutator behaviour.
+type Spec struct {
+	Name string
+
+	// LiveObjects is the approximate reachable object count at GC time.
+	LiveObjects int
+	// AvgRefs is the mean outbound reference count per object.
+	AvgRefs float64
+	// ScalarBytes is the mean non-reference payload per object.
+	ScalarBytes int
+	// ArrayFraction of objects are reference arrays (higher fan-out).
+	ArrayFraction float64
+	// HotObjects get a disproportionate share of incoming references
+	// (Zipf-distributed), producing the paper's mark-access skew.
+	HotObjects int
+	// HotFraction is the probability a reference targets a hot object.
+	HotFraction float64
+	// GarbageFraction is the fraction of allocation that is dead by GC
+	// time (drives sweep work and allocation churn).
+	GarbageFraction float64
+	// Roots is the number of root references written to the hwgc-space.
+	Roots int
+	// LargeObjects go to the bump space (> max size class).
+	LargeObjects int
+
+	// MutatorCyclesPerByte models application work per allocated byte
+	// (calibrated so the GC share of CPU time lands in the paper's
+	// Figure 1a range).
+	MutatorCyclesPerByte float64
+}
+
+// DaCapo returns the six benchmark stand-ins used throughout the paper's
+// evaluation (avrora, luindex, lusearch, pmd, sunflow, xalan).
+//
+// Shapes: avrora simulates AVR microcontrollers (many small event objects);
+// luindex/lusearch are Lucene indexing/search (text-heavy, skewed shared
+// structures, high allocation churn in search); pmd is static analysis
+// (deep AST graphs with high fan-out); sunflow is a ray tracer (arrays of
+// scalar data); xalan is an XSLT processor (large, churny DOM graphs).
+var specs = []Spec{
+	{
+		Name: "avrora", LiveObjects: 45000, AvgRefs: 2.0, ScalarBytes: 16,
+		ArrayFraction: 0.05, HotObjects: 40, HotFraction: 0.08,
+		GarbageFraction: 0.45, Roots: 600, LargeObjects: 4,
+		MutatorCyclesPerByte: 38,
+	},
+	{
+		Name: "luindex", LiveObjects: 65000, AvgRefs: 2.0, ScalarBytes: 24,
+		ArrayFraction: 0.10, HotObjects: 56, HotFraction: 0.10,
+		GarbageFraction: 0.50, Roots: 800, LargeObjects: 8,
+		MutatorCyclesPerByte: 26,
+	},
+	{
+		Name: "lusearch", LiveObjects: 55000, AvgRefs: 1.6, ScalarBytes: 32,
+		ArrayFraction: 0.08, HotObjects: 48, HotFraction: 0.09,
+		GarbageFraction: 0.72, Roots: 700, LargeObjects: 8,
+		MutatorCyclesPerByte: 8,
+	},
+	{
+		Name: "pmd", LiveObjects: 100000, AvgRefs: 3.0, ScalarBytes: 24,
+		ArrayFraction: 0.06, HotObjects: 64, HotFraction: 0.07,
+		GarbageFraction: 0.55, Roots: 1200, LargeObjects: 10,
+		MutatorCyclesPerByte: 20,
+	},
+	{
+		Name: "sunflow", LiveObjects: 65000, AvgRefs: 1.5, ScalarBytes: 56,
+		ArrayFraction: 0.30, HotObjects: 32, HotFraction: 0.06,
+		GarbageFraction: 0.60, Roots: 500, LargeObjects: 16,
+		MutatorCyclesPerByte: 18,
+	},
+	{
+		Name: "xalan", LiveObjects: 105000, AvgRefs: 2.4, ScalarBytes: 32,
+		ArrayFraction: 0.12, HotObjects: 72, HotFraction: 0.08,
+		GarbageFraction: 0.65, Roots: 1500, LargeObjects: 12,
+		MutatorCyclesPerByte: 16,
+	},
+}
+
+// DaCapo returns copies of the six benchmark specs.
+func DaCapo() []Spec {
+	out := make([]Spec, len(specs))
+	copy(out, specs)
+	return out
+}
+
+// ByName returns the spec with the given name.
+func ByName(name string) (Spec, bool) {
+	for _, s := range specs {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// LiveBytes estimates the live-set footprint under the given layout.
+func (s Spec) LiveBytes() uint64 {
+	per := uint64(heap.WordSize) + uint64(s.AvgRefs*heap.WordSize) + uint64(s.ScalarBytes)
+	return uint64(s.LiveObjects) * per
+}

@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"testing"
+
+	"hwgc/internal/heap"
+	"hwgc/internal/rts"
+)
+
+func newSys(t *testing.T) *rts.System {
+	t.Helper()
+	cfg := rts.DefaultConfig()
+	cfg.PhysBytes = 512 << 20
+	return rts.NewSystem(cfg)
+}
+
+func TestSpecsDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range DaCapo() {
+		if seen[s.Name] {
+			t.Fatalf("duplicate spec %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.LiveObjects <= 0 || s.AvgRefs <= 0 || s.Roots <= 0 {
+			t.Fatalf("degenerate spec %+v", s)
+		}
+		if s.GarbageFraction <= 0 || s.GarbageFraction >= 1 {
+			t.Fatalf("%s: garbage fraction %v", s.Name, s.GarbageFraction)
+		}
+	}
+	if len(seen) != 6 {
+		t.Fatalf("expected 6 benchmarks, got %d", len(seen))
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, ok := ByName("lusearch")
+	if !ok || s.Name != "lusearch" {
+		t.Fatalf("ByName: %+v %v", s, ok)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("unknown benchmark found")
+	}
+}
+
+func TestPopulateBuildsLiveGraph(t *testing.T) {
+	sys := newSys(t)
+	spec, _ := ByName("avrora")
+	app := NewApp(sys, spec, 1)
+	if !app.Populate() {
+		t.Fatal("populate filled the heap")
+	}
+	app.WriteRoots()
+	reach := sys.Reachable()
+	// The reachable set should be close to the live target and clearly
+	// nonzero garbage must exist.
+	if len(reach) < spec.LiveObjects*3/4 {
+		t.Fatalf("reachable %d, live target %d", len(reach), spec.LiveObjects)
+	}
+	total := len(sys.Heap.MS.LiveObjects()) + len(sys.Heap.Bump.Objects())
+	if total <= len(reach) {
+		t.Fatal("no garbage allocated")
+	}
+}
+
+func TestHotObjectsStayReachable(t *testing.T) {
+	sys := newSys(t)
+	spec, _ := ByName("luindex")
+	app := NewApp(sys, spec, 2)
+	app.Populate()
+	app.WriteRoots()
+	reach := sys.Reachable()
+	for i, h := range app.Hot() {
+		if !reach[h] {
+			t.Fatalf("hot object %d unreachable", i)
+		}
+	}
+}
+
+func TestHotObjectsSkewInDegree(t *testing.T) {
+	sys := newSys(t)
+	spec, _ := ByName("luindex")
+	app := NewApp(sys, spec, 3)
+	app.Populate()
+	// Count in-degrees functionally.
+	h := sys.Heap
+	indeg := map[heap.Ref]int{}
+	for _, o := range h.MS.LiveObjects() {
+		n := h.NumRefsOf(o)
+		for i := 0; i < n; i++ {
+			if tgt := h.RefAt(o, i); tgt != 0 {
+				indeg[tgt]++
+			}
+		}
+	}
+	hotIn := 0
+	for _, ho := range app.Hot() {
+		hotIn += indeg[ho]
+	}
+	totalIn := 0
+	for _, v := range indeg {
+		totalIn += v
+	}
+	frac := float64(hotIn) / float64(totalIn)
+	if frac < 0.05 {
+		t.Fatalf("hot objects receive %.3f of references, want >= 0.05", frac)
+	}
+}
+
+func TestChurnCreatesGarbageAndFillsHeap(t *testing.T) {
+	cfg := rts.DefaultConfig()
+	cfg.PhysBytes = 256 << 20
+	cfg.Heap.MarkSweepBytes = 4 << 20
+	sys := rts.NewSystem(cfg)
+	spec, _ := ByName("lusearch")
+	spec.LiveObjects = 5000
+	app := NewApp(sys, spec, 4)
+	app.Populate()
+	// Churn forever: must eventually hit a full heap.
+	full := false
+	for i := 0; i < 100; i++ {
+		if !app.Churn(1 << 20) {
+			full = true
+			break
+		}
+	}
+	if !full {
+		t.Fatal("churn never filled the heap")
+	}
+	if app.AllocFailures == 0 {
+		t.Fatal("no allocation failures recorded")
+	}
+}
+
+func TestPruneDeadPool(t *testing.T) {
+	sys := newSys(t)
+	spec, _ := ByName("avrora")
+	spec.LiveObjects = 2000
+	app := NewApp(sys, spec, 5)
+	app.Populate()
+	app.WriteRoots()
+	reach := sys.Reachable()
+	app.PruneDeadPool(reach)
+	for _, o := range app.recent {
+		if !reach[o] {
+			t.Fatal("dead object survived pruning")
+		}
+	}
+}
+
+// TestSteadyStateLiveSet is the property the repeated-GC experiments rely
+// on: heavy churn keeps the reachable set near the spec target instead of
+// accreting or collapsing.
+func TestSteadyStateLiveSet(t *testing.T) {
+	sys := newSys(t)
+	spec, _ := ByName("lusearch")
+	spec.LiveObjects = 8000
+	app := NewApp(sys, spec, 6)
+	if !app.Populate() {
+		t.Fatal("populate failed")
+	}
+	app.WriteRoots()
+	base := len(sys.Reachable())
+	for round := 0; round < 5; round++ {
+		app.Churn(2 << 20)
+		app.WriteRoots()
+		got := len(sys.Reachable())
+		if got < base/2 || got > base*2 {
+			t.Fatalf("round %d: reachable %d drifted from %d", round, got, base)
+		}
+	}
+	if app.Replacements == 0 {
+		t.Fatal("churn performed no retained replacements")
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	build := func() int {
+		sys := newSys(t)
+		spec, _ := ByName("pmd")
+		spec.LiveObjects = 5000
+		app := NewApp(sys, spec, 42)
+		app.Populate()
+		app.WriteRoots()
+		return len(sys.Reachable())
+	}
+	if build() != build() {
+		t.Fatal("same seed produced different graphs")
+	}
+}
+
+func TestLiveBytesEstimate(t *testing.T) {
+	for _, s := range DaCapo() {
+		lb := s.LiveBytes()
+		if lb == 0 || lb > 64<<20 {
+			t.Fatalf("%s: LiveBytes = %d out of the scaled range", s.Name, lb)
+		}
+	}
+}
