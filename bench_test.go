@@ -69,6 +69,47 @@ func BenchmarkUnitMarkPhase(b *testing.B) {
 	}
 }
 
+// benchMarkPhaseTelemetry runs the hardware mark phase with the given hub
+// constructor (nil = telemetry disabled) to measure the observability
+// layer's host-time overhead on the simulator's inner loops.
+func benchMarkPhaseTelemetry(b *testing.B, mkHub func() *Telemetry) {
+	cfg := ScaledConfig()
+	spec, _ := workload.ByName("avrora")
+	spec.LiveObjects /= 4
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runner, err := core.NewAppRunner(cfg, spec, core.HWCollector, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if mkHub != nil {
+			runner.AttachTelemetry(mkHub())
+		}
+		if err := runner.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTelemetryOff is the baseline: no hub attached, every unit on the
+// nil-tracer/nil-metric fast path.
+func BenchmarkTelemetryOff(b *testing.B) { benchMarkPhaseTelemetry(b, nil) }
+
+// BenchmarkTelemetryMetrics attaches registry + sampler (no event trace).
+func BenchmarkTelemetryMetrics(b *testing.B) {
+	benchMarkPhaseTelemetry(b, func() *Telemetry { return NewTelemetry(1024) })
+}
+
+// BenchmarkTelemetryFull attaches registry + sampler + event tracing.
+func BenchmarkTelemetryFull(b *testing.B) {
+	benchMarkPhaseTelemetry(b, func() *Telemetry {
+		tel := NewTelemetry(1024)
+		tel.EnableTrace()
+		return tel
+	})
+}
+
 // BenchmarkSWMarkPhase is the software-collector counterpart.
 func BenchmarkSWMarkPhase(b *testing.B) {
 	cfg := ScaledConfig()

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -25,6 +26,9 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	gcs := flag.Int("gcs", 0, "collections per benchmark (0 = default)")
 	seed := flag.Uint64("seed", 42, "workload seed")
+	metricsOut := flag.String("metrics-out", "", "write sampled metric time series (JSONL) to this file")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file (Perfetto-compatible)")
+	sampleEvery := flag.Uint64("sample-every", 1024, "gauge sampling interval in cycles")
 	flag.Parse()
 
 	if *list {
@@ -50,6 +54,18 @@ func main() {
 		}
 	}
 
+	// The default hub instruments every system the experiment runners build
+	// internally; samples and events accumulate across all experiments.
+	var tel *hwgc.Telemetry
+	if *metricsOut != "" || *traceOut != "" {
+		tel = hwgc.NewTelemetry(*sampleEvery)
+		if *traceOut != "" {
+			tel.EnableTrace()
+		}
+		hwgc.SetDefaultTelemetry(tel)
+		defer hwgc.SetDefaultTelemetry(nil)
+	}
+
 	failed := 0
 	for _, r := range hwgc.Experiments() {
 		if len(selected) > 0 && !selected[r.ID] {
@@ -63,7 +79,42 @@ func main() {
 		}
 		fmt.Println(rep.String())
 	}
+
+	if tel != nil {
+		fmt.Println("telemetry summary:")
+		if err := tel.Reg.WriteSummary(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed++
+		}
+		if *metricsOut != "" {
+			writeFile(*metricsOut, tel.Sampler.WriteJSONL)
+			fmt.Printf("wrote %d metric samples to %s\n", tel.Sampler.Len(), *metricsOut)
+		}
+		if *traceOut != "" {
+			writeFile(*traceOut, tel.Trace.WriteChrome)
+			fmt.Printf("wrote %d trace events to %s (open in Perfetto / chrome://tracing)\n",
+				len(tel.Trace.Events()), *traceOut)
+		}
+	}
 	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// writeFile streams write into path, exiting on error.
+func writeFile(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }

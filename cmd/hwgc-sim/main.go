@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"hwgc"
@@ -33,6 +34,9 @@ func main() {
 	mbc := flag.Int("mbc", 0, "mark-bit cache entries")
 	shared := flag.Bool("shared", false, "shared-cache traversal unit design")
 	validate := flag.Bool("validate", false, "cross-check marks/sweeps against ground truth")
+	metricsOut := flag.String("metrics-out", "", "write sampled metric time series (JSONL) to this file")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file (Perfetto-compatible)")
+	sampleEvery := flag.Uint64("sample-every", 1024, "gauge sampling interval in cycles")
 	flag.Parse()
 
 	spec, ok := workload.ByName(*bench)
@@ -62,11 +66,20 @@ func main() {
 		kind = core.SWCollector
 	}
 
+	var tel *hwgc.Telemetry
+	if *metricsOut != "" || *traceOut != "" {
+		tel = hwgc.NewTelemetry(*sampleEvery)
+		if *traceOut != "" {
+			tel.EnableTrace()
+		}
+	}
+
 	runner, err := core.NewAppRunner(cfg, spec, kind, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	runner.AttachTelemetry(tel)
 	runner.Validate = *validate
 	fmt.Printf("%s on %s, %d collections (memory=%s)\n", kind, spec.Name, *gcs, *memory)
 	for i := 0; i < *gcs; i++ {
@@ -114,5 +127,40 @@ func main() {
 	}
 	if *validate {
 		fmt.Println("\nvalidation: marks and sweeps matched the reachability ground truth")
+	}
+
+	if tel != nil {
+		fmt.Println("\ntelemetry summary:")
+		if err := tel.Reg.WriteSummary(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *metricsOut != "" {
+			writeFile(*metricsOut, tel.Sampler.WriteJSONL)
+			fmt.Printf("wrote %d metric samples to %s\n", tel.Sampler.Len(), *metricsOut)
+		}
+		if *traceOut != "" {
+			writeFile(*traceOut, tel.Trace.WriteChrome)
+			fmt.Printf("wrote %d trace events to %s (open in Perfetto / chrome://tracing)\n",
+				len(tel.Trace.Events()), *traceOut)
+		}
+	}
+}
+
+// writeFile streams write into path, exiting on error.
+func writeFile(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

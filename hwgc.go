@@ -26,6 +26,7 @@ package hwgc
 import (
 	"hwgc/internal/core"
 	"hwgc/internal/experiments"
+	"hwgc/internal/telemetry"
 	"hwgc/internal/workload"
 )
 
@@ -70,9 +71,36 @@ func Benchmarks() []Spec { return workload.DaCapo() }
 // Benchmark returns the named benchmark spec.
 func Benchmark(name string) (Spec, bool) { return workload.ByName(name) }
 
+// Telemetry is a metrics registry + cycle sampler + event tracer bundle
+// that can be attached to a simulated system (see docs/OBSERVABILITY.md).
+type Telemetry = telemetry.Hub
+
+// NewTelemetry returns a hub whose sampler snapshots gauges every
+// sampleEvery cycles (0 picks the default interval). Call EnableTrace on
+// the result to also record structured events.
+func NewTelemetry(sampleEvery uint64) *Telemetry { return telemetry.NewHub(sampleEvery) }
+
+// SetDefaultTelemetry installs tel as the process-wide default hub: every
+// collector system built afterwards (including the ones experiment runners
+// build internally) attaches to it. Pass nil to clear.
+func SetDefaultTelemetry(tel *Telemetry) { telemetry.SetDefault(tel) }
+
 // Run executes a benchmark with the chosen collector for gcs collections.
 func Run(cfg Config, spec Spec, kind CollectorKind, gcs int, seed uint64) (AppResult, error) {
 	return core.RunApp(cfg, spec, kind, gcs, seed, false)
+}
+
+// RunInstrumented is Run with a telemetry hub attached to the collector
+// system: counters, sampled time series, and (when EnableTrace was called)
+// trace events accumulate in tel across all gcs collections.
+func RunInstrumented(cfg Config, spec Spec, kind CollectorKind, gcs int, seed uint64, tel *Telemetry) (AppResult, error) {
+	r, err := core.NewAppRunner(cfg, spec, kind, seed)
+	if err != nil {
+		return AppResult{}, err
+	}
+	r.AttachTelemetry(tel)
+	err = r.RunGCs(gcs)
+	return r.Res, err
 }
 
 // Compare runs a benchmark on both collectors over identical heaps and

@@ -3,6 +3,7 @@ package cache
 import (
 	"hwgc/internal/dram"
 	"hwgc/internal/sim"
+	"hwgc/internal/telemetry"
 	"hwgc/internal/tilelink"
 )
 
@@ -46,6 +47,9 @@ type Event struct {
 	// Stalls counts cycles the crossbar could not service its head
 	// access (MSHRs or downstream port full).
 	Stalls uint64
+
+	tel     *telemetry.Tracer // nil = tracing disabled (fast path)
+	telUnit string            // "cache.<name>", precomputed at attach
 }
 
 // NewEvent returns an event-driven cache of the given size/ways, hit latency
@@ -128,7 +132,14 @@ func (c *Event) step() bool {
 		c.port.Issue(dram.Request{Addr: line, Size: LineSize, Kind: dram.Write})
 	}
 	c.mshrs[line] = []Access{a}
+	var missStart uint64
+	if c.tel != nil {
+		missStart = c.eng.Now()
+	}
 	c.port.Issue(dram.Request{Addr: line, Size: LineSize, Kind: dram.Read, Done: func(f uint64) {
+		if c.tel != nil {
+			c.tel.Complete1(c.telUnit, "miss-fill", missStart, c.eng.Now(), "line", line)
+		}
 		waiters := c.mshrs[line]
 		delete(c.mshrs, line)
 		for _, w := range waiters {
@@ -150,3 +161,30 @@ func (c *Event) popInput() {
 
 // OutstandingMisses returns the number of occupied MSHRs.
 func (c *Event) OutstandingMisses() int { return len(c.mshrs) }
+
+// AttachTelemetry registers the cache's metrics under cache.<name>.* and
+// enables miss-fill trace spans on the unit's track. Per-source counters
+// are registered as aggregates (request and miss totals) so sampling stays
+// deterministic regardless of map iteration order.
+func (c *Event) AttachTelemetry(h *telemetry.Hub, name string) {
+	if h == nil {
+		return
+	}
+	c.tel = h.Tracer()
+	c.telUnit = "cache." + name
+	reg := h.Registry()
+	prefix := c.telUnit + "."
+	reg.CounterFunc(prefix+"requests", func() uint64 { return sumMap(c.RequestsBySource) })
+	reg.CounterFunc(prefix+"misses", func() uint64 { return sumMap(c.MissesBySource) })
+	reg.CounterFunc(prefix+"stalls", func() uint64 { return c.Stalls })
+	reg.Gauge(prefix+"inq.occupancy", func() float64 { return float64(c.in.Len()) })
+	reg.Gauge(prefix+"mshrs", func() float64 { return float64(len(c.mshrs)) })
+}
+
+func sumMap(m map[string]uint64) uint64 {
+	var s uint64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -27,6 +27,7 @@ import (
 
 	"hwgc/internal/heap"
 	"hwgc/internal/rts"
+	"hwgc/internal/telemetry"
 )
 
 // Mutator wraps heap mutations with the concurrent-GC barriers. All
@@ -83,6 +84,10 @@ type Collector struct {
 
 	// Marked counts objects marked in the current trace.
 	Marked uint64
+
+	tel    *telemetry.Tracer // nil = tracing disabled (fast path)
+	slices uint64            // completed Step calls; the model has no cycle
+	// clock, so slice index is the trace timestamp.
 }
 
 // NewCollector returns a concurrent collector bound to a mutator.
@@ -105,6 +110,21 @@ func (c *Collector) Start() {
 
 // Active reports whether a trace is in progress.
 func (c *Collector) Active() bool { return c.active }
+
+// AttachTelemetry registers the concurrent collector's metrics under
+// concurrent.* and enables per-slice instant events. The model is
+// slice-driven, not cycle-driven, so the slice index stands in for the
+// timestamp.
+func (c *Collector) AttachTelemetry(h *telemetry.Hub) {
+	if h == nil {
+		return
+	}
+	c.tel = h.Tracer()
+	reg := h.Registry()
+	reg.CounterFunc("concurrent.marked", func() uint64 { return c.Marked })
+	reg.CounterFunc("concurrent.barrierhits", func() uint64 { return c.mut.WriteBarrierHits })
+	reg.Gauge("concurrent.frontier", func() float64 { return float64(len(c.frontier)) })
+}
 
 // Step marks up to n objects from the frontier, first absorbing any
 // barrier-logged references. It returns true while the trace is live.
@@ -131,6 +151,11 @@ func (c *Collector) Step(n int) bool {
 				c.frontier = append(c.frontier, t)
 			}
 		}
+	}
+	c.slices++
+	if c.tel != nil {
+		c.tel.Instant2("concurrent", "slice", c.slices,
+			"marked", c.Marked, "frontier", uint64(len(c.frontier)))
 	}
 	if len(c.frontier) == 0 {
 		// Termination: re-check the barrier log; the trace only ends

@@ -18,6 +18,7 @@ import (
 	"hwgc/internal/sim"
 	"hwgc/internal/sweep"
 	"hwgc/internal/swgc"
+	"hwgc/internal/telemetry"
 	"hwgc/internal/tilelink"
 	"hwgc/internal/trace"
 	"hwgc/internal/workload"
@@ -92,6 +93,32 @@ type HW struct {
 	Pipe  *dram.Pipe // nil under MemDDR3
 	Trace *trace.Unit
 	Sweep *sweep.Unit
+	Tel   *telemetry.Hub // nil = telemetry disabled
+}
+
+// AttachTelemetry wires a telemetry hub through every timed component
+// (interconnect, memory, traversal unit, reclamation unit, heap) and hooks
+// the hub's sampler onto the engine's cycle probe. The probe fires between
+// events and never schedules anything, so attaching telemetry does not
+// perturb measured cycle counts.
+func (hw *HW) AttachTelemetry(h *telemetry.Hub) {
+	if h == nil {
+		return
+	}
+	hw.Tel = h
+	hw.Bus.AttachTelemetry(h)
+	if hw.DDR != nil {
+		hw.DDR.AttachTelemetry(h)
+	}
+	if hw.Pipe != nil {
+		hw.Pipe.AttachTelemetry(h)
+	}
+	hw.Trace.AttachTelemetry(h)
+	hw.Sweep.AttachTelemetry(h)
+	hw.Sys.Heap.AttachTelemetry(h)
+	if h.Sampler != nil {
+		hw.Eng.SetProbe(h.Sampler.Every, h.Sampler.Sample)
+	}
 }
 
 // NewHW builds the hardware system around an existing runtime system.
@@ -136,6 +163,7 @@ func (hw *HW) RunMark() uint64 {
 		panic("core: traversal unit stalled (engine idle, queues non-empty): " +
 			hw.Trace.DebugState())
 	}
+	hw.Tel.Tracer().Complete("core", "mark-phase", start, hw.Eng.Now())
 	return hw.Eng.Now() - start
 }
 
@@ -150,6 +178,7 @@ func (hw *HW) RunSweep() uint64 {
 		panic("core: reclamation unit stalled")
 	}
 	hw.Sys.Heap.MS.SyncFromMemory()
+	hw.Tel.Tracer().Complete("core", "sweep-phase", start, hw.Eng.Now())
 	return hw.Eng.Now() - start
 }
 
@@ -188,6 +217,24 @@ func NewSW(cfg Config, sys *rts.System) *SW {
 	}
 	c := cpu.New(cfg.CPU, sys.PT, m)
 	return &SW{Cfg: cfg, Sys: sys, CPU: c, GC: swgc.New(sys, c, 1<<14), Sync: m}
+}
+
+// AttachTelemetry registers the CPU baseline's counters under cpu.* and the
+// heap gauges. The software collector runs on the synchronous timing model,
+// so there is no engine probe to hook; its metrics appear in the summary and
+// are sampled only when a hardware system shares the hub.
+func (sw *SW) AttachTelemetry(h *telemetry.Hub) {
+	if h == nil {
+		return
+	}
+	reg := h.Registry()
+	reg.CounterFunc("cpu.instructions", func() uint64 { return sw.CPU.Instructions })
+	reg.CounterFunc("cpu.memops", func() uint64 { return sw.CPU.MemOps })
+	reg.CounterFunc("cpu.mispredicts", func() uint64 { return sw.CPU.Mispredicts })
+	if s, ok := sw.Sync.(*dram.Sync); ok {
+		s.AttachTelemetry(h)
+	}
+	sw.Sys.Heap.AttachTelemetry(h)
 }
 
 // Collect runs a full software collection.
@@ -295,7 +342,23 @@ func NewAppRunner(cfg Config, spec workload.Spec, kind CollectorKind, seed uint6
 	} else {
 		r.SW = NewSW(cfg, sys)
 	}
+	// A process-default hub (hwgc-bench --metrics-out) instruments every
+	// runner it builds; the latest runner's callbacks win in the registry.
+	r.AttachTelemetry(telemetry.Default())
 	return r, nil
+}
+
+// AttachTelemetry wires a hub through the runner's collector system.
+func (r *AppRunner) AttachTelemetry(h *telemetry.Hub) {
+	if h == nil {
+		return
+	}
+	if r.HW != nil {
+		r.HW.AttachTelemetry(h)
+	}
+	if r.SW != nil {
+		r.SW.AttachTelemetry(h)
+	}
 }
 
 // Step churns the mutator until the heap fills, then performs one

@@ -14,7 +14,12 @@
 // one cycle = 1 ns).
 package dram
 
-import "hwgc/internal/sim"
+import (
+	"strconv"
+
+	"hwgc/internal/sim"
+	"hwgc/internal/telemetry"
+)
 
 // Kind classifies a memory request.
 type Kind uint8
@@ -73,11 +78,24 @@ func DDR3_2000(maxReads int) Config {
 	}
 }
 
-// bankState tracks one bank's open row and availability.
+// bankState tracks one bank's open row and availability, plus per-bank
+// row-outcome counters for the telemetry registry
+// (dram.bank<i>.rowconflicts and friends).
 type bankState struct {
 	openRow int64 // -1 when closed
 	readyAt uint64
+
+	hits      uint64
+	misses    uint64
+	conflicts uint64
 }
+
+// Row outcomes classified by timing.access.
+const (
+	outcomeHit = iota
+	outcomeMiss
+	outcomeConflict
+)
 
 // timing is the shared bank/bus state machine.
 type timing struct {
@@ -91,6 +109,11 @@ type timing struct {
 	RowConflicts uint64
 	Bytes        uint64
 	Accesses     uint64
+
+	// lastBank/lastOutcome describe the most recent access (read by the
+	// event tracer right after access returns; single-threaded).
+	lastBank    int
+	lastOutcome uint8
 }
 
 func newTiming(cfg Config) *timing {
@@ -143,15 +166,22 @@ func (t *timing) access(now uint64, addr uint64, size uint64, kind Kind) uint64 
 		cmdLat = t.cfg.TCAS
 		occupancy = burst
 		t.RowHits++
+		b.hits++
+		t.lastOutcome = outcomeHit
 	case b.openRow == -1:
 		cmdLat = t.cfg.TRCD + t.cfg.TCAS
 		occupancy = t.cfg.TRCD + burst
 		t.RowMisses++
+		b.misses++
+		t.lastOutcome = outcomeMiss
 	default:
 		cmdLat = t.cfg.TRP + t.cfg.TRCD + t.cfg.TCAS
 		occupancy = t.cfg.TRP + t.cfg.TRCD + burst
 		t.RowConflicts++
+		b.conflicts++
+		t.lastOutcome = outcomeConflict
 	}
+	t.lastBank = bank
 	if t.cfg.ClosedPage {
 		b.openRow = -1
 	} else {
@@ -218,6 +248,11 @@ type DDR3 struct {
 	onSpace  func()
 	lastBusy uint64
 	busy     uint64
+
+	tel      *telemetry.Tracer // nil = tracing disabled (fast path)
+	rReqs    *telemetry.Rate
+	rBytes   *telemetry.Rate
+	hLatency *telemetry.Histogram
 }
 
 type pendingReq struct {
@@ -295,6 +330,13 @@ func (d *DDR3) step() bool {
 	d.pending = append(d.pending[:idx], d.pending[idx+1:]...)
 	now := d.eng.Now()
 	finish := d.t.access(now, p.req.Addr, p.req.Size, p.req.Kind)
+	d.rReqs.Inc()
+	d.rBytes.Add(p.req.Size)
+	d.hLatency.Observe(finish - now)
+	if d.tel != nil {
+		d.tel.Complete2("dram", outcomeEventName[d.t.lastOutcome], now, finish,
+			"bank", uint64(d.t.lastBank), "bytes", p.req.Size)
+	}
 	d.busy += finish - max64(now, d.lastBusy)
 	if finish > d.lastBusy {
 		d.lastBusy = finish
@@ -315,6 +357,50 @@ func (d *DDR3) step() bool {
 		d.eng.After(1, d.onSpace)
 	}
 	return len(d.pending) > 0
+}
+
+// outcomeEventName maps row outcomes to trace-event names (constants, so
+// emitting an event never builds a string).
+var outcomeEventName = [...]string{
+	outcomeHit:      "req-rowhit",
+	outcomeMiss:     "req-rowmiss",
+	outcomeConflict: "req-rowconflict",
+}
+
+// AttachTelemetry registers the controller's metrics under dram.* and
+// enables per-request trace spans (named by row outcome, annotated with
+// bank and size). Bank states — open row and busy flag per bank — are
+// gauges, so the cycle sampler turns them into time series.
+func (d *DDR3) AttachTelemetry(h *telemetry.Hub) {
+	if h == nil {
+		return
+	}
+	d.tel = h.Tracer()
+	reg := h.Registry()
+	d.rReqs = reg.Rate("dram.requests")
+	d.rBytes = reg.Rate("dram.bytes")
+	d.hLatency = reg.Histogram("dram.latency")
+	reg.CounterFunc("dram.accesses", func() uint64 { return d.t.Accesses })
+	reg.CounterFunc("dram.rowhits", func() uint64 { return d.t.RowHits })
+	reg.CounterFunc("dram.rowmisses", func() uint64 { return d.t.RowMisses })
+	reg.CounterFunc("dram.rowconflicts", func() uint64 { return d.t.RowConflicts })
+	reg.CounterFunc("dram.busycycles", func() uint64 { return d.busy })
+	reg.Gauge("dram.queue.depth", func() float64 { return float64(len(d.pending)) })
+	reg.Gauge("dram.inflight", func() float64 { return float64(d.inflight) })
+	for i := range d.t.banks {
+		b := &d.t.banks[i]
+		prefix := "dram.bank" + strconv.Itoa(i) + "."
+		reg.Gauge(prefix+"openrow", func() float64 { return float64(b.openRow) })
+		reg.Gauge(prefix+"busy", func() float64 {
+			if b.readyAt > d.eng.Now() {
+				return 1
+			}
+			return 0
+		})
+		reg.CounterFunc(prefix+"rowhits", func() uint64 { return b.hits })
+		reg.CounterFunc(prefix+"rowmisses", func() uint64 { return b.misses })
+		reg.CounterFunc(prefix+"rowconflicts", func() uint64 { return b.conflicts })
+	}
 }
 
 // Stats implements Memory.
@@ -377,6 +463,32 @@ func (p *Pipe) SetOnSpace(fn func()) { p.onSpace = fn }
 
 // Stats implements Memory.
 func (p *Pipe) Stats() Stats { return p.stats }
+
+// AttachTelemetry registers the pipe's counters under dram.* (the pipe has
+// no banks, so there are no bank-state gauges).
+func (p *Pipe) AttachTelemetry(h *telemetry.Hub) {
+	if h == nil {
+		return
+	}
+	reg := h.Registry()
+	reg.CounterFunc("dram.accesses", func() uint64 { return p.stats.Accesses })
+	reg.CounterFunc("dram.bytes.total", func() uint64 { return p.stats.Bytes })
+	reg.CounterFunc("dram.busycycles", func() uint64 { return p.stats.BusyCycles })
+}
+
+// AttachTelemetry registers the synchronous (CPU-side) controller's
+// counters under dram.sync.*.
+func (s *Sync) AttachTelemetry(h *telemetry.Hub) {
+	if h == nil {
+		return
+	}
+	reg := h.Registry()
+	reg.CounterFunc("dram.sync.accesses", func() uint64 { return s.t.Accesses })
+	reg.CounterFunc("dram.sync.bytes", func() uint64 { return s.t.Bytes })
+	reg.CounterFunc("dram.sync.rowhits", func() uint64 { return s.t.RowHits })
+	reg.CounterFunc("dram.sync.rowmisses", func() uint64 { return s.t.RowMisses })
+	reg.CounterFunc("dram.sync.rowconflicts", func() uint64 { return s.t.RowConflicts })
+}
 
 // SyncMemory is the synchronous view used by the trace-driven CPU model:
 // one access at a time, returning its completion cycle.

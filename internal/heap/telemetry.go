@@ -1,0 +1,19 @@
+package heap
+
+import "hwgc/internal/telemetry"
+
+// AttachTelemetry registers heap occupancy metrics under heap.*. Only O(1)
+// accessors are exposed as gauges — FreeCells walks every free list and is
+// far too expensive for a cycle-sampled probe.
+func (h *Heap) AttachTelemetry(hub *telemetry.Hub) {
+	if hub == nil {
+		return
+	}
+	reg := hub.Registry()
+	reg.CounterFunc("heap.ms.blocks", func() uint64 { return uint64(h.MS.NumBlocks()) })
+	reg.Gauge("heap.ms.emptyblocks", func() float64 { return float64(h.MS.EmptyBlocks()) })
+	reg.Gauge("heap.bump.used", func() float64 { return float64(h.Bump.Used()) })
+	reg.Gauge("heap.aux.used", func() float64 { return float64(h.Aux.Used()) })
+	reg.CounterFunc("heap.allocations", func() uint64 { return h.Allocations })
+	reg.CounterFunc("heap.allocatedbytes", func() uint64 { return h.AllocatedBytes })
+}

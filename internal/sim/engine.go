@@ -45,6 +45,10 @@ type Engine struct {
 	now  uint64
 	seq  uint64
 	evts eventHeap
+
+	probe      func(cycle uint64)
+	probeEvery uint64
+	probeNext  uint64
 }
 
 // NewEngine returns a new engine starting at cycle 0.
@@ -53,9 +57,13 @@ func NewEngine() *Engine { return &Engine{} }
 // Now returns the current simulation cycle.
 func (e *Engine) Now() uint64 { return e.now }
 
-// At schedules fn to run at the given absolute cycle. Scheduling in the past
-// runs fn at the current cycle (it will still execute after all events
-// already scheduled for this cycle).
+// At schedules fn to run at the given absolute cycle.
+//
+// Ordering guarantee: events at the same cycle run in the order they were
+// scheduled (FIFO by scheduling sequence). Scheduling in the past clamps to
+// the current cycle, and the clamped event still runs after every event
+// already queued for the current cycle — a past-scheduled event can never
+// jump ahead of work that was scheduled before it.
 func (e *Engine) At(cycle uint64, fn func()) {
 	if cycle < e.now {
 		cycle = e.now
@@ -64,9 +72,29 @@ func (e *Engine) At(cycle uint64, fn func()) {
 	heap.Push(&e.evts, event{cycle: cycle, seq: e.seq, fn: fn})
 }
 
-// After schedules fn to run delay cycles from now.
+// After schedules fn to run delay cycles from now. It provides the same
+// same-cycle FIFO ordering guarantee as At; After(0, fn) runs fn this cycle
+// after all currently queued same-cycle events.
 func (e *Engine) After(delay uint64, fn func()) {
 	e.At(e.now+delay, fn)
+}
+
+// SetProbe registers fn to be invoked at every multiple of every cycles,
+// interleaved with event execution but without scheduling any events: the
+// probe fires while the engine advances time between events, so it can
+// never extend a run, reorder work, or otherwise perturb simulated results.
+// The telemetry sampler is the intended client. fn observes the simulation
+// mid-cycle (Now() reports the probe boundary) and must not schedule
+// events. A nil fn or zero interval clears the probe.
+func (e *Engine) SetProbe(every uint64, fn func(cycle uint64)) {
+	if fn == nil || every == 0 {
+		e.probe = nil
+		e.probeEvery = 0
+		return
+	}
+	e.probe = fn
+	e.probeEvery = every
+	e.probeNext = (e.now/every + 1) * every
 }
 
 // Pending reports the number of scheduled events.
@@ -79,6 +107,16 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := heap.Pop(&e.evts).(event)
+	if e.probe != nil {
+		// Fire probe boundaries the clock crosses on its way to this
+		// event. The probe sees the state as of the boundary cycle:
+		// nothing else happened between the previous event and it.
+		for e.probeNext <= ev.cycle {
+			e.now = e.probeNext
+			e.probe(e.probeNext)
+			e.probeNext += e.probeEvery
+		}
+	}
 	e.now = ev.cycle
 	ev.fn()
 	return true

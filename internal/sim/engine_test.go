@@ -45,6 +45,64 @@ func TestEngineSchedulingInPastClamps(t *testing.T) {
 	}
 }
 
+// TestEnginePastEventRunsAfterQueuedSameCycle pins the ordering guarantee
+// documented on At: an event scheduled in the past is clamped to the
+// current cycle and still runs after every event already queued for this
+// cycle — it can never jump ahead of work scheduled before it.
+func TestEnginePastEventRunsAfterQueuedSameCycle(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.At(5, func() {
+		got = append(got, "a")
+		e.At(1, func() { got = append(got, "past") }) // past -> clamped to 5
+	})
+	e.At(5, func() { got = append(got, "b") }) // queued before the past event
+	e.At(5, func() { got = append(got, "c") })
+	end := e.Run()
+	if end != 5 {
+		t.Fatalf("final cycle = %d, want 5", end)
+	}
+	want := []string{"a", "b", "c", "past"}
+	if len(got) != len(want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v (past-scheduled event must run after already-queued same-cycle events)", got, want)
+		}
+	}
+}
+
+func TestEngineProbeFiresAtBoundariesWithoutScheduling(t *testing.T) {
+	e := NewEngine()
+	var probes []uint64
+	e.SetProbe(10, func(c uint64) {
+		probes = append(probes, c)
+		if e.Now() != c {
+			t.Fatalf("Now()=%d inside probe at %d", e.Now(), c)
+		}
+	})
+	e.At(5, func() {})
+	e.At(25, func() {})
+	e.At(47, func() {})
+	end := e.Run()
+	if end != 47 {
+		t.Fatalf("final cycle = %d, want 47 (probe must not extend the run)", end)
+	}
+	want := []uint64{10, 20, 30, 40}
+	if len(probes) != len(want) {
+		t.Fatalf("probes = %v, want %v", probes, want)
+	}
+	for i := range want {
+		if probes[i] != want[i] {
+			t.Fatalf("probes = %v, want %v", probes, want)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("probe left %d events pending", e.Pending())
+	}
+}
+
 func TestEngineRunUntil(t *testing.T) {
 	e := NewEngine()
 	count := 0

@@ -1,181 +1,29 @@
 package sim
 
-import (
-	"fmt"
-	"sort"
-)
+import "hwgc/internal/telemetry"
+
+// The statistics helpers (histograms, raw samples, binned series) were
+// absorbed into internal/telemetry, the unified observability layer, so the
+// metrics registry and the simulation kernel share one set of primitives.
+// They are re-exported here as aliases: sim remains the only import most
+// units need for a quick ad-hoc histogram, while telemetry owns the
+// implementations (and adds quantiles, registries, sampling and tracing on
+// top).
 
 // Histogram is a power-of-two bucketed histogram for positive integer
 // observations (latencies, sizes, access counts).
-type Histogram struct {
-	buckets [65]uint64
-	count   uint64
-	sum     uint64
-	max     uint64
-}
-
-// Observe records v.
-func (h *Histogram) Observe(v uint64) {
-	h.buckets[log2ceil(v)]++
-	h.count++
-	h.sum += v
-	if v > h.max {
-		h.max = v
-	}
-}
-
-// Count returns the number of observations.
-func (h *Histogram) Count() uint64 { return h.count }
-
-// Sum returns the sum of observations.
-func (h *Histogram) Sum() uint64 { return h.sum }
-
-// Max returns the largest observation.
-func (h *Histogram) Max() uint64 { return h.max }
-
-// Mean returns the arithmetic mean (0 if empty).
-func (h *Histogram) Mean() float64 {
-	if h.count == 0 {
-		return 0
-	}
-	return float64(h.sum) / float64(h.count)
-}
-
-// Bucket returns the count of observations v with log2ceil(v) == i.
-func (h *Histogram) Bucket(i int) uint64 {
-	if i < 0 || i >= len(h.buckets) {
-		return 0
-	}
-	return h.buckets[i]
-}
-
-// String summarizes the histogram.
-func (h *Histogram) String() string {
-	return fmt.Sprintf("n=%d mean=%.1f max=%d", h.count, h.Mean(), h.max)
-}
-
-func log2ceil(v uint64) int {
-	n := 0
-	for (uint64(1) << n) < v {
-		n++
-		if n == 64 {
-			break
-		}
-	}
-	return n
-}
+type Histogram = telemetry.Histogram
 
 // Sample retains raw float observations for exact quantiles (used for the
 // latency CDFs in the motivation experiments).
-type Sample struct {
-	vals   []float64
-	sorted bool
-}
-
-// Observe records v.
-func (s *Sample) Observe(v float64) {
-	s.vals = append(s.vals, v)
-	s.sorted = false
-}
-
-// Len returns the number of observations.
-func (s *Sample) Len() int { return len(s.vals) }
-
-// Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank.
-func (s *Sample) Quantile(q float64) float64 {
-	if len(s.vals) == 0 {
-		return 0
-	}
-	s.sort()
-	idx := int(q * float64(len(s.vals)-1))
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(s.vals) {
-		idx = len(s.vals) - 1
-	}
-	return s.vals[idx]
-}
-
-// Mean returns the arithmetic mean (0 if empty).
-func (s *Sample) Mean() float64 {
-	if len(s.vals) == 0 {
-		return 0
-	}
-	sum := 0.0
-	for _, v := range s.vals {
-		sum += v
-	}
-	return sum / float64(len(s.vals))
-}
-
-// Max returns the largest observation (0 if empty).
-func (s *Sample) Max() float64 {
-	if len(s.vals) == 0 {
-		return 0
-	}
-	s.sort()
-	return s.vals[len(s.vals)-1]
-}
-
-// CDF returns (value, cumulative fraction) pairs at each observation,
-// suitable for plotting the paper's Figure 1b.
-func (s *Sample) CDF() []CDFPoint {
-	s.sort()
-	out := make([]CDFPoint, len(s.vals))
-	for i, v := range s.vals {
-		out[i] = CDFPoint{Value: v, Fraction: float64(i+1) / float64(len(s.vals))}
-	}
-	return out
-}
-
-func (s *Sample) sort() {
-	if !s.sorted {
-		sort.Float64s(s.vals)
-		s.sorted = true
-	}
-}
+type Sample = telemetry.Sample
 
 // CDFPoint is one point of an empirical CDF.
-type CDFPoint struct {
-	Value    float64
-	Fraction float64
-}
+type CDFPoint = telemetry.CDFPoint
 
 // Series records a value sampled at fixed cycle intervals (bandwidth over
 // time in Figure 16).
-type Series struct {
-	Interval uint64 // cycles per sample
-	Points   []float64
-
-	acc     float64
-	lastBin uint64
-}
+type Series = telemetry.Series
 
 // NewSeries creates a series with the given sampling interval in cycles.
-func NewSeries(interval uint64) *Series {
-	if interval == 0 {
-		interval = 1
-	}
-	return &Series{Interval: interval}
-}
-
-// Add accumulates amount at the given cycle; samples are binned by
-// cycle/Interval and missing bins are zero-filled.
-func (s *Series) Add(cycle uint64, amount float64) {
-	bin := cycle / s.Interval
-	for s.lastBin < bin {
-		s.Points = append(s.Points, s.acc)
-		s.acc = 0
-		s.lastBin++
-	}
-	s.acc += amount
-}
-
-// Finish flushes the current bin and returns the points.
-func (s *Series) Finish() []float64 {
-	s.Points = append(s.Points, s.acc)
-	s.acc = 0
-	s.lastBin++
-	return s.Points
-}
+func NewSeries(interval uint64) *Series { return telemetry.NewSeries(interval) }

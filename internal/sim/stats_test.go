@@ -136,12 +136,3 @@ func TestSeriesBinning(t *testing.T) {
 		}
 	}
 }
-
-func TestLog2Ceil(t *testing.T) {
-	cases := map[uint64]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
-	for v, want := range cases {
-		if got := log2ceil(v); got != want {
-			t.Fatalf("log2ceil(%d) = %d, want %d", v, got, want)
-		}
-	}
-}

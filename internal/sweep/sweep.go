@@ -16,6 +16,7 @@ import (
 	"hwgc/internal/heap"
 	"hwgc/internal/rts"
 	"hwgc/internal/sim"
+	"hwgc/internal/telemetry"
 	"hwgc/internal/tilelink"
 	"hwgc/internal/vmem"
 )
@@ -63,6 +64,30 @@ type Unit struct {
 	CellsFreed   uint64
 	CellsLive    uint64
 	BlocksSwept  uint64
+}
+
+// AttachTelemetry registers the reclamation unit's metrics under sweep.* and
+// enables per-block trace spans, one per sweeper track, covering descriptor
+// load through descriptor write-back.
+func (u *Unit) AttachTelemetry(h *telemetry.Hub) {
+	if h == nil {
+		return
+	}
+	reg := h.Registry()
+	tel := h.Tracer()
+	reg.CounterFunc("sweep.cellsscanned", func() uint64 { return u.CellsScanned })
+	reg.CounterFunc("sweep.cellsfreed", func() uint64 { return u.CellsFreed })
+	reg.CounterFunc("sweep.cellslive", func() uint64 { return u.CellsLive })
+	reg.CounterFunc("sweep.blocksswept", func() uint64 { return u.BlocksSwept })
+	reg.Gauge("sweep.blocksleft", func() float64 { return float64(u.numBlocks - u.nextBlock) })
+	for _, sw := range u.sweepers {
+		sw.tel = tel
+		sw.telUnit = "sweep." + sweeperName(sw.id)
+		sw := sw
+		reg.Gauge(sw.telUnit+".pendingwrites", func() float64 { return float64(len(sw.pendingW)) })
+	}
+	u.Walker.AttachTelemetry(h, "sweep")
+	u.PTWCache.AttachTelemetry(h, "sweep-ptw")
 }
 
 // NewUnit wires a reclamation unit into the bus.
@@ -144,6 +169,10 @@ type sweeper struct {
 	freeHead uint64
 	live     uint64
 	pendingT bool
+
+	tel        *telemetry.Tracer // nil = tracing disabled (fast path)
+	telUnit    string            // "sweep.sweep<i>", precomputed at attach
+	blockStart uint64            // cycle the current block was claimed
 }
 
 func newSweeper(u *Unit, id int, port *tilelink.Port, tr *vmem.Translator) *sweeper {
@@ -181,6 +210,9 @@ func (sw *sweeper) step() bool {
 			return false
 		}
 		sw.block = b
+		if sw.tel != nil {
+			sw.blockStart = sw.u.eng.Now()
+		}
 		sw.state = swLoadDesc
 		return sw.loadDescriptor()
 	case swLoadDesc:
@@ -338,6 +370,10 @@ func (sw *sweeper) writeDescriptor() bool {
 func (sw *sweeper) issueDescWrite(pa uint64) {
 	if !sw.port.Issue(dram.Request{Addr: pa, Size: 16, Kind: dram.Write, Done: func(uint64) {
 		sw.u.BlocksSwept++
+		if sw.tel != nil {
+			sw.tel.Complete3(sw.telUnit, "sweep-block", sw.blockStart, sw.u.eng.Now(),
+				"block", uint64(sw.block), "cells", uint64(sw.cells), "live", sw.live)
+		}
 		sw.state = swIdle
 		sw.tick.Wake()
 	}}) {

@@ -1,0 +1,58 @@
+package telemetry
+
+import "sync/atomic"
+
+// Hub bundles the three telemetry surfaces a run attaches to its simulated
+// units: the metrics registry, the cycle sampler over it, and (optionally)
+// the structured event tracer. A nil *Hub disables everything.
+type Hub struct {
+	Reg     *Registry
+	Sampler *Sampler
+	Trace   *Tracer
+}
+
+// NewHub returns a hub with a registry and a sampler at the given interval
+// (0 = default 1024 cycles). Event tracing is off until EnableTrace.
+func NewHub(sampleEvery uint64) *Hub {
+	reg := NewRegistry()
+	return &Hub{Reg: reg, Sampler: NewSampler(reg, sampleEvery)}
+}
+
+// EnableTrace turns on structured event tracing and returns the tracer.
+func (h *Hub) EnableTrace() *Tracer {
+	if h.Trace == nil {
+		h.Trace = NewTracer()
+	}
+	return h.Trace
+}
+
+// Tracer returns the hub's event tracer (nil when the hub is nil or tracing
+// is disabled) — safe to call on a nil hub, so units can attach with
+// h.Tracer() unconditionally.
+func (h *Hub) Tracer() *Tracer {
+	if h == nil {
+		return nil
+	}
+	return h.Trace
+}
+
+// Registry returns the hub's registry (nil when the hub is nil).
+func (h *Hub) Registry() *Registry {
+	if h == nil {
+		return nil
+	}
+	return h.Reg
+}
+
+// def is the process-wide default hub, picked up by core.NewAppRunner so
+// whole-program tools (hwgc-bench) can instrument every system they build
+// without plumbing a hub through each experiment. Stored atomically so the
+// race detector stays quiet if tests probe it; the hub itself is still
+// single-threaded.
+var def atomic.Pointer[Hub]
+
+// SetDefault installs (or, with nil, clears) the process default hub.
+func SetDefault(h *Hub) { def.Store(h) }
+
+// Default returns the process default hub, or nil.
+func Default() *Hub { return def.Load() }

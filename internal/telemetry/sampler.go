@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Sampler snapshots the registry's time-varying metrics (gauges and rates)
+// at fixed cycle intervals into deterministic time series — the paper-style
+// occupancy/utilization curves (mark-queue depth, bank states, port
+// busy %). It is driven by the simulation engine's probe hook, which fires
+// at cycle boundaries between events without scheduling anything, so
+// sampling can never perturb simulated results.
+type Sampler struct {
+	reg *Registry
+	// Every is the sampling interval in cycles.
+	Every uint64
+
+	rows     []sampleRow
+	lastRate []uint64
+
+	// Cached sampled-metric list, rebuilt when the registry's generation
+	// changes (Sample is the probe hot path — re-sorting every name each
+	// tick would dominate the sampler's cost).
+	gen   int
+	names []string
+	ms    []*metric
+}
+
+// sampleRow is one snapshot. Rows taken under the same registry generation
+// share the names slice.
+type sampleRow struct {
+	cycle uint64
+	names []string
+	vals  []float64
+}
+
+// NewSampler returns a sampler over reg with the given interval.
+func NewSampler(reg *Registry, every uint64) *Sampler {
+	if every == 0 {
+		every = 1024
+	}
+	return &Sampler{reg: reg, Every: every}
+}
+
+// refresh rebuilds the sampled-metric cache after new registrations. Rate
+// baselines carry over by name so a mid-run attach does not spike deltas.
+func (s *Sampler) refresh() {
+	if s.names != nil && s.gen == s.reg.gen {
+		return
+	}
+	prev := make(map[string]uint64, len(s.names))
+	for i, n := range s.names {
+		if s.ms[i].kind == KindRate {
+			prev[n] = s.lastRate[i]
+		}
+	}
+	s.gen = s.reg.gen
+	s.names = s.names[:0:0]
+	s.ms = s.ms[:0:0]
+	s.lastRate = s.lastRate[:0:0]
+	for _, n := range s.reg.Names() {
+		m := s.reg.metrics[n]
+		if m.kind == KindGauge || m.kind == KindRate {
+			s.names = append(s.names, n)
+			s.ms = append(s.ms, m)
+			s.lastRate = append(s.lastRate, prev[n])
+		}
+	}
+}
+
+// Sample records one snapshot at the given cycle: every gauge's current
+// value and every rate's per-cycle delta since the previous sample, in
+// sorted name order.
+func (s *Sampler) Sample(cycle uint64) {
+	if s == nil || s.reg == nil {
+		return
+	}
+	s.refresh()
+	vals := make([]float64, len(s.ms))
+	for i, m := range s.ms {
+		switch m.kind {
+		case KindGauge:
+			if m.gauge != nil {
+				vals[i] = m.gauge()
+			}
+		case KindRate:
+			v := m.rate.Value()
+			vals[i] = float64(v-s.lastRate[i]) / float64(s.Every)
+			s.lastRate[i] = v
+		}
+	}
+	s.rows = append(s.rows, sampleRow{cycle: cycle, names: s.names, vals: vals})
+}
+
+// Len returns the number of recorded samples.
+func (s *Sampler) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.rows)
+}
+
+// Series extracts one metric's time series as (cycle, value) pairs from the
+// recorded samples.
+func (s *Sampler) Series(name string) (cycles []uint64, vals []float64) {
+	if s == nil {
+		return nil, nil
+	}
+	for _, row := range s.rows {
+		for i, n := range row.names {
+			if n == name {
+				cycles = append(cycles, row.cycle)
+				vals = append(vals, row.vals[i])
+				break
+			}
+		}
+	}
+	return cycles, vals
+}
+
+// WriteJSONL writes one JSON object per sample tick:
+//
+//	{"cycle":2048,"metrics":{"dram.bank0.openrow":17,...}}
+//
+// Keys are sorted and floats formatted deterministically, so identical runs
+// produce byte-identical output.
+func (s *Sampler) WriteJSONL(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	for _, row := range s.rows {
+		if _, err := fmt.Fprintf(w, `{"cycle":%d,"metrics":{`, row.cycle); err != nil {
+			return err
+		}
+		for i, n := range row.names {
+			sep := ","
+			if i == 0 {
+				sep = ""
+			}
+			if _, err := fmt.Fprintf(w, "%s%s:%s", sep, strconv.Quote(n), fnum(row.vals[i])); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "}}\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

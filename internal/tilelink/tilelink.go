@@ -14,6 +14,7 @@ import (
 
 	"hwgc/internal/dram"
 	"hwgc/internal/sim"
+	"hwgc/internal/telemetry"
 )
 
 // MaxTransfer is the largest transfer size in bytes (one cache line).
@@ -57,6 +58,10 @@ type Bus struct {
 	firstGrant uint64
 	lastGrant  uint64
 	haveGrant  bool
+
+	tel     *telemetry.Tracer // nil = tracing disabled (fast path)
+	rGrants *telemetry.Rate
+	rBytes  *telemetry.Rate
 }
 
 // New returns a bus feeding mem.
@@ -69,9 +74,34 @@ func New(eng *sim.Engine, mem dram.Memory) *Bus {
 
 // NewPort registers a client with the given per-port queue depth.
 func (b *Bus) NewPort(name string, depth int) *Port {
-	p := &Port{bus: b, name: name, q: sim.NewQueue[dram.Request](depth)}
+	p := &Port{bus: b, name: name, q: sim.NewQueue[dram.Request](depth),
+		grantLabel: "grant:" + name}
 	b.ports = append(b.ports, p)
 	return p
+}
+
+// AttachTelemetry registers interconnect metrics under tilelink.* (totals,
+// a sampled grants-per-cycle rate, per-port request counters and queue
+// occupancy gauges) and enables per-grant trace spans, one per arbiter
+// grant, labelled with the granted port.
+func (b *Bus) AttachTelemetry(h *telemetry.Hub) {
+	if h == nil {
+		return
+	}
+	b.tel = h.Tracer()
+	reg := h.Registry()
+	b.rGrants = reg.Rate("tilelink.grants.rate")
+	b.rBytes = reg.Rate("tilelink.bytes.rate")
+	reg.CounterFunc("tilelink.grants", func() uint64 { return b.Grants })
+	reg.CounterFunc("tilelink.grantbytes", func() uint64 { return b.GrantBytes })
+	reg.CounterFunc("tilelink.busybeats", func() uint64 { return b.BusyBeats })
+	for _, p := range b.ports {
+		p := p
+		prefix := "tilelink.port." + p.name + "."
+		reg.CounterFunc(prefix+"requests", func() uint64 { return p.Requests })
+		reg.CounterFunc(prefix+"bytes", func() uint64 { return p.Bytes })
+		reg.Gauge(prefix+"occupancy", func() float64 { return float64(p.q.Len()) })
+	}
 }
 
 // step grants one request when the port channel is free; the message then
@@ -106,6 +136,11 @@ func (b *Bus) step() bool {
 		}
 		b.busyUntil = now + hold
 		b.BusyBeats += occ
+		b.rGrants.Inc()
+		b.rBytes.Add(req.Size)
+		if b.tel != nil {
+			b.tel.Complete1("tilelink", p.grantLabel, now, now+occ, "bytes", req.Size)
+		}
 		if !b.haveGrant {
 			b.firstGrant = now
 			b.haveGrant = true
@@ -160,9 +195,10 @@ func (b *Bus) Ports() []*Port { return b.ports }
 // Port is one client attachment point. Requests queue here until the
 // arbiter grants them.
 type Port struct {
-	bus  *Bus
-	name string
-	q    *sim.Queue[dram.Request]
+	bus        *Bus
+	name       string
+	grantLabel string // "grant:<name>", precomputed so tracing never allocates
+	q          *sim.Queue[dram.Request]
 
 	// Requests counts requests issued through this port.
 	Requests uint64

@@ -5,6 +5,7 @@ import (
 	"hwgc/internal/dram"
 	"hwgc/internal/heap"
 	"hwgc/internal/sim"
+	"hwgc/internal/telemetry"
 	"hwgc/internal/vmem"
 )
 
@@ -51,6 +52,9 @@ type Marker struct {
 	// (Figure 21a). It counts every mark-queue pop for an object,
 	// including ones the mark-bit cache filters.
 	Probes map[uint64]int
+
+	tel  *telemetry.Tracer    // nil = tracing disabled (fast path)
+	hLat *telemetry.Histogram // mark issue-to-completion latency
 }
 
 // NewMarker builds a marker with the given number of request slots.
@@ -116,36 +120,44 @@ func (m *Marker) step() bool {
 // so that overlapping marks of the same object stay idempotent.
 func (m *Marker) issueMark(ref, pa uint64) {
 	old := m.h.MarkAMO(m.h.StatusAddr(ref))
+	start := m.eng.Now()
 	ok := m.issuer.TryIssue(pa, 8, dram.Read, func(uint64) {
-		m.complete(ref, pa, old)
+		m.complete(ref, pa, old, start)
 	})
 	if !ok {
 		// Port full: undo nothing (AMO already applied, response
 		// ordering is unaffected); retry next cycle.
-		m.eng.After(1, func() { m.retryMark(ref, pa, old) })
+		m.eng.After(1, func() { m.retryMark(ref, pa, old, start) })
 		return
 	}
 	m.Marks++
 }
 
-func (m *Marker) retryMark(ref, pa, old uint64) {
+func (m *Marker) retryMark(ref, pa, old, start uint64) {
 	ok := m.issuer.TryIssue(pa, 8, dram.Read, func(uint64) {
-		m.complete(ref, pa, old)
+		m.complete(ref, pa, old, start)
 	})
 	if !ok {
-		m.eng.After(1, func() { m.retryMark(ref, pa, old) })
+		m.eng.After(1, func() { m.retryMark(ref, pa, old, start) })
 		return
 	}
 	m.Marks++
 }
 
-func (m *Marker) complete(ref, pa, old uint64) {
+func (m *Marker) complete(ref, pa, old, start uint64) {
+	m.hLat.Observe(m.eng.Now() - start)
 	if m.h.IsMarkedStatus(old) {
 		m.AlreadyMarked++
+		if m.tel != nil {
+			m.tel.Complete1("tracer.marker", "mark-dup", start, m.eng.Now(), "ref", ref)
+		}
 		m.freeSlot()
 		return
 	}
 	m.NewlyMarked++
+	if m.tel != nil {
+		m.tel.Complete1("tracer.marker", "mark-new", start, m.eng.Now(), "ref", ref)
+	}
 	m.writeback(pa)
 	if n := heap.NumRefs(old); n > 0 {
 		va, bytes := m.h.RefSpan(ref, n)

@@ -10,6 +10,7 @@ import (
 	"hwgc/internal/dram"
 	"hwgc/internal/mem"
 	"hwgc/internal/sim"
+	"hwgc/internal/telemetry"
 )
 
 // SpillConfig locates the driver-allocated physical spill region and
@@ -66,6 +67,9 @@ type MarkQueue struct {
 	SpilledEntries uint64
 	DirectCopies   uint64
 	PeakDepth      int
+
+	tel   *telemetry.Tracer // nil = tracing disabled (fast path)
+	rPush *telemetry.Rate
 }
 
 // NewMarkQueue builds a mark queue. mainEntries sizes Q, stageEntries sizes
@@ -151,6 +155,7 @@ func (mq *MarkQueue) Push(ref uint64) bool {
 		if mq.reserved > 0 {
 			mq.reserved--
 		}
+		mq.rPush.Inc()
 		if d := mq.Len(); d > mq.PeakDepth {
 			mq.PeakDepth = d
 		}
@@ -213,6 +218,10 @@ func (mq *MarkQueue) step() bool {
 		mq.stored += uint64(burst)
 		mq.SpillWriteReqs++
 		mq.SpilledEntries += uint64(burst)
+		if mq.tel != nil {
+			mq.tel.Instant1("tracer.markq", "spill-write", mq.eng.Now(),
+				"entries", uint64(burst))
+		}
 		if mq.notifySpace != nil {
 			mq.notifySpace()
 		}
@@ -223,6 +232,10 @@ func (mq *MarkQueue) step() bool {
 	if mq.stored > 0 && !mq.refillPending && mq.inQ.Free() >= burst && mq.issuer.Free() > 0 {
 		addr := mq.cfg.Base + mq.head
 		mq.refillPending = true
+		var start uint64
+		if mq.tel != nil {
+			start = mq.eng.Now()
+		}
 		mq.issuer.TryIssue(addr, 64, dram.Read, func(uint64) {
 			for i := 0; i < burst; i++ {
 				mq.inQ.Push(mq.loadEntry(addr, i))
@@ -231,6 +244,10 @@ func (mq *MarkQueue) step() bool {
 			mq.stored -= uint64(burst)
 			mq.refillPending = false
 			mq.SpillReadReqs++
+			if mq.tel != nil {
+				mq.tel.Complete1("tracer.markq", "spill-read", start,
+					mq.eng.Now(), "entries", uint64(burst))
+			}
 			if mq.notifyAvail != nil {
 				mq.notifyAvail()
 			}

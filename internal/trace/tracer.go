@@ -4,6 +4,7 @@ import (
 	"hwgc/internal/dram"
 	"hwgc/internal/heap"
 	"hwgc/internal/sim"
+	"hwgc/internal/telemetry"
 	"hwgc/internal/vmem"
 )
 
@@ -42,6 +43,9 @@ type Tracer struct {
 	RefsFetched uint64
 	RefsPushed  uint64
 	Throttled   uint64 // cycles skipped due to the mark-queue throttle
+
+	tel     *telemetry.Tracer // nil = tracing disabled (fast path)
+	telUnit string            // "tracer.tracer" or "tracer.reader", set at attach
 }
 
 // NewTracer builds a tracer over the given input span queue.
@@ -112,7 +116,11 @@ func (t *Tracer) step() bool {
 	}
 	t.mq.Reserve(refs)
 	pa := t.curPA
-	if !t.issuer.TryIssue(pa, size, dram.Read, func(uint64) { t.chunkDone(pa, refs) }) {
+	var start uint64
+	if t.tel != nil {
+		start = t.eng.Now()
+	}
+	if !t.issuer.TryIssue(pa, size, dram.Read, func(uint64) { t.chunkDone(pa, refs, start) }) {
 		t.mq.Unreserve(refs)
 		return false
 	}
@@ -152,7 +160,11 @@ func (t *Tracer) chunkSize() uint64 {
 
 // chunkDone functionally reads the fetched reference slots and pushes the
 // non-null ones into the mark queue.
-func (t *Tracer) chunkDone(pa uint64, refs int) {
+func (t *Tracer) chunkDone(pa uint64, refs int, start uint64) {
+	if t.tel != nil {
+		t.tel.Complete2(t.telUnit, "chunk", start, t.eng.Now(),
+			"pa", pa, "refs", uint64(refs))
+	}
 	for i := 0; i < refs; i++ {
 		t.RefsFetched++
 		ref := t.h.Mem.Load64(pa + uint64(8*i))
@@ -167,4 +179,21 @@ func (t *Tracer) chunkDone(pa uint64, refs int) {
 	}
 	t.inflight--
 	t.tick.Wake()
+}
+
+// attachTelemetry registers the tracer's metrics under unit.* (the traversal
+// unit owns two Tracer instances — the tracer proper and the root reader —
+// so the unit name disambiguates) and enables per-chunk trace spans.
+func (t *Tracer) attachTelemetry(h *telemetry.Hub, unit string) {
+	t.tel = h.Tracer()
+	t.telUnit = unit
+	reg := h.Registry()
+	prefix := unit + "."
+	reg.CounterFunc(prefix+"spans", func() uint64 { return t.Spans })
+	reg.CounterFunc(prefix+"chunkreqs", func() uint64 { return t.ChunkReqs })
+	reg.CounterFunc(prefix+"refsfetched", func() uint64 { return t.RefsFetched })
+	reg.CounterFunc(prefix+"refspushed", func() uint64 { return t.RefsPushed })
+	reg.CounterFunc(prefix+"throttled", func() uint64 { return t.Throttled })
+	reg.Gauge(prefix+"inflight", func() float64 { return float64(t.inflight) })
+	reg.Gauge(prefix+"inq.occupancy", func() float64 { return float64(t.in.Len()) })
 }

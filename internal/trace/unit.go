@@ -5,6 +5,7 @@ import (
 	"hwgc/internal/cache"
 	"hwgc/internal/rts"
 	"hwgc/internal/sim"
+	"hwgc/internal/telemetry"
 	"hwgc/internal/tilelink"
 	"hwgc/internal/vmem"
 )
@@ -150,6 +151,50 @@ func NewUnit(eng *sim.Engine, bus *tilelink.Bus, sys *rts.System, cfg Config) *U
 		u.MarkQPort.SetOnSpace(func() { u.MQ.Wake() })
 	}
 	return u
+}
+
+// AttachTelemetry registers the traversal unit's metrics under tracer.* and
+// enables trace spans on every subunit: per-mark spans (marker), per-chunk
+// spans (tracer and root reader), spill traffic (mark queue), page walks
+// (walker), and miss fills (shared or PTW cache).
+func (u *Unit) AttachTelemetry(h *telemetry.Hub) {
+	if h == nil {
+		return
+	}
+	reg := h.Registry()
+	tel := h.Tracer()
+
+	mq := u.MQ
+	mq.tel = tel
+	mq.rPush = reg.Rate("tracer.markqueue.pushes.rate")
+	reg.Gauge("tracer.markqueue.occupancy", func() float64 { return float64(mq.Len()) })
+	reg.Gauge("tracer.markqueue.stored", func() float64 { return float64(mq.stored) })
+	reg.CounterFunc("tracer.markqueue.peakdepth", func() uint64 { return uint64(mq.PeakDepth) })
+	reg.CounterFunc("tracer.markqueue.spillwritereqs", func() uint64 { return mq.SpillWriteReqs })
+	reg.CounterFunc("tracer.markqueue.spillreadreqs", func() uint64 { return mq.SpillReadReqs })
+	reg.CounterFunc("tracer.markqueue.spilledentries", func() uint64 { return mq.SpilledEntries })
+	reg.CounterFunc("tracer.markqueue.directcopies", func() uint64 { return mq.DirectCopies })
+
+	m := u.Marker
+	m.tel = tel
+	m.hLat = reg.Histogram("tracer.marker.latency")
+	reg.CounterFunc("tracer.marker.marks", func() uint64 { return m.Marks })
+	reg.CounterFunc("tracer.marker.newlymarked", func() uint64 { return m.NewlyMarked })
+	reg.CounterFunc("tracer.marker.alreadymarked", func() uint64 { return m.AlreadyMarked })
+	reg.CounterFunc("tracer.marker.filtered", func() uint64 { return m.Filtered })
+	reg.CounterFunc("tracer.marker.enqueuedspans", func() uint64 { return m.EnqueuedSpans })
+	reg.CounterFunc("tracer.marker.writebackstall", func() uint64 { return m.WritebackStall })
+	reg.Gauge("tracer.marker.inflight", func() float64 { return float64(m.inflight) })
+
+	u.Tracer.attachTelemetry(h, "tracer.tracer")
+	u.Reader.attachTelemetry(h, "tracer.reader")
+	u.Walker.AttachTelemetry(h, "tracer")
+	if u.Shared != nil {
+		u.Shared.AttachTelemetry(h, "shared")
+	}
+	if u.PTWCache != nil {
+		u.PTWCache.AttachTelemetry(h, "ptw")
+	}
 }
 
 // StartMark launches the mark phase: the reader streams the hwgc-space

@@ -4,6 +4,7 @@ import (
 	"hwgc/internal/cache"
 	"hwgc/internal/dram"
 	"hwgc/internal/sim"
+	"hwgc/internal/telemetry"
 	"hwgc/internal/tilelink"
 )
 
@@ -32,11 +33,15 @@ type Walker struct {
 	PTEFetches uint64
 	Faults     uint64
 	L2Hits     uint64
+
+	tel     *telemetry.Tracer // nil = tracing disabled (fast path)
+	telUnit string            // "<owner>.walker", precomputed at attach
 }
 
 type walkReq struct {
-	va   uint64
-	done func(pa uint64, pageBits int, ok bool)
+	va    uint64
+	start uint64 // request cycle (trace spans; 0 when tracing is off)
+	done  func(pa uint64, pageBits int, ok bool)
 }
 
 // NewWalker returns a walker reading page tables rooted in pt. Exactly one
@@ -62,7 +67,11 @@ func (w *Walker) Walk(va uint64, done func(pa uint64, pageBits int, ok bool)) {
 			return
 		}
 	}
-	w.queue.Push(walkReq{va: va, done: done})
+	var start uint64
+	if w.tel != nil {
+		start = w.eng.Now()
+	}
+	w.queue.Push(walkReq{va: va, start: start, done: done})
 	w.kick()
 }
 
@@ -111,6 +120,9 @@ func (w *Walker) finish(req walkReq, pa uint64, bits int, valid bool) {
 	} else if w.l2 != nil {
 		w.l2.Insert(req.va, pa, bits)
 	}
+	if w.tel != nil {
+		w.tel.Complete1(w.telUnit, "walk", req.start, w.eng.Now(), "va", req.va)
+	}
 	w.busy = false
 	req.done(pa, bits, valid)
 	w.kick()
@@ -118,6 +130,25 @@ func (w *Walker) finish(req walkReq, pa uint64, bits int, valid bool) {
 
 // QueueLen returns the number of pending walks (tests).
 func (w *Walker) QueueLen() int { return w.queue.Len() }
+
+// AttachTelemetry registers the walker's metrics under <owner>.walker.*
+// (owner distinguishes the traversal unit's walker from the reclamation
+// unit's) and enables per-walk trace spans covering request to completion,
+// queueing included.
+func (w *Walker) AttachTelemetry(h *telemetry.Hub, owner string) {
+	if h == nil {
+		return
+	}
+	w.tel = h.Tracer()
+	w.telUnit = owner + ".walker"
+	reg := h.Registry()
+	prefix := w.telUnit + "."
+	reg.CounterFunc(prefix+"walks", func() uint64 { return w.Walks })
+	reg.CounterFunc(prefix+"ptefetches", func() uint64 { return w.PTEFetches })
+	reg.CounterFunc(prefix+"faults", func() uint64 { return w.Faults })
+	reg.CounterFunc(prefix+"l2hits", func() uint64 { return w.L2Hits })
+	reg.Gauge(prefix+"queue.occupancy", func() float64 { return float64(w.queue.Len()) })
+}
 
 // Translator is a per-unit L1 TLB front end over the shared walker. It is
 // blocking: while a miss is outstanding the unit cannot translate further

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Repo hygiene gate: vet, formatting, and the full test suite under the race
+# detector. Run from anywhere inside the repo.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== gofmt -l ."
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "ok"
