@@ -49,6 +49,35 @@ func BenchmarkAblLayout(b *testing.B)           { benchExperiment(b, "abl-layout
 func BenchmarkAblBarriers(b *testing.B)         { benchExperiment(b, "abl-barriers") }
 func BenchmarkAblThrottle(b *testing.B)         { benchExperiment(b, "abl-throttle") }
 
+// benchFullSuite runs every experiment through the fleet at the given
+// width and reports host wall time per full suite (workloads carry an extra
+// shrink so one iteration stays in benchmark territory; run with
+// -benchtime=1x for the scripts/bench.sh numbers).
+func benchFullSuite(b *testing.B, parallel int) {
+	b.Helper()
+	o := QuickOptions()
+	o.Shrink = 8
+	runners := Experiments()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, res := range RunFleet(runners, o, parallel) {
+			if res.Err != nil {
+				b.Fatalf("%s: %v", res.Runner.ID, res.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkHostFullSuiteSerial is the quick experiment suite end to end,
+// one cell at a time.
+func BenchmarkHostFullSuiteSerial(b *testing.B) { benchFullSuite(b, 1) }
+
+// BenchmarkHostFullSuiteParallel is the same suite fanned out to GOMAXPROCS
+// workers; on a multi-core host wall time drops while output stays
+// byte-identical (see internal/experiments.TestFleetParallelMatchesSerial).
+func BenchmarkHostFullSuiteParallel(b *testing.B) { benchFullSuite(b, 0) }
+
 // BenchmarkUnitMarkPhase measures one hardware mark phase end to end
 // (cycles are simulated; ns/op is host time to simulate it).
 func BenchmarkUnitMarkPhase(b *testing.B) {

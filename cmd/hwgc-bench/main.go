@@ -7,6 +7,8 @@
 //	hwgc-bench                  # run everything at full scale
 //	hwgc-bench -quick           # reduced-scale smoke run
 //	hwgc-bench -only fig15,fig20
+//	hwgc-bench -run 'fig1[0-9]' # regexp over experiment IDs
+//	hwgc-bench -parallel 8      # worker count (default GOMAXPROCS)
 //	hwgc-bench -list
 package main
 
@@ -15,6 +17,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
+	"runtime"
 	"strings"
 
 	"hwgc"
@@ -23,6 +27,8 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced-scale workloads (~4x smaller)")
 	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
+	runFilter := flag.String("run", "", "regexp over experiment IDs (composes with -only)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation cells (<=1 serial)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	gcs := flag.Int("gcs", 0, "collections per benchmark (0 = default)")
 	seed := flag.Uint64("seed", 42, "workload seed")
@@ -53,9 +59,20 @@ func main() {
 			selected[id] = true
 		}
 	}
+	var runRE *regexp.Regexp
+	if *runFilter != "" {
+		re, err := regexp.Compile(*runFilter)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -run pattern: %v\n", err)
+			os.Exit(2)
+		}
+		runRE = re
+	}
 
 	// The default hub instruments every system the experiment runners build
-	// internally; samples and events accumulate across all experiments.
+	// internally; samples and events accumulate across all experiments. The
+	// hub is single-threaded by design, so telemetry runs force the fleet
+	// serial (Width detects the installed hub).
 	var tel *hwgc.Telemetry
 	if *metricsOut != "" || *traceOut != "" {
 		tel = hwgc.NewTelemetry(*sampleEvery)
@@ -64,20 +81,30 @@ func main() {
 		}
 		hwgc.SetDefaultTelemetry(tel)
 		defer hwgc.SetDefaultTelemetry(nil)
+		if *parallel > 1 {
+			fmt.Fprintln(os.Stderr, "note: telemetry output requested; running serially")
+		}
 	}
 
-	failed := 0
+	var runners []hwgc.ExperimentRunner
 	for _, r := range hwgc.Experiments() {
 		if len(selected) > 0 && !selected[r.ID] {
 			continue
 		}
-		rep, err := r.Run(opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: ERROR: %v\n", r.ID, err)
+		if runRE != nil && !runRE.MatchString(r.ID) {
+			continue
+		}
+		runners = append(runners, r)
+	}
+
+	failed := 0
+	for _, res := range hwgc.RunFleet(runners, opts, *parallel) {
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: ERROR: %v\n", res.Runner.ID, res.Err)
 			failed++
 			continue
 		}
-		fmt.Println(rep.String())
+		fmt.Println(res.Report.String())
 	}
 
 	if tel != nil {

@@ -8,13 +8,18 @@
 //	hwgc-sim -bench xalan -collector hw -gcs 3
 //	hwgc-sim -bench avrora -collector sw -memory pipe
 //	hwgc-sim -bench luindex -collector hw -sweepers 4 -markq 256 -compress
+//	hwgc-sim -run 'lu.*' -parallel 4   # fan matching benchmarks out
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"regexp"
+	"runtime"
+	"sync"
 
 	"hwgc"
 	"hwgc/internal/core"
@@ -23,6 +28,8 @@ import (
 
 func main() {
 	bench := flag.String("bench", "avrora", "benchmark: avrora, luindex, lusearch, pmd, sunflow, xalan")
+	runFilter := flag.String("run", "", "regexp over benchmark names; run every match (overrides -bench)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent benchmark runs with -run (<=1 serial)")
 	collector := flag.String("collector", "hw", "collector: hw (GC unit) or sw (CPU baseline)")
 	gcs := flag.Int("gcs", 3, "number of collections")
 	seed := flag.Uint64("seed", 42, "workload seed")
@@ -39,11 +46,31 @@ func main() {
 	sampleEvery := flag.Uint64("sample-every", 1024, "gauge sampling interval in cycles")
 	flag.Parse()
 
-	spec, ok := workload.ByName(*bench)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
-		os.Exit(2)
+	var specsToRun []workload.Spec
+	if *runFilter != "" {
+		re, err := regexp.Compile(*runFilter)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -run pattern: %v\n", err)
+			os.Exit(2)
+		}
+		for _, s := range workload.DaCapo() {
+			if re.MatchString(s.Name) {
+				specsToRun = append(specsToRun, s)
+			}
+		}
+		if len(specsToRun) == 0 {
+			fmt.Fprintf(os.Stderr, "no benchmark matches %q\n", *runFilter)
+			os.Exit(2)
+		}
+	} else {
+		spec, ok := workload.ByName(*bench)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+			os.Exit(2)
+		}
+		specsToRun = []workload.Spec{spec}
 	}
+
 	cfg := hwgc.ScaledConfig()
 	if *memory == "pipe" {
 		cfg.Memory = core.MemPipe
@@ -66,67 +93,64 @@ func main() {
 		kind = core.SWCollector
 	}
 
+	// The hub's registry and sampler are single-threaded by design, so
+	// telemetry output forces a serial sweep even under -run.
 	var tel *hwgc.Telemetry
+	width := *parallel
 	if *metricsOut != "" || *traceOut != "" {
 		tel = hwgc.NewTelemetry(*sampleEvery)
 		if *traceOut != "" {
 			tel.EnableTrace()
 		}
-	}
-
-	runner, err := core.NewAppRunner(cfg, spec, kind, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	runner.AttachTelemetry(tel)
-	runner.Validate = *validate
-	fmt.Printf("%s on %s, %d collections (memory=%s)\n", kind, spec.Name, *gcs, *memory)
-	for i := 0; i < *gcs; i++ {
-		if err := runner.Step(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if width > 1 && len(specsToRun) > 1 {
+			fmt.Fprintln(os.Stderr, "note: telemetry output requested; running serially")
 		}
-		g := runner.Res.GCs[i]
-		fmt.Printf("GC %d: mark %8.3f ms  sweep %8.3f ms  marked %7d  freed %7d\n",
-			i+1, g.MarkMS(), g.SweepMS(), g.Marked, g.Freed)
+		width = 1
 	}
-	mean := runner.Res.MeanGC()
-	fmt.Printf("mean: mark %8.3f ms  sweep %8.3f ms\n", mean.MarkMS(), mean.SweepMS())
-	fmt.Printf("GC share of CPU time: %.1f%%\n", runner.Res.GCFraction()*100)
 
-	if kind == core.HWCollector {
-		hw := runner.HW
-		fmt.Printf("\ntraversal unit:\n")
-		m := hw.Trace.Marker
-		fmt.Printf("  marker: %d reads (%d newly marked, %d already marked, %d filtered)\n",
-			m.Marks, m.NewlyMarked, m.AlreadyMarked, m.Filtered)
-		tr := hw.Trace.Tracer
-		fmt.Printf("  tracer: %d spans, %d chunk requests, %d refs fetched (%d pushed)\n",
-			tr.Spans, tr.ChunkReqs, tr.RefsFetched, tr.RefsPushed)
-		mq := hw.Trace.MQ
-		fmt.Printf("  mark queue: peak depth %d, spill writes %d, spill reads %d, direct copies %d\n",
-			mq.PeakDepth, mq.SpillWriteReqs, mq.SpillReadReqs, mq.DirectCopies)
-		fmt.Printf("  walker: %d walks, %d PTE fetches, %d L2 TLB hits\n",
-			hw.Trace.Walker.Walks, hw.Trace.Walker.PTEFetches, hw.Trace.Walker.L2Hits)
-		fmt.Printf("reclamation unit: %d blocks, %d cells scanned, %d freed, %d live\n",
-			hw.Sweep.BlocksSwept, hw.Sweep.CellsScanned, hw.Sweep.CellsFreed, hw.Sweep.CellsLive)
-		fmt.Printf("interconnect: %d grants, busy %.1f%%, %.2f cycles/request\n",
-			hw.Bus.Grants, hw.Bus.BusyFraction()*100, hw.Bus.CyclesPerRequest())
-		st := hw.MemStats()
-		fmt.Printf("DRAM: %d accesses, %.1f MB, row hits %d / misses %d / conflicts %d\n",
-			st.Accesses, float64(st.Bytes)/1e6, st.RowHits, st.RowMisses, st.RowConflicts)
-	} else {
-		sw := runner.SW
-		fmt.Printf("\nCPU: %d instructions, %d memory ops, %d mispredicts\n",
-			sw.CPU.Instructions, sw.CPU.MemOps, sw.CPU.Mispredicts)
-		fmt.Printf("L1: %d hits / %d misses; L2: %d hits / %d misses\n",
-			sw.CPU.L1.Hits(), sw.CPU.L1.Misses(), sw.CPU.L2.Hits(), sw.CPU.L2.Misses())
-		st := sw.Sync.Stats()
-		fmt.Printf("DRAM: %d accesses, %.1f MB\n", st.Accesses, float64(st.Bytes)/1e6)
+	run := func(w io.Writer, spec workload.Spec) error {
+		return runOne(w, cfg, spec, kind, *gcs, *seed, *memory, *validate, tel)
 	}
-	if *validate {
-		fmt.Println("\nvalidation: marks and sweeps matched the reachability ground truth")
+
+	failed := 0
+	if width <= 1 || len(specsToRun) <= 1 {
+		for _, spec := range specsToRun {
+			if err := run(os.Stdout, spec); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", spec.Name, err)
+				failed++
+			}
+		}
+	} else {
+		// Fan benchmarks out, each rendering into its own buffer, and print
+		// in canonical (flag) order so output matches a serial run.
+		if width > len(specsToRun) {
+			width = len(specsToRun)
+		}
+		bufs := make([]bytes.Buffer, len(specsToRun))
+		errs := make([]error, len(specsToRun))
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < width; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					errs[i] = run(&bufs[i], specsToRun[i])
+				}
+			}()
+		}
+		for i := range specsToRun {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		for i := range specsToRun {
+			os.Stdout.Write(bufs[i].Bytes())
+			if errs[i] != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", specsToRun[i].Name, errs[i])
+				failed++
+			}
+		}
 	}
 
 	if tel != nil {
@@ -145,6 +169,69 @@ func main() {
 				len(tel.Trace.Events()), *traceOut)
 		}
 	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// runOne executes one benchmark/collector simulation and renders the full
+// report into w.
+func runOne(w io.Writer, cfg hwgc.Config, spec workload.Spec, kind core.CollectorKind,
+	gcs int, seed uint64, memory string, validate bool, tel *hwgc.Telemetry) error {
+	runner, err := core.NewAppRunner(cfg, spec, kind, seed)
+	if err != nil {
+		return err
+	}
+	runner.AttachTelemetry(tel)
+	runner.Validate = validate
+	fmt.Fprintf(w, "%s on %s, %d collections (memory=%s)\n", kind, spec.Name, gcs, memory)
+	for i := 0; i < gcs; i++ {
+		if err := runner.Step(); err != nil {
+			return err
+		}
+		g := runner.Res.GCs[i]
+		fmt.Fprintf(w, "GC %d: mark %8.3f ms  sweep %8.3f ms  marked %7d  freed %7d\n",
+			i+1, g.MarkMS(), g.SweepMS(), g.Marked, g.Freed)
+	}
+	mean := runner.Res.MeanGC()
+	fmt.Fprintf(w, "mean: mark %8.3f ms  sweep %8.3f ms\n", mean.MarkMS(), mean.SweepMS())
+	fmt.Fprintf(w, "GC share of CPU time: %.1f%%\n", runner.Res.GCFraction()*100)
+
+	if kind == core.HWCollector {
+		hw := runner.HW
+		fmt.Fprintf(w, "\ntraversal unit:\n")
+		m := hw.Trace.Marker
+		fmt.Fprintf(w, "  marker: %d reads (%d newly marked, %d already marked, %d filtered)\n",
+			m.Marks, m.NewlyMarked, m.AlreadyMarked, m.Filtered)
+		tr := hw.Trace.Tracer
+		fmt.Fprintf(w, "  tracer: %d spans, %d chunk requests, %d refs fetched (%d pushed)\n",
+			tr.Spans, tr.ChunkReqs, tr.RefsFetched, tr.RefsPushed)
+		mq := hw.Trace.MQ
+		fmt.Fprintf(w, "  mark queue: peak depth %d, spill writes %d, spill reads %d, direct copies %d\n",
+			mq.PeakDepth, mq.SpillWriteReqs, mq.SpillReadReqs, mq.DirectCopies)
+		fmt.Fprintf(w, "  walker: %d walks, %d PTE fetches, %d L2 TLB hits\n",
+			hw.Trace.Walker.Walks, hw.Trace.Walker.PTEFetches, hw.Trace.Walker.L2Hits)
+		fmt.Fprintf(w, "reclamation unit: %d blocks, %d cells scanned, %d freed, %d live\n",
+			hw.Sweep.BlocksSwept, hw.Sweep.CellsScanned, hw.Sweep.CellsFreed, hw.Sweep.CellsLive)
+		fmt.Fprintf(w, "interconnect: %d grants, busy %.1f%%, %.2f cycles/request\n",
+			hw.Bus.Grants, hw.Bus.BusyFraction()*100, hw.Bus.CyclesPerRequest())
+		st := hw.MemStats()
+		fmt.Fprintf(w, "DRAM: %d accesses, %.1f MB, row hits %d / misses %d / conflicts %d\n",
+			st.Accesses, float64(st.Bytes)/1e6, st.RowHits, st.RowMisses, st.RowConflicts)
+	} else {
+		sw := runner.SW
+		fmt.Fprintf(w, "\nCPU: %d instructions, %d memory ops, %d mispredicts\n",
+			sw.CPU.Instructions, sw.CPU.MemOps, sw.CPU.Mispredicts)
+		fmt.Fprintf(w, "L1: %d hits / %d misses; L2: %d hits / %d misses\n",
+			sw.CPU.L1.Hits(), sw.CPU.L1.Misses(), sw.CPU.L2.Hits(), sw.CPU.L2.Misses())
+		st := sw.Sync.Stats()
+		fmt.Fprintf(w, "DRAM: %d accesses, %.1f MB\n", st.Accesses, float64(st.Bytes)/1e6)
+	}
+	if validate {
+		fmt.Fprintln(w, "\nvalidation: marks and sweeps matched the reachability ground truth")
+	}
+	fmt.Fprintln(w)
+	return nil
 }
 
 // writeFile streams write into path, exiting on error.

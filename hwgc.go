@@ -120,6 +120,22 @@ func Compare(cfg Config, spec Spec, gcs int, seed uint64) (sw, hw GCResult, err 
 // Experiments lists every paper table/figure runner in order.
 func Experiments() []experiments.Runner { return experiments.All() }
 
+// ExperimentRunner regenerates one paper table or figure.
+type ExperimentRunner = experiments.Runner
+
+// ExperimentResult pairs an experiment runner with its report or failure
+// from a fleet run.
+type ExperimentResult = experiments.Result
+
+// RunFleet executes runners with up to parallel workers (0 means
+// GOMAXPROCS) and returns one result per runner in the given order.
+// Reports are byte-identical to a serial run at any width; see
+// docs/PERFORMANCE.md for the determinism contract. The fan-out degrades
+// to serial while a default telemetry hub is installed.
+func RunFleet(runners []experiments.Runner, o Options, parallel int) []ExperimentResult {
+	return experiments.RunFleet(runners, o, parallel)
+}
+
 // RunExperiment regenerates one paper figure or table by ID (e.g. "fig15").
 func RunExperiment(id string, o Options) (Report, error) {
 	r, ok := experiments.ByID(id)

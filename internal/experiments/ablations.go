@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"fmt"
+
 	"hwgc/internal/concurrent"
 	"hwgc/internal/core"
 	"hwgc/internal/dram"
 	"hwgc/internal/heap"
-	"hwgc/internal/workload"
 )
 
 // AblMAS reproduces the memory-access-scheduler sensitivity the paper
@@ -15,10 +16,7 @@ import (
 // to the configuration".
 func AblMAS(o Options) (Report, error) {
 	rep := Report{ID: "abl-mas", Title: "Memory scheduler sensitivity (FIFO vs FR-FCFS, 8 vs 16 reads)"}
-	spec, _ := workload.ByName("luindex")
-	if o.Quick {
-		spec.LiveObjects /= 4
-	}
+	spec := benchSpec(o, "luindex")
 	type point struct {
 		label    string
 		policy   dram.Policy
@@ -30,21 +28,28 @@ func AblMAS(o Options) (Report, error) {
 		{"FR-FCFS, 8 in flight", dram.FRFCFS, 8},
 		{"FR-FCFS, 16 in flight", dram.FRFCFS, 16},
 	}
-	var hwBase, swBase uint64
-	for _, p := range points {
+	// One cell per (scheduler point, collector) pair.
+	cells, err := mapCells(o, len(points)*2, func(i int) (uint64, error) {
+		p := points[i/2]
 		cfg := ScaledConfig()
 		cfg.MemPolicy = p.policy
 		cfg.MaxReads = p.maxReads
-		hwRes, err := core.RunApp(cfg, spec, core.HWCollector, o.GCs, o.Seed, false)
-		if err != nil {
-			return rep, err
+		kind := core.HWCollector
+		if i%2 == 1 {
+			kind = core.SWCollector
 		}
-		swRes, err := core.RunApp(cfg, spec, core.SWCollector, o.GCs, o.Seed, false)
+		res, err := core.RunApp(cfg, spec, kind, o.GCs, o.Seed, false)
 		if err != nil {
-			return rep, err
+			return 0, err
 		}
-		hw := hwRes.MeanGC().MarkCycles
-		sw := swRes.MeanGC().MarkCycles
+		return res.MeanGC().MarkCycles, nil
+	})
+	if err != nil {
+		return rep, err
+	}
+	var hwBase, swBase uint64
+	for i, p := range points {
+		hw, sw := cells[i*2], cells[i*2+1]
 		if hwBase == 0 {
 			hwBase, swBase = hw, sw
 		}
@@ -64,24 +69,18 @@ func AblMAS(o Options) (Report, error) {
 // absorb it.
 func AblLayout(o Options) (Report, error) {
 	rep := Report{ID: "abl-layout", Title: "Bidirectional vs conventional (TIB) object layout"}
-	spec, _ := workload.ByName("avrora")
-	if o.Quick {
-		spec.LiveObjects /= 4
-	}
-	run := func(layout heap.Layout) (core.GCResult, error) {
+	spec := benchSpec(o, "avrora")
+	layouts := []heap.Layout{heap.Bidirectional, heap.TIBLayout}
+	cells, err := mapCells(o, len(layouts), func(i int) (core.GCResult, error) {
 		cfg := ScaledConfig()
-		cfg.System.Heap.Layout = layout
+		cfg.System.Heap.Layout = layouts[i]
 		res, err := core.RunApp(cfg, spec, core.SWCollector, o.GCs, o.Seed, false)
 		return res.MeanGC(), err
-	}
-	bidi, err := run(heap.Bidirectional)
+	})
 	if err != nil {
 		return rep, err
 	}
-	tib, err := run(heap.TIBLayout)
-	if err != nil {
-		return rep, err
-	}
+	bidi, tib := cells[0], cells[1]
 	rep.Rowf("bidirectional layout: mark %6.2f ms", bidi.MarkMS())
 	rep.Rowf("TIB layout:           mark %6.2f ms (%.2fx)", tib.MarkMS(),
 		float64(tib.MarkCycles)/float64(bidi.MarkCycles))
@@ -122,24 +121,27 @@ func AblBarriers(o Options) (Report, error) {
 // bandwidth left to the application.
 func AblThrottle(o Options) (Report, error) {
 	rep := Report{ID: "abl-throttle", Title: "Unit bandwidth throttling (Section VII)"}
-	spec, _ := workload.ByName("avrora")
-	if o.Quick {
-		spec.LiveObjects /= 4
-	}
-	for _, share := range []float64{1.0, 0.5, 0.25} {
+	spec := benchSpec(o, "avrora")
+	shares := []float64{1.0, 0.5, 0.25}
+	rows, err := mapCells(o, len(shares), func(i int) (string, error) {
+		share := shares[i]
 		cfg := ScaledConfig()
 		runner, err := core.NewAppRunner(cfg, spec, core.HWCollector, o.Seed)
 		if err != nil {
-			return rep, err
+			return "", err
 		}
 		runner.HW.Bus.MaxShare = share
 		if err := runner.RunGCs(o.GCs); err != nil {
-			return rep, err
+			return "", err
 		}
 		g := runner.Res.MeanGC()
-		rep.Rowf("unit share %3.0f%%: mark %6.2f ms, sweep %6.2f ms, port busy %4.1f%%",
-			share*100, g.MarkMS(), g.SweepMS(), runner.HW.Bus.BusyFraction()*100)
+		return fmt.Sprintf("unit share %3.0f%%: mark %6.2f ms, sweep %6.2f ms, port busy %4.1f%%",
+			share*100, g.MarkMS(), g.SweepMS(), runner.HW.Bus.BusyFraction()*100), nil
+	})
+	if err != nil {
+		return rep, err
 	}
+	rep.Rows = append(rep.Rows, rows...)
 	rep.Notef("paper §VII: interference could be reduced by using only residual bandwidth; throttling lengthens GC proportionally")
 	return rep, nil
 }

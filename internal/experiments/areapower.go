@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"hwgc/internal/core"
+	"hwgc/internal/dram"
 	"hwgc/internal/power"
 )
 
@@ -34,44 +35,40 @@ func Fig22(o Options) (Report, error) {
 func Fig23(o Options) (Report, error) {
 	rep := Report{ID: "fig23", Title: "Power and energy"}
 	cfg := ScaledConfig()
+	sp := specs(o)
+	// One cell per (benchmark, collector) run, each evaluating the energy
+	// model on its own system's activity counters.
+	cells, err := mapCells(o, len(sp)*2, func(i int) (power.Result, error) {
+		spec, hwSide := sp[i/2], i%2 == 1
+		kind := core.SWCollector
+		if hwSide {
+			kind = core.HWCollector
+		}
+		runner, err := core.NewAppRunner(cfg, spec, kind, o.Seed)
+		if err != nil {
+			return power.Result{}, err
+		}
+		if err := runner.RunGCs(o.GCs); err != nil {
+			return power.Result{}, err
+		}
+		act := power.Activity{Cycles: runner.Res.GCCycles, ComputeActive: !hwSide}
+		var stats dram.Stats
+		if hwSide {
+			stats = runner.HW.MemStats()
+		} else {
+			stats = runner.SW.Sync.Stats()
+		}
+		act.DRAMAccesses = stats.Accesses
+		act.DRAMBytes = stats.Bytes
+		act.RowActivates = stats.RowMisses + stats.RowConflicts
+		return power.Energy(act), nil
+	})
+	if err != nil {
+		return rep, err
+	}
 	var swTotal, hwTotal float64
-	for _, spec := range specs(o) {
-		// Software run.
-		swRunner, err := core.NewAppRunner(cfg, spec, core.SWCollector, o.Seed)
-		if err != nil {
-			return rep, err
-		}
-		if err := swRunner.RunGCs(o.GCs); err != nil {
-			return rep, err
-		}
-		swStats := swRunner.SW.Sync.Stats()
-		swAct := power.Activity{
-			Cycles:        swRunner.Res.GCCycles,
-			DRAMAccesses:  swStats.Accesses,
-			DRAMBytes:     swStats.Bytes,
-			RowActivates:  swStats.RowMisses + swStats.RowConflicts,
-			ComputeActive: true,
-		}
-		swE := power.Energy(swAct)
-
-		// Hardware run.
-		hwRunner, err := core.NewAppRunner(cfg, spec, core.HWCollector, o.Seed)
-		if err != nil {
-			return rep, err
-		}
-		if err := hwRunner.RunGCs(o.GCs); err != nil {
-			return rep, err
-		}
-		hwStats := hwRunner.HW.MemStats()
-		hwAct := power.Activity{
-			Cycles:        hwRunner.Res.GCCycles,
-			DRAMAccesses:  hwStats.Accesses,
-			DRAMBytes:     hwStats.Bytes,
-			RowActivates:  hwStats.RowMisses + hwStats.RowConflicts,
-			ComputeActive: false,
-		}
-		hwE := power.Energy(hwAct)
-
+	for i, spec := range sp {
+		swE, hwE := cells[i*2], cells[i*2+1]
 		swTotal += swE.Joules
 		hwTotal += hwE.Joules
 		rep.Rowf("%-9s CPU: %5.0f mW DRAM, %6.3f mJ | unit: %5.0f mW DRAM, %6.3f mJ | saving %5.1f%%",

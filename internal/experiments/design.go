@@ -6,7 +6,6 @@ import (
 	"strings"
 
 	"hwgc/internal/core"
-	"hwgc/internal/workload"
 )
 
 // Fig18 compares the shared-cache traversal-unit design against the
@@ -15,61 +14,63 @@ import (
 // the partitioned design (18b, paper: marker and tracer dominate).
 func Fig18(o Options) (Report, error) {
 	rep := Report{ID: "fig18", Title: "Shared-cache contention and partitioning"}
-	spec, _ := workload.ByName("luindex")
-	if o.Quick {
-		spec.LiveObjects /= 4
-	}
+	spec := benchSpec(o, "luindex")
 
-	// (a) Shared-cache design.
-	cfgA := ScaledConfig()
-	cfgA.Unit.SharedCache = true
-	runnerA, err := core.NewAppRunner(cfgA, spec, core.HWCollector, o.Seed)
+	// One cell per design variant: (a) shared cache, (b) partitioned.
+	type cell struct {
+		rows       []string
+		ptwFrac    float64
+		markCycles uint64
+	}
+	cells, err := mapCells(o, 2, func(i int) (cell, error) {
+		cfg := ScaledConfig()
+		cfg.Unit.SharedCache = i == 0
+		runner, err := core.NewAppRunner(cfg, spec, core.HWCollector, o.Seed)
+		if err != nil {
+			return cell{}, err
+		}
+		if err := runner.RunGCs(o.GCs); err != nil {
+			return cell{}, err
+		}
+		c := cell{markCycles: runner.Res.MeanGC().MarkCycles}
+		if i == 0 {
+			shared := runner.HW.Trace.Shared
+			var total uint64
+			names := make([]string, 0, len(shared.RequestsBySource))
+			for name, n := range shared.RequestsBySource {
+				total += n
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			c.rows = append(c.rows, "(a) shared cache requests by source:")
+			for _, name := range names {
+				n := shared.RequestsBySource[name]
+				frac := float64(n) / float64(total)
+				if name == "ptw" {
+					c.ptwFrac = frac
+				}
+				c.rows = append(c.rows, fmt.Sprintf("    %-8s %9d (%4.1f%%)", name, n, frac*100))
+			}
+			return c, nil
+		}
+		c.rows = append(c.rows, "(b) partitioned design memory requests by port (traversal unit):")
+		for _, p := range runner.HW.Bus.Ports() {
+			if p.Requests > 0 && !strings.HasPrefix(p.Name(), "sweep") {
+				c.rows = append(c.rows, fmt.Sprintf("    %-9s %9d", p.Name(), p.Requests))
+			}
+		}
+		return c, nil
+	})
 	if err != nil {
 		return rep, err
 	}
-	if err := runnerA.RunGCs(o.GCs); err != nil {
-		return rep, err
-	}
-	shared := runnerA.HW.Trace.Shared
-	var total uint64
-	names := make([]string, 0, len(shared.RequestsBySource))
-	for name, c := range shared.RequestsBySource {
-		total += c
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	rep.Rowf("(a) shared cache requests by source:")
-	var ptwFrac float64
-	for _, name := range names {
-		c := shared.RequestsBySource[name]
-		frac := float64(c) / float64(total)
-		if name == "ptw" {
-			ptwFrac = frac
-		}
-		rep.Rowf("    %-8s %9d (%4.1f%%)", name, c, frac*100)
-	}
-	sharedCycles := runnerA.Res.MeanGC().MarkCycles
-
-	// (b) Partitioned design.
-	cfgB := ScaledConfig()
-	runnerB, err := core.NewAppRunner(cfgB, spec, core.HWCollector, o.Seed)
-	if err != nil {
-		return rep, err
-	}
-	if err := runnerB.RunGCs(o.GCs); err != nil {
-		return rep, err
-	}
-	rep.Rowf("(b) partitioned design memory requests by port (traversal unit):")
-	for _, p := range runnerB.HW.Bus.Ports() {
-		if p.Requests > 0 && !strings.HasPrefix(p.Name(), "sweep") {
-			rep.Rowf("    %-9s %9d", p.Name(), p.Requests)
-		}
-	}
-	partCycles := runnerB.Res.MeanGC().MarkCycles
+	rep.Rows = append(rep.Rows, cells[0].rows...)
+	rep.Rows = append(rep.Rows, cells[1].rows...)
+	sharedCycles, partCycles := cells[0].markCycles, cells[1].markCycles
 	rep.Rowf("mark time: shared %.2f ms vs partitioned %.2f ms (%.2fx)",
 		float64(sharedCycles)/1e6, float64(partCycles)/1e6,
 		float64(sharedCycles)/float64(partCycles))
-	rep.Rowf("PTW share of shared-cache requests: %.0f%%", ptwFrac*100)
+	rep.Rowf("PTW share of shared-cache requests: %.0f%%", cells[0].ptwFrac*100)
 	rep.Notef("paper: ~2/3 of shared-cache requests come from the PTW; partitioning makes marker+tracer dominate memory requests (Fig. 18)")
 	return rep, nil
 }
@@ -80,10 +81,7 @@ func Fig18(o Options) (Report, error) {
 // insensitive; compression halves spill traffic).
 func Fig19(o Options) (Report, error) {
 	rep := Report{ID: "fig19", Title: "Mark queue size, spilling and compression"}
-	spec, _ := workload.ByName("luindex")
-	if o.Quick {
-		spec.LiveObjects /= 4
-	}
+	spec := benchSpec(o, "luindex")
 	// Paper x-axis: total queue KB (including inQ/outQ) of 2, 4, 18, 130.
 	type variant struct {
 		label    string
@@ -96,31 +94,37 @@ func Fig19(o Options) (Report, error) {
 		{"TQ=128 compressed", 128, true},
 	}
 	sizes := []int{256, 512, 2048, 16384} // main-queue entries: 2/4/16/128 KB at 8 B
-	for _, v := range variants {
-		rep.Rowf("%s:", v.label)
-		for _, entries := range sizes {
-			cfg := ScaledConfig()
-			cfg.Unit.MarkQueueEntries = entries
-			cfg.Unit.TracerQueueEntries = v.tq
-			cfg.Unit.Compress = v.compress
-			runner, err := core.NewAppRunner(cfg, spec, core.HWCollector, o.Seed)
-			if err != nil {
-				return rep, err
-			}
-			if err := runner.RunGCs(o.GCs); err != nil {
-				return rep, err
-			}
-			mq := runner.HW.Trace.MQ
-			spillReqs := mq.SpillWriteReqs + mq.SpillReadReqs
-			grants := runner.HW.Bus.Grants
-			frac := 0.0
-			if grants > 0 {
-				frac = float64(spillReqs) / float64(grants)
-			}
-			rep.Rowf("    q=%6d entries (%3d KB): spill reqs %7d (%4.1f%% of memory requests), mark %6.2f ms",
-				entries, entries*8/1024, spillReqs, frac*100,
-				runner.Res.MeanGC().MarkMS())
+	// One cell per (variant, size) config point.
+	rows, err := mapCells(o, len(variants)*len(sizes), func(i int) (string, error) {
+		v, entries := variants[i/len(sizes)], sizes[i%len(sizes)]
+		cfg := ScaledConfig()
+		cfg.Unit.MarkQueueEntries = entries
+		cfg.Unit.TracerQueueEntries = v.tq
+		cfg.Unit.Compress = v.compress
+		runner, err := core.NewAppRunner(cfg, spec, core.HWCollector, o.Seed)
+		if err != nil {
+			return "", err
 		}
+		if err := runner.RunGCs(o.GCs); err != nil {
+			return "", err
+		}
+		mq := runner.HW.Trace.MQ
+		spillReqs := mq.SpillWriteReqs + mq.SpillReadReqs
+		grants := runner.HW.Bus.Grants
+		frac := 0.0
+		if grants > 0 {
+			frac = float64(spillReqs) / float64(grants)
+		}
+		return fmt.Sprintf("    q=%6d entries (%3d KB): spill reqs %7d (%4.1f%% of memory requests), mark %6.2f ms",
+			entries, entries*8/1024, spillReqs, frac*100,
+			runner.Res.MeanGC().MarkMS()), nil
+	})
+	if err != nil {
+		return rep, err
+	}
+	for vi, v := range variants {
+		rep.Rowf("%s:", v.label)
+		rep.Rows = append(rep.Rows, rows[vi*len(sizes):(vi+1)*len(sizes)]...)
 	}
 	rep.Notef("paper: spilling accounts for ~2%% of memory requests; queue size barely affects mark time; compression halves spill traffic (Fig. 19)")
 	return rep, nil
@@ -132,22 +136,32 @@ func Fig19(o Options) (Report, error) {
 func Fig20(o Options) (Report, error) {
 	rep := Report{ID: "fig20", Title: "Block sweeper scaling"}
 	sweepers := []int{1, 2, 4, 8}
-	for _, spec := range specs(o) {
+	sp := specs(o)
+	// One cell per (benchmark, config) point: column 0 is the software
+	// baseline, columns 1..len(sweepers) the unit at each sweeper count.
+	cols := 1 + len(sweepers)
+	cells, err := mapCells(o, len(sp)*cols, func(i int) (uint64, error) {
+		spec, k := sp[i/cols], i%cols
 		cfg := ScaledConfig()
-		swRes, err := core.RunApp(cfg, spec, core.SWCollector, o.GCs, o.Seed, false)
-		if err != nil {
-			return rep, err
+		kind := core.SWCollector
+		if k > 0 {
+			cfg.Sweep.Sweepers = sweepers[k-1]
+			kind = core.HWCollector
 		}
-		swSweep := swRes.MeanGC().SweepCycles
+		res, err := core.RunApp(cfg, spec, kind, o.GCs, o.Seed, false)
+		if err != nil {
+			return 0, err
+		}
+		return res.MeanGC().SweepCycles, nil
+	})
+	if err != nil {
+		return rep, err
+	}
+	for si, spec := range sp {
+		swSweep := cells[si*cols]
 		row := spec.Name + ":"
-		for _, n := range sweepers {
-			cfg := ScaledConfig()
-			cfg.Sweep.Sweepers = n
-			hwRes, err := core.RunApp(cfg, spec, core.HWCollector, o.GCs, o.Seed, false)
-			if err != nil {
-				return rep, err
-			}
-			row += sprintfSpeed(n, float64(swSweep)/float64(hwRes.MeanGC().SweepCycles))
+		for ni, n := range sweepers {
+			row += sprintfSpeed(n, float64(swSweep)/float64(cells[si*cols+1+ni]))
 		}
 		rep.Rows = append(rep.Rows, row)
 	}
@@ -164,64 +178,73 @@ func sprintfSpeed(n int, x float64) string {
 // (b: a small filter removes those requests).
 func Fig21(o Options) (Report, error) {
 	rep := Report{ID: "fig21", Title: "Mark access skew and mark-bit cache"}
-	spec, _ := workload.ByName("luindex")
-	if o.Quick {
-		spec.LiveObjects /= 4
-	}
+	spec := benchSpec(o, "luindex")
+	sizes := []int{0, 64, 128, 256}
 
-	// (a) Access-frequency histogram from the marker's probe counts.
-	cfg := ScaledConfig()
-	runner, err := core.NewAppRunner(cfg, spec, core.HWCollector, o.Seed)
+	// Cell 0 is the probe-instrumented skew run (a); cells 1.. sweep the
+	// mark-bit cache size (b). Cell 0's size-0 config doubles as the
+	// no-cache baseline for (b)'s savings column.
+	type cell struct {
+		skewRow         string
+		marks, filtered uint64
+		markMS          float64
+	}
+	cells, err := mapCells(o, 1+len(sizes), func(i int) (cell, error) {
+		cfg := ScaledConfig()
+		if i > 0 {
+			cfg.Unit.MarkBitCacheSize = sizes[i-1]
+		}
+		runner, err := core.NewAppRunner(cfg, spec, core.HWCollector, o.Seed)
+		if err != nil {
+			return cell{}, err
+		}
+		if i == 0 {
+			runner.HW.Trace.Marker.Probes = make(map[uint64]int)
+		}
+		if err := runner.RunGCs(o.GCs); err != nil {
+			return cell{}, err
+		}
+		c := cell{
+			marks:    runner.HW.Trace.Marker.Marks,
+			filtered: runner.HW.Trace.Marker.Filtered,
+			markMS:   runner.Res.MeanGC().MarkMS(),
+		}
+		if i == 0 {
+			// (a) Access-frequency histogram from the marker's probe counts.
+			probes := runner.HW.Trace.Marker.Probes
+			counts := make([]int, 0, len(probes))
+			total := 0
+			for _, n := range probes {
+				counts = append(counts, n)
+				total += n
+			}
+			sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+			cum, topN := 0, 0
+			for j, n := range counts {
+				cum += n
+				if float64(cum) >= 0.10*float64(total) {
+					topN = j + 1
+					break
+				}
+			}
+			c.skewRow = fmt.Sprintf("(a) %d objects account for 10%% of %d mark accesses (max per-object accesses: %d)",
+				topN, total, counts[0])
+		}
+		return c, nil
+	})
 	if err != nil {
 		return rep, err
 	}
-	runner.HW.Trace.Marker.Probes = make(map[uint64]int)
-	if err := runner.RunGCs(o.GCs); err != nil {
-		return rep, err
-	}
-	probes := runner.HW.Trace.Marker.Probes
-	counts := make([]int, 0, len(probes))
-	total := 0
-	for _, c := range probes {
-		counts = append(counts, c)
-		total += c
-	}
-	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
-	cum := 0
-	topN := 0
-	for i, c := range counts {
-		cum += c
-		if float64(cum) >= 0.10*float64(total) {
-			topN = i + 1
-			break
-		}
-	}
-	rep.Rowf("(a) %d objects account for 10%% of %d mark accesses (max per-object accesses: %d)",
-		topN, total, counts[0])
-
-	// (b) Mark-bit cache sweep.
+	rep.Rows = append(rep.Rows, cells[0].skewRow)
 	rep.Rowf("(b) mark-bit cache size vs marker memory requests:")
-	var baseline uint64
-	for _, size := range []int{0, 64, 128, 256} {
-		cfg := ScaledConfig()
-		cfg.Unit.MarkBitCacheSize = size
-		r2, err := core.NewAppRunner(cfg, spec, core.HWCollector, o.Seed)
-		if err != nil {
-			return rep, err
-		}
-		if err := r2.RunGCs(o.GCs); err != nil {
-			return rep, err
-		}
-		marks := r2.HW.Trace.Marker.Marks
-		filtered := r2.HW.Trace.Marker.Filtered
-		if size == 0 {
-			baseline = marks
-		}
-		perRef := float64(marks) / float64(r2.HW.Trace.Marker.Marks+filtered)
+	baseline := cells[1].marks // sizes[0] == 0: no cache
+	for i, size := range sizes {
+		c := cells[1+i]
+		perRef := float64(c.marks) / float64(c.marks+c.filtered)
 		rep.Rowf("    size %3d: %8d mark requests (%.3f of lookups; %5.2f%% saved vs no cache), mark %6.2f ms",
-			size, marks, perRef,
-			(1-float64(marks)/float64(baseline))*100,
-			r2.Res.MeanGC().MarkMS())
+			size, c.marks, perRef,
+			(1-float64(c.marks)/float64(baseline))*100,
+			c.markMS)
 	}
 	rep.Notef("paper: ~56 objects receive 10%% of accesses (luindex); a <64-entry filter captures most of the gain with little impact on mark time (Fig. 21)")
 	return rep, nil

@@ -22,6 +22,16 @@ type Options struct {
 	// Quick shrinks the workloads ~4x (used by tests and smoke runs;
 	// ratios hold, absolute times shrink).
 	Quick bool
+	// Shrink divides workload sizes by an extra factor on top of Quick
+	// (<= 1 means none). Used by determinism tests and host benchmarks
+	// that only need stable — not paper-calibrated — results.
+	Shrink int
+	// Parallel caps how many simulation cells an experiment may run
+	// concurrently (<= 1 means serial, 0 is treated as serial here; the
+	// fleet runner resolves 0 to GOMAXPROCS before fan-out). Every cell
+	// owns its engine, heap, and RNG, and cell results are reassembled in
+	// canonical order, so reports are byte-identical at any width.
+	Parallel int
 }
 
 // DefaultOptions returns the full-scale settings used for EXPERIMENTS.md.
@@ -54,7 +64,41 @@ func specs(o Options) []workload.Spec {
 			}
 		}
 	}
+	if o.Shrink > 1 {
+		for i := range out {
+			out[i] = shrinkSpec(out[i], o.Shrink)
+		}
+	}
 	return out
+}
+
+// benchSpec returns the named benchmark at o's scale, applying the
+// single-benchmark Quick convention (live set / 4) plus any extra Shrink.
+func benchSpec(o Options, name string) workload.Spec {
+	spec, _ := workload.ByName(name)
+	if o.Quick {
+		spec.LiveObjects /= 4
+	}
+	if o.Shrink > 1 {
+		spec = shrinkSpec(spec, o.Shrink)
+	}
+	return spec
+}
+
+// shrinkSpec divides a spec's live set and roots by n with floors that keep
+// the workload well-formed (population and root scan still exercise every
+// phase).
+func shrinkSpec(spec workload.Spec, n int) workload.Spec {
+	if spec.LiveObjects /= n; spec.LiveObjects < 256 {
+		spec.LiveObjects = 256
+	}
+	if spec.Roots /= n; spec.Roots < 16 {
+		spec.Roots = 16
+	}
+	if spec.HotObjects > spec.LiveObjects/8 {
+		spec.HotObjects = spec.LiveObjects / 8
+	}
+	return spec
 }
 
 // Report is one experiment's regenerated result.
@@ -125,20 +169,6 @@ func ByID(id string) (Runner, bool) {
 		}
 	}
 	return Runner{}, false
-}
-
-// runBoth executes a benchmark on both collectors and returns the mean GC
-// results.
-func runBoth(cfg core.Config, spec workload.Spec, o Options) (sw, hw core.GCResult, err error) {
-	swRes, err := core.RunApp(cfg, spec, core.SWCollector, o.GCs, o.Seed, false)
-	if err != nil {
-		return sw, hw, err
-	}
-	hwRes, err := core.RunApp(cfg, spec, core.HWCollector, o.GCs, o.Seed, false)
-	if err != nil {
-		return sw, hw, err
-	}
-	return swRes.MeanGC(), hwRes.MeanGC(), nil
 }
 
 func ratio(a, b uint64) float64 {

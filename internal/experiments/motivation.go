@@ -8,19 +8,25 @@ import (
 )
 
 // Fig1a measures the fraction of CPU time spent in GC pauses per benchmark
-// (paper: up to 35%, ~10% on average across suites).
+// (paper: up to 35%, ~10% on average across suites). One cell per
+// benchmark.
 func Fig1a(o Options) (Report, error) {
 	rep := Report{ID: "fig1a", Title: "CPU time spent in GC pauses"}
 	cfg := ScaledConfig()
-	for _, spec := range specs(o) {
-		res, err := core.RunApp(cfg, spec, core.SWCollector, o.GCs, o.Seed, false)
+	sp := specs(o)
+	rows, err := mapCells(o, len(sp), func(i int) (string, error) {
+		res, err := core.RunApp(cfg, sp[i], core.SWCollector, o.GCs, o.Seed, false)
 		if err != nil {
-			return rep, err
+			return "", err
 		}
-		rep.Rowf("%-9s GC %5.1f%%  (mutator %6.1f ms, GC %6.1f ms over %d pauses)",
-			spec.Name, res.GCFraction()*100,
-			float64(res.MutatorCycles)/1e6, float64(res.GCCycles)/1e6, len(res.GCs))
+		return fmt.Sprintf("%-9s GC %5.1f%%  (mutator %6.1f ms, GC %6.1f ms over %d pauses)",
+			sp[i].Name, res.GCFraction()*100,
+			float64(res.MutatorCycles)/1e6, float64(res.GCCycles)/1e6, len(res.GCs)), nil
+	})
+	if err != nil {
+		return rep, err
 	}
+	rep.Rows = append(rep.Rows, rows...)
 	rep.Notef("paper: workloads spend up to 35%% of CPU time in GC pauses (Fig. 1a)")
 	return rep, nil
 }
@@ -31,10 +37,7 @@ func Fig1a(o Options) (Report, error) {
 func Fig1b(o Options) (Report, error) {
 	rep := Report{ID: "fig1b", Title: "Query latency CDF under GC (lusearch)"}
 	cfg := ScaledConfig()
-	spec, _ := workload.ByName("lusearch")
-	if o.Quick {
-		spec.LiveObjects /= 4
-	}
+	spec := benchSpec(o, "lusearch")
 	runner, err := core.NewAppRunner(cfg, spec, core.SWCollector, o.Seed)
 	if err != nil {
 		return rep, err

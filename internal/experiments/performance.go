@@ -1,34 +1,41 @@
 package experiments
 
 import (
+	"fmt"
+
 	"hwgc/internal/core"
 	"hwgc/internal/dram"
 	"hwgc/internal/sim"
-	"hwgc/internal/workload"
 )
 
 // Fig15 regenerates the headline comparison: mark and sweep time per
 // benchmark for the Rocket CPU and the GC unit under the DDR3 model
-// (paper: 4.2x mark, 1.9x sweep on average).
+// (paper: 4.2x mark, 1.9x sweep on average). One cell per (benchmark,
+// collector) pair.
 func Fig15(o Options) (Report, error) {
 	rep := Report{ID: "fig15", Title: "GC unit vs CPU: mark and sweep time (DDR3)"}
 	cfg := ScaledConfig()
+	sp := specs(o)
+	kinds := []core.CollectorKind{core.SWCollector, core.HWCollector}
+	cells, err := mapCells(o, len(sp)*len(kinds), func(i int) (core.GCResult, error) {
+		res, err := core.RunApp(cfg, sp[i/len(kinds)], kinds[i%len(kinds)], o.GCs, o.Seed, false)
+		return res.MeanGC(), err
+	})
+	if err != nil {
+		return rep, err
+	}
 	var markSum, sweepSum float64
-	n := 0
-	for _, spec := range specs(o) {
-		sw, hw, err := runBoth(cfg, spec, o)
-		if err != nil {
-			return rep, err
-		}
+	for i, spec := range sp {
+		sw, hw := cells[i*2], cells[i*2+1]
 		mx := ratio(sw.MarkCycles, hw.MarkCycles)
 		sx := ratio(sw.SweepCycles, hw.SweepCycles)
 		markSum += mx
 		sweepSum += sx
-		n++
 		rep.Rowf("%-9s CPU mark %7.2f ms  sweep %7.2f ms | unit mark %6.2f ms  sweep %6.2f ms | mark %4.2fx sweep %4.2fx",
 			spec.Name, sw.MarkMS(), sw.SweepMS(), hw.MarkMS(), hw.SweepMS(), mx, sx)
 	}
-	rep.Rowf("mean speedup: mark %.2fx, sweep %.2fx", markSum/float64(n), sweepSum/float64(n))
+	n := float64(len(sp))
+	rep.Rowf("mean speedup: mark %.2fx, sweep %.2fx", markSum/n, sweepSum/n)
 	rep.Notef("paper: unit outperforms the CPU by 4.2x on mark and 1.9x on sweep (Fig. 15); overall GC 3.3x")
 	return rep, nil
 }
@@ -39,51 +46,58 @@ func Fig15(o Options) (Report, error) {
 func Fig16(o Options) (Report, error) {
 	rep := Report{ID: "fig16", Title: "Memory bandwidth during the last avrora pause"}
 	cfg := ScaledConfig()
-	spec, _ := workload.ByName("avrora")
-	if o.Quick {
-		spec.LiveObjects /= 4
-	}
+	spec := benchSpec(o, "avrora")
 	const interval = 10000 // cycles per bandwidth sample (10 us)
 
-	// Hardware side.
-	hwRunner, err := core.NewAppRunner(cfg, spec, core.HWCollector, o.Seed)
+	// One cell per collector side; each instruments its last pause only.
+	type side struct {
+		series []float64
+		last   core.GCResult
+	}
+	cells, err := mapCells(o, 2, func(i int) (side, error) {
+		if i == 0 { // hardware side
+			runner, err := core.NewAppRunner(cfg, spec, core.HWCollector, o.Seed)
+			if err != nil {
+				return side{}, err
+			}
+			if err := runner.RunGCs(o.GCs - 1); err != nil {
+				return side{}, err
+			}
+			runner.HW.Bus.Bandwidth = sim.NewSeries(interval)
+			start := runner.HW.Eng.Now()
+			if err := runner.Step(); err != nil {
+				return side{}, err
+			}
+			last := runner.Res.GCs[len(runner.Res.GCs)-1]
+			return side{markWindow(runner.HW.Bus.Bandwidth.Finish(), interval, start, last.MarkCycles), last}, nil
+		}
+		// Software side.
+		runner, err := core.NewAppRunner(cfg, spec, core.SWCollector, o.Seed)
+		if err != nil {
+			return side{}, err
+		}
+		if err := runner.RunGCs(o.GCs - 1); err != nil {
+			return side{}, err
+		}
+		var series []float64
+		start := runner.SW.CPU.Now()
+		if ddr, isDDR := runner.SW.Sync.(*dram.Sync); isDDR {
+			ddr.Bandwidth = sim.NewSeries(interval)
+			if err := runner.Step(); err != nil {
+				return side{}, err
+			}
+			series = ddr.Bandwidth.Finish()
+		} else if err := runner.Step(); err != nil {
+			return side{}, err
+		}
+		last := runner.Res.GCs[len(runner.Res.GCs)-1]
+		return side{markWindow(series, interval, start, last.MarkCycles), last}, nil
+	})
 	if err != nil {
 		return rep, err
 	}
-	if err := hwRunner.RunGCs(o.GCs - 1); err != nil {
-		return rep, err
-	}
-	hwRunner.HW.Bus.Bandwidth = sim.NewSeries(interval)
-	hwStart := hwRunner.HW.Eng.Now()
-	if err := hwRunner.Step(); err != nil {
-		return rep, err
-	}
-	hwLast := hwRunner.Res.GCs[len(hwRunner.Res.GCs)-1]
-	hwSeries := markWindow(hwRunner.HW.Bus.Bandwidth.Finish(), interval, hwStart, hwLast.MarkCycles)
-
-	// Software side.
-	swRunner, err := core.NewAppRunner(cfg, spec, core.SWCollector, o.Seed)
-	if err != nil {
-		return rep, err
-	}
-	if err := swRunner.RunGCs(o.GCs - 1); err != nil {
-		return rep, err
-	}
-	var swSeries []float64
-	swStart := swRunner.SW.CPU.Now()
-	if ddr, isDDR := swRunner.SW.Sync.(*dram.Sync); isDDR {
-		ddr.Bandwidth = sim.NewSeries(interval)
-		if err := swRunner.Step(); err != nil {
-			return rep, err
-		}
-		swSeries = ddr.Bandwidth.Finish()
-	} else {
-		if err := swRunner.Step(); err != nil {
-			return rep, err
-		}
-	}
-	swLast := swRunner.Res.GCs[len(swRunner.Res.GCs)-1]
-	swSeries = markWindow(swSeries, interval, swStart, swLast.MarkCycles)
+	hwLast, hwSeries := cells[0].last, cells[0].series
+	swLast, swSeries := cells[1].last, cells[1].series
 
 	toGBs := func(series []float64) (peak, mean float64) {
 		if len(series) == 0 {
@@ -134,35 +148,48 @@ func Fig17(o Options) (Report, error) {
 	rep := Report{ID: "fig17", Title: "Performance with 1-cycle / 8 GB/s memory"}
 	cfg := ScaledConfig()
 	cfg.Memory = core.MemPipe
-	var markSum float64
-	var busySum, cprSum float64
-	n := 0
-	for _, spec := range specs(o) {
+	sp := specs(o)
+	type cell struct {
+		row           string
+		mx, busy, cpr float64
+	}
+	cells, err := mapCells(o, len(sp), func(i int) (cell, error) {
+		spec := sp[i]
 		swRes, err := core.RunApp(cfg, spec, core.SWCollector, o.GCs, o.Seed, false)
 		if err != nil {
-			return rep, err
+			return cell{}, err
 		}
 		hwRunner, err := core.NewAppRunner(cfg, spec, core.HWCollector, o.Seed)
 		if err != nil {
-			return rep, err
+			return cell{}, err
 		}
 		if err := hwRunner.RunGCs(o.GCs); err != nil {
-			return rep, err
+			return cell{}, err
 		}
 		sw := swRes.MeanGC()
 		hw := hwRunner.Res.MeanGC()
-		mx := ratio(sw.MarkCycles, hw.MarkCycles)
-		busy := hwRunner.HW.Bus.BusyFraction()
-		cpr := hwRunner.HW.Bus.CyclesPerRequest()
-		markSum += mx
-		busySum += busy
-		cprSum += cpr
-		n++
-		rep.Rowf("%-9s CPU mark %7.2f ms | unit mark %6.2f ms | mark %5.2fx | port busy %4.1f%% | %.2f cycles/request",
-			spec.Name, sw.MarkMS(), hw.MarkMS(), mx, busy*100, cpr)
+		c := cell{
+			mx:   ratio(sw.MarkCycles, hw.MarkCycles),
+			busy: hwRunner.HW.Bus.BusyFraction(),
+			cpr:  hwRunner.HW.Bus.CyclesPerRequest(),
+		}
+		c.row = fmt.Sprintf("%-9s CPU mark %7.2f ms | unit mark %6.2f ms | mark %5.2fx | port busy %4.1f%% | %.2f cycles/request",
+			spec.Name, sw.MarkMS(), hw.MarkMS(), c.mx, c.busy*100, c.cpr)
+		return c, nil
+	})
+	if err != nil {
+		return rep, err
 	}
+	var markSum, busySum, cprSum float64
+	for _, c := range cells {
+		rep.Rows = append(rep.Rows, c.row)
+		markSum += c.mx
+		busySum += c.busy
+		cprSum += c.cpr
+	}
+	n := float64(len(cells))
 	rep.Rowf("mean: mark %.2fx, port busy %.1f%%, %.2f cycles/request",
-		markSum/float64(n), busySum/float64(n)*100, cprSum/float64(n))
+		markSum/n, busySum/n*100, cprSum/n)
 	rep.Notef("paper: 9.0x mark speedup; TileLink port busy 88%% of mark cycles; one request every 8.66 cycles (Fig. 17)")
 	return rep, nil
 }

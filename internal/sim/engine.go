@@ -5,10 +5,9 @@
 // helpers (counters, histograms, time series).
 //
 // The engine is single-threaded and deterministic: events at the same cycle
-// run in the order they were scheduled.
+// run in the order they were scheduled. Distinct Engine instances share no
+// state, so independent simulations may run on concurrent goroutines.
 package sim
-
-import "container/heap"
 
 // event is a single scheduled callback. seq breaks ties so that events
 // scheduled earlier at the same cycle run first, which keeps runs
@@ -19,32 +18,88 @@ type event struct {
 	fn    func()
 }
 
+// eventHeap is a 4-ary min-heap of events ordered by (cycle, seq). Events
+// are stored by value — scheduling never boxes through an interface, so the
+// only allocations are amortized slice growth. A 4-ary layout halves the
+// tree depth of a binary heap; the extra sibling comparisons are cheap
+// because all four children share a cache line pair.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].cycle != h[j].cycle {
-		return h[i].cycle < h[j].cycle
+// push inserts ev, sifting it up to its (cycle, seq) position.
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	a := *h
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if a[p].cycle < a[i].cycle || (a[p].cycle == a[i].cycle && a[p].seq < a[i].seq) {
+			break
+		}
+		a[i], a[p] = a[p], a[i]
+		i = p
 	}
-	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() event {
+	a := *h
+	root := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a[n].fn = nil // release the closure held in the vacated slot
+	a = a[:n]
+	*h = a
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if a[j].cycle < a[m].cycle || (a[j].cycle == a[m].cycle && a[j].seq < a[m].seq) {
+				m = j
+			}
+		}
+		if a[i].cycle < a[m].cycle || (a[i].cycle == a[m].cycle && a[i].seq < a[m].seq) {
+			break
+		}
+		a[i], a[m] = a[m], a[i]
+		i = m
+	}
+	return root
 }
 
 // Engine is a discrete-event simulator clocked in cycles.
 //
+// Internally events live in three containers chosen by scheduling distance:
+//
+//   - curr: a FIFO of events at the current cycle (After(0) and past-clamped
+//     events). Appends and pops are O(1) with no heap traffic.
+//   - next: a FIFO of events at the next cycle — the Ticker/After(1) pattern
+//     every pipelined unit uses. When the clock advances one cycle, next is
+//     promoted wholesale to curr and the drained curr storage is recycled,
+//     so ticker-style scheduling never touches the heap at all.
+//   - far: a value-typed 4-ary min-heap for everything further out.
+//
+// Because seq increases monotonically, each FIFO is sorted by construction;
+// dispatch takes the (cycle, seq)-minimum of the three heads, preserving the
+// exact global order a single heap would produce.
+//
 // The zero value is ready to use and starts at cycle 0.
 type Engine struct {
-	now  uint64
-	seq  uint64
-	evts eventHeap
+	now uint64
+	seq uint64
+
+	curr     []event // events at cycle == now, FIFO from currHead
+	currHead int
+	next     []event // events at cycle == now+1, FIFO from nextHead
+	nextHead int
+	far      eventHeap // events at cycle >= now+2 at scheduling time
 
 	probe      func(cycle uint64)
 	probeEvery uint64
@@ -69,7 +124,14 @@ func (e *Engine) At(cycle uint64, fn func()) {
 		cycle = e.now
 	}
 	e.seq++
-	heap.Push(&e.evts, event{cycle: cycle, seq: e.seq, fn: fn})
+	switch {
+	case cycle == e.now:
+		e.curr = append(e.curr, event{cycle: cycle, seq: e.seq, fn: fn})
+	case cycle == e.now+1:
+		e.next = append(e.next, event{cycle: cycle, seq: e.seq, fn: fn})
+	default:
+		e.far.push(event{cycle: cycle, seq: e.seq, fn: fn})
+	}
 }
 
 // After schedules fn to run delay cycles from now. It provides the same
@@ -98,15 +160,83 @@ func (e *Engine) SetProbe(every uint64, fn func(cycle uint64)) {
 }
 
 // Pending reports the number of scheduled events.
-func (e *Engine) Pending() int { return len(e.evts) }
+func (e *Engine) Pending() int {
+	return (len(e.curr) - e.currHead) + (len(e.next) - e.nextHead) + len(e.far)
+}
+
+// popMin removes and returns the globally minimal pending event by
+// (cycle, seq). Events at one cycle can be split across containers (e.g. a
+// heap event scheduled long ago for a cycle the clock has now reached,
+// alongside an After(0) queued during that cycle), so the FIFO heads must be
+// compared against the heap minimum before popping.
+func (e *Engine) popMin() (event, bool) {
+	if e.currHead < len(e.curr) {
+		ev := &e.curr[e.currHead]
+		// curr holds cycle == now, which no far event can precede; only a
+		// same-cycle far event with an older seq outranks it.
+		if len(e.far) > 0 && e.far[0].cycle == ev.cycle && e.far[0].seq < ev.seq {
+			return e.far.pop(), true
+		}
+		out := *ev
+		ev.fn = nil
+		e.currHead++
+		return out, true
+	}
+	if e.nextHead < len(e.next) {
+		ev := &e.next[e.nextHead]
+		if len(e.far) > 0 && (e.far[0].cycle < ev.cycle || (e.far[0].cycle == ev.cycle && e.far[0].seq < ev.seq)) {
+			return e.far.pop(), true
+		}
+		out := *ev
+		ev.fn = nil
+		e.nextHead++
+		return out, true
+	}
+	if len(e.far) > 0 {
+		return e.far.pop(), true
+	}
+	return event{}, false
+}
+
+// peekCycle returns the cycle of the earliest pending event.
+func (e *Engine) peekCycle() (uint64, bool) {
+	if e.currHead < len(e.curr) {
+		return e.curr[e.currHead].cycle, true
+	}
+	best, ok := uint64(0), false
+	if e.nextHead < len(e.next) {
+		best, ok = e.next[e.nextHead].cycle, true
+	}
+	if len(e.far) > 0 && (!ok || e.far[0].cycle < best) {
+		best, ok = e.far[0].cycle, true
+	}
+	return best, ok
+}
+
+// advanceBuffers re-tags the FIFO buffers when the clock moves from prev to
+// cycle. Both buffers are fully drained at this point except when advancing
+// exactly one cycle, where next (events at prev+1) becomes the new curr and
+// the spent curr storage is recycled as the new next — the ticker fast path
+// reuses the same two backing arrays for the whole run.
+func (e *Engine) advanceBuffers(prev, cycle uint64) {
+	if cycle == prev+1 {
+		recycled := e.curr[:0]
+		e.curr, e.currHead = e.next, e.nextHead
+		e.next, e.nextHead = recycled, 0
+		return
+	}
+	e.curr, e.currHead = e.curr[:0], 0
+	e.next, e.nextHead = e.next[:0], 0
+}
 
 // Step executes the next event, advancing the clock to its cycle. It returns
 // false if no events remain.
 func (e *Engine) Step() bool {
-	if len(e.evts) == 0 {
+	ev, ok := e.popMin()
+	if !ok {
 		return false
 	}
-	ev := heap.Pop(&e.evts).(event)
+	prev := e.now
 	if e.probe != nil {
 		// Fire probe boundaries the clock crosses on its way to this
 		// event. The probe sees the state as of the boundary cycle:
@@ -116,6 +246,9 @@ func (e *Engine) Step() bool {
 			e.probe(e.probeNext)
 			e.probeNext += e.probeEvery
 		}
+	}
+	if ev.cycle != prev {
+		e.advanceBuffers(prev, ev.cycle)
 	}
 	e.now = ev.cycle
 	ev.fn()
@@ -131,15 +264,38 @@ func (e *Engine) Run() uint64 {
 
 // RunUntil executes events with cycle <= limit. It returns true if the event
 // queue drained before the limit was reached (i.e. the simulation finished).
+// When the limit cuts the run short, the clock still sweeps forward to limit
+// through every probe boundary in between — a bounded run loses none of its
+// tail samples.
 func (e *Engine) RunUntil(limit uint64) bool {
 	for {
-		if len(e.evts) == 0 {
+		c, ok := e.peekCycle()
+		if !ok {
 			return true
 		}
-		if e.evts[0].cycle > limit {
-			e.now = limit
+		if c > limit {
+			e.advanceTo(limit)
 			return false
 		}
 		e.Step()
 	}
+}
+
+// advanceTo moves the clock to cycle, firing every probe boundary on the
+// way (including one at exactly cycle). The caller guarantees no event is
+// pending at or before cycle, so both FIFO buffers are already drained.
+func (e *Engine) advanceTo(cycle uint64) {
+	if cycle <= e.now {
+		return
+	}
+	prev := e.now
+	if e.probe != nil {
+		for e.probeNext <= cycle {
+			e.now = e.probeNext
+			e.probe(e.probeNext)
+			e.probeNext += e.probeEvery
+		}
+	}
+	e.advanceBuffers(prev, cycle)
+	e.now = cycle
 }

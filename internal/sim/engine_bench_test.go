@@ -1,0 +1,177 @@
+package sim
+
+// Host-time benchmarks for the event engine's schedule/dispatch hot path.
+// "Host" means the metric is wall-clock ns/op and allocs/op on the machine
+// running the simulator, not simulated cycles. scripts/bench.sh collects
+// these into BENCH_host.json so PRs leave a perf trajectory.
+//
+// Each scheduling pattern is benchmarked on the real engine and on a
+// container/heap + interface{} reference (the pre-overhaul implementation)
+// so the boxing and heap-avoidance wins stay measurable.
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// boxedEngine is the original engine implementation: a binary heap driven
+// through container/heap, which boxes every event into an interface{} on
+// push. Kept here as the benchmark baseline only.
+type boxedEngine struct {
+	now  uint64
+	seq  uint64
+	evts boxedHeap
+}
+
+type boxedHeap []event
+
+func (h boxedHeap) Len() int { return len(h) }
+func (h boxedHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h boxedHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *boxedHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *boxedHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+func (e *boxedEngine) Now() uint64 { return e.now }
+
+func (e *boxedEngine) At(cycle uint64, fn func()) {
+	if cycle < e.now {
+		cycle = e.now
+	}
+	e.seq++
+	heap.Push(&e.evts, event{cycle: cycle, seq: e.seq, fn: fn})
+}
+
+func (e *boxedEngine) After(delay uint64, fn func()) { e.At(e.now+delay, fn) }
+
+func (e *boxedEngine) Run() uint64 {
+	for len(e.evts) > 0 {
+		ev := heap.Pop(&e.evts).(event)
+		e.now = ev.cycle
+		ev.fn()
+	}
+	return e.now
+}
+
+// engineLike is the surface the benchmark bodies drive.
+type engineLike interface {
+	Now() uint64
+	At(cycle uint64, fn func())
+	After(delay uint64, fn func())
+	Run() uint64
+}
+
+// benchEngines runs body against both implementations as sub-benchmarks.
+func benchEngines(b *testing.B, body func(b *testing.B, mk func() engineLike)) {
+	b.Run("value4ary", func(b *testing.B) {
+		body(b, func() engineLike { return NewEngine() })
+	})
+	b.Run("boxedheap", func(b *testing.B) {
+		body(b, func() engineLike { return &boxedEngine{} })
+	})
+}
+
+// BenchmarkHostEnginePushPop measures pure schedule/dispatch throughput:
+// 1024 events at pseudo-random future cycles, drained to completion.
+// ns/op and allocs/op are per event.
+func BenchmarkHostEnginePushPop(b *testing.B) {
+	benchEngines(b, func(b *testing.B, mk func() engineLike) {
+		const n = 1024
+		fn := func() {}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += n {
+			b.StopTimer()
+			e := mk()
+			rng := NewRand(42)
+			b.StartTimer()
+			for j := 0; j < n; j++ {
+				e.At(uint64(rng.Intn(1<<16)), fn)
+			}
+			e.Run()
+		}
+	})
+}
+
+// BenchmarkHostEngineTicker measures the After(1) self-rescheduling pattern
+// every pipelined unit uses (the next-cycle FIFO fast path).
+func BenchmarkHostEngineTicker(b *testing.B) {
+	benchEngines(b, func(b *testing.B, mk func() engineLike) {
+		b.ReportAllocs()
+		e := mk()
+		left := b.N
+		var tick func()
+		tick = func() {
+			left--
+			if left > 0 {
+				e.After(1, tick)
+			}
+		}
+		b.ResetTimer()
+		e.After(1, tick)
+		e.Run()
+	})
+}
+
+// BenchmarkHostEngineSameCycle measures After(0) chains (the current-cycle
+// FIFO fast path): bursts of events that all run in one cycle.
+func BenchmarkHostEngineSameCycle(b *testing.B) {
+	benchEngines(b, func(b *testing.B, mk func() engineLike) {
+		const burst = 64
+		b.ReportAllocs()
+		e := mk()
+		left := b.N
+		var seed func()
+		seed = func() {
+			for j := 0; j < burst && left > 0; j++ {
+				left--
+				e.After(0, func() {})
+			}
+			if left > 0 {
+				e.After(1, seed)
+			}
+		}
+		b.ResetTimer()
+		e.After(0, seed)
+		e.Run()
+	})
+}
+
+// BenchmarkHostEngineMixed approximates the simulator's real mix: a few
+// tickers stepping every cycle plus sporadic long-latency completions (DRAM
+// responses) going through the heap.
+func BenchmarkHostEngineMixed(b *testing.B) {
+	benchEngines(b, func(b *testing.B, mk func() engineLike) {
+		b.ReportAllocs()
+		e := mk()
+		rng := NewRand(7)
+		left := b.N
+		var unit func()
+		unit = func() {
+			left--
+			if left <= 0 {
+				return
+			}
+			if rng.Intn(8) == 0 {
+				e.After(uint64(20+rng.Intn(40)), unit) // memory round trip
+			} else {
+				e.After(1, unit) // pipeline step
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < 4; i++ {
+			e.After(1, unit)
+		}
+		e.Run()
+	})
+}

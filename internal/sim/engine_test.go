@@ -177,3 +177,183 @@ func TestTickerStepsOncePerCycle(t *testing.T) {
 		}
 	}
 }
+
+// TestEngineRunUntilFiresTrailingProbes pins the bounded-run fix: probe
+// boundaries between the last executed event and the limit must fire, and
+// a boundary landing exactly on the limit fires too.
+func TestEngineRunUntilFiresTrailingProbes(t *testing.T) {
+	e := NewEngine()
+	var probes []uint64
+	e.SetProbe(10, func(c uint64) { probes = append(probes, c) })
+	e.At(5, func() {})
+	e.At(100, func() {}) // beyond the limit: keeps the queue non-empty
+	if done := e.RunUntil(47); done {
+		t.Fatal("RunUntil reported drained with an event pending at 100")
+	}
+	want := []uint64{10, 20, 30, 40}
+	if len(probes) != len(want) {
+		t.Fatalf("probes = %v, want %v (trailing boundaries after the last event must fire)", probes, want)
+	}
+	for i := range want {
+		if probes[i] != want[i] {
+			t.Fatalf("probes = %v, want %v", probes, want)
+		}
+	}
+	if e.Now() != 47 {
+		t.Fatalf("Now = %d, want 47", e.Now())
+	}
+	// A boundary exactly on the limit fires as well.
+	if done := e.RunUntil(60); done {
+		t.Fatal("RunUntil reported drained with an event pending at 100")
+	}
+	if got := probes[len(probes)-1]; got != 60 {
+		t.Fatalf("last probe = %d, want 60 (boundary on the limit)", got)
+	}
+	// Resuming past the event must not re-fire or skip boundaries.
+	e.Run()
+	if e.Now() != 100 {
+		t.Fatalf("final cycle = %d, want 100", e.Now())
+	}
+	wantTail := []uint64{50, 60, 70, 80, 90, 100}
+	got := probes[4:]
+	if len(got) != len(wantTail) {
+		t.Fatalf("tail probes = %v, want %v", got, wantTail)
+	}
+	for i := range wantTail {
+		if got[i] != wantTail[i] {
+			t.Fatalf("tail probes = %v, want %v", got, wantTail)
+		}
+	}
+}
+
+// TestEngineHeapAndFIFOInterleave pins the ordering across the engine's
+// internal containers: an event scheduled far in advance for cycle C (heap)
+// must run before an After(0/1) event queued for C during execution (FIFO),
+// because it was scheduled first.
+func TestEngineHeapAndFIFOInterleave(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.At(6, func() { got = append(got, "next:6") })  // next-cycle FIFO... after advance
+	e.At(7, func() { got = append(got, "heap:7a") }) // heap (delay 7)
+	e.At(5, func() {
+		got = append(got, "curr:5")
+		e.After(1, func() { // cycle 6, scheduled after heap:7a
+			got = append(got, "fifo:6")
+			e.After(1, func() { got = append(got, "fifo:7") }) // cycle 7, seq after heap:7a
+		})
+	})
+	e.Run()
+	want := []string{"curr:5", "next:6", "fifo:6", "heap:7a", "fifo:7"}
+	if len(got) != len(want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v (heap/FIFO events must interleave by schedule order)", got, want)
+		}
+	}
+}
+
+// naiveScheduler is an obviously-correct reference: a flat slice scanned for
+// the (cycle, seq) minimum on every dispatch, with the same past-clamping
+// rule as Engine.
+type naiveScheduler struct {
+	now  uint64
+	seq  uint64
+	evts []event
+}
+
+func (n *naiveScheduler) Now() uint64 { return n.now }
+
+func (n *naiveScheduler) At(cycle uint64, fn func()) {
+	if cycle < n.now {
+		cycle = n.now
+	}
+	n.seq++
+	n.evts = append(n.evts, event{cycle: cycle, seq: n.seq, fn: fn})
+}
+
+func (n *naiveScheduler) Run() uint64 {
+	for len(n.evts) > 0 {
+		best := 0
+		for i, ev := range n.evts {
+			if ev.cycle < n.evts[best].cycle ||
+				(ev.cycle == n.evts[best].cycle && ev.seq < n.evts[best].seq) {
+				best = i
+			}
+		}
+		ev := n.evts[best]
+		n.evts = append(n.evts[:best], n.evts[best+1:]...)
+		n.now = ev.cycle
+		ev.fn()
+	}
+	return n.now
+}
+
+// scheduler is the common surface the property test drives.
+type scheduler interface {
+	Now() uint64
+	At(cycle uint64, fn func())
+}
+
+// driveRandomWorkload schedules a deterministic pseudo-random event cascade
+// on s, runs it to completion via run, and returns the (id, cycle) execution
+// trace. Delays are biased toward 0/1 so the FIFO fast paths, the heap, and
+// their interleavings are all exercised.
+func driveRandomWorkload(s scheduler, run func() uint64, seed uint64) (trace []uint64, end uint64) {
+	rng := NewRand(seed)
+	id := uint64(0)
+	var spawn func(depth int) func()
+	spawn = func(depth int) func() {
+		myID := id
+		id++
+		return func() {
+			trace = append(trace, myID, s.Now())
+			if depth >= 4 {
+				return
+			}
+			kids := rng.Intn(3)
+			for k := 0; k < kids; k++ {
+				var delay uint64
+				switch rng.Intn(4) {
+				case 0:
+					delay = 0
+				case 1:
+					delay = 1
+				default:
+					delay = uint64(rng.Intn(40))
+				}
+				s.At(s.Now()+delay, spawn(depth+1))
+			}
+		}
+	}
+	for i := 0; i < 300; i++ {
+		s.At(uint64(rng.Intn(100)), spawn(0))
+	}
+	return trace, run()
+}
+
+// TestEngineMatchesNaiveScheduler is the seeded property test: for many
+// seeds, the three-container engine must execute a random self-scheduling
+// cascade in exactly the order, and at exactly the cycles, the brute-force
+// reference does.
+func TestEngineMatchesNaiveScheduler(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		e := NewEngine()
+		got, gotEnd := driveRandomWorkload(e, e.Run, seed)
+		n := &naiveScheduler{}
+		want, wantEnd := driveRandomWorkload(n, n.Run, seed)
+		if gotEnd != wantEnd {
+			t.Fatalf("seed %d: final cycle %d, want %d", seed, gotEnd, wantEnd)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: executed %d events, reference executed %d", seed, len(got)/2, len(want)/2)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: trace diverges at entry %d: engine %v vs reference %v",
+					seed, i/2, got[i-i%2:i-i%2+2], want[i-i%2:i-i%2+2])
+			}
+		}
+	}
+}

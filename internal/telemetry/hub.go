@@ -46,9 +46,14 @@ func (h *Hub) Registry() *Registry {
 
 // def is the process-wide default hub, picked up by core.NewAppRunner so
 // whole-program tools (hwgc-bench) can instrument every system they build
-// without plumbing a hub through each experiment. Stored atomically so the
-// race detector stays quiet if tests probe it; the hub itself is still
-// single-threaded.
+// without plumbing a hub through each experiment. The pointer is stored
+// atomically, so installing/reading the default is race-free; the Hub's
+// surfaces (Registry counters, Sampler buffers, Tracer events) are NOT —
+// they are deliberately unsynchronized so the simulator's hot loops pay no
+// locking cost. The contract for concurrent use is therefore: while a
+// default hub is installed, only one simulation may run at a time. The
+// experiment fleet enforces this by collapsing its worker width to 1
+// whenever Default() != nil (see experiments.Width).
 var def atomic.Pointer[Hub]
 
 // SetDefault installs (or, with nil, clears) the process default hub.

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -368,4 +369,34 @@ func TestHubNilSafety(t *testing.T) {
 	if hub.Sampler.Every != 1024 {
 		t.Fatalf("default sample interval = %d, want 1024", hub.Sampler.Every)
 	}
+}
+
+// TestDefaultHubConcurrentAccess hammers SetDefault/Default from many
+// goroutines; under -race this proves the default-hub pointer itself is
+// safe to install and observe concurrently (the fleet's Width gate reads it
+// from worker setup paths). The hub's surfaces stay single-threaded — that
+// contract is enforced by experiments.Width, not here.
+func TestDefaultHubConcurrentAccess(t *testing.T) {
+	defer SetDefault(nil)
+	hub := NewHub(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if g%2 == 0 {
+					if i%2 == 0 {
+						SetDefault(hub)
+					} else {
+						SetDefault(nil)
+					}
+				} else if h := Default(); h != nil && h != hub {
+					t.Error("Default returned a hub that was never installed")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }

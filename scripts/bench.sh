@@ -1,0 +1,45 @@
+#!/bin/sh
+# Host-performance benchmark harness: runs the event-engine micro-benchmarks
+# (value-typed 4-ary heap vs the boxed container/heap baseline) and the
+# end-to-end quick-suite benchmarks (serial vs parallel fleet), then distills
+# everything into BENCH_host.json for diffing across commits.
+#
+#   scripts/bench.sh                # writes ./BENCH_host.json
+#   scripts/bench.sh /tmp/out.json  # writes elsewhere
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_host.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "== engine micro-benchmarks (ns/op, allocs/op)"
+go test -run '^$' -bench 'BenchmarkHostEngine' -benchmem -benchtime=200ms \
+    ./internal/sim | tee -a "$raw"
+
+echo "== full experiment suite, serial vs parallel (host wall time)"
+go test -run '^$' -bench 'BenchmarkHostFullSuite' -benchmem -benchtime=1x \
+    . | tee -a "$raw"
+
+awk -v host="$(uname -sm)" -v ncpu="$(nproc 2>/dev/null || echo 1)" '
+BEGIN { n = 0 }
+/^Benchmark/ && /ns\/op/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    iters = $2; ns = $3
+    bytes = ""; allocs = ""
+    for (i = 4; i <= NF; i++) {
+        if ($i == "B/op") bytes = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    rows[n++] = sprintf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                        name, iters, ns, bytes == "" ? "null" : bytes,
+                        allocs == "" ? "null" : allocs)
+}
+END {
+    printf "{\n  \"host\": \"%s\",\n  \"cpus\": %s,\n  \"benchmarks\": [\n", host, ncpu
+    for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
+    printf "  ]\n}\n"
+}
+' "$raw" > "$out"
+
+echo "wrote $out"

@@ -16,7 +16,13 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "== go test -race ./..."
-go test -race ./...
+echo "== go test -race -short ./..."
+# -short skips the full-suite serial-vs-parallel determinism test (minutes
+# under the race detector); TestFleetParallelSmoke still races concurrent
+# simulation cells below.
+go test -race -short ./...
+
+echo "== go test -race ./internal/experiments ./internal/telemetry"
+go test -race -short -count=1 ./internal/experiments/ ./internal/telemetry/
 
 echo "ok"
