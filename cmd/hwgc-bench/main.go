@@ -9,6 +9,8 @@
 //	hwgc-bench -only fig15,fig20
 //	hwgc-bench -run 'fig1[0-9]' # regexp over experiment IDs
 //	hwgc-bench -parallel 8      # worker count (default GOMAXPROCS)
+//	hwgc-bench -cache           # serve repeated cells from the result cache
+//	hwgc-bench -cache-dir DIR   # ... persisted across runs under DIR
 //	hwgc-bench -list
 package main
 
@@ -32,6 +34,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	gcs := flag.Int("gcs", 0, "collections per benchmark (0 = default)")
 	seed := flag.Uint64("seed", 42, "workload seed")
+	useCache := flag.Bool("cache", false, "serve repeated cells from the content-addressed result cache")
+	cacheDir := flag.String("cache-dir", "", "persist cache entries under this directory (implies -cache)")
 	metricsOut := flag.String("metrics-out", "", "write sampled metric time series (JSONL) to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file (Perfetto-compatible)")
 	sampleEvery := flag.Uint64("sample-every", 1024, "gauge sampling interval in cycles")
@@ -71,19 +75,16 @@ func main() {
 
 	// The default hub instruments every system the experiment runners build
 	// internally; samples and events accumulate across all experiments. The
-	// hub is single-threaded by design, so telemetry runs force the fleet
-	// serial (Width detects the installed hub).
+	// synchronized hub forks a private child per simulation, so the fleet
+	// keeps its full parallel width.
 	var tel *hwgc.Telemetry
 	if *metricsOut != "" || *traceOut != "" {
-		tel = hwgc.NewTelemetry(*sampleEvery)
+		tel = hwgc.NewSyncTelemetry(*sampleEvery)
 		if *traceOut != "" {
 			tel.EnableTrace()
 		}
 		hwgc.SetDefaultTelemetry(tel)
 		defer hwgc.SetDefaultTelemetry(nil)
-		if *parallel > 1 {
-			fmt.Fprintln(os.Stderr, "note: telemetry output requested; running serially")
-		}
 	}
 
 	var runners []hwgc.ExperimentRunner
@@ -96,6 +97,27 @@ func main() {
 		}
 		runners = append(runners, r)
 	}
+	if len(runners) == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments match -only %q -run %q; valid IDs:\n", *only, *runFilter)
+		for _, r := range hwgc.Experiments() {
+			fmt.Fprintf(os.Stderr, "  %s\n", r.ID)
+		}
+		os.Exit(2)
+	}
+
+	var cache *hwgc.ResultCache
+	if *useCache || *cacheDir != "" {
+		var err error
+		cache, err = hwgc.NewResultCache(0, *cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if tel != nil {
+			cache.AttachTelemetry(tel)
+		}
+		runners = hwgc.CachedExperiments(cache, runners)
+	}
 
 	failed := 0
 	for _, res := range hwgc.RunFleet(runners, opts, *parallel) {
@@ -107,20 +129,25 @@ func main() {
 		fmt.Println(res.Report.String())
 	}
 
+	if cache != nil {
+		st := cache.Stats()
+		fmt.Printf("result cache: %d hits (%d from disk), %d misses, hit rate %.0f%%\n",
+			st.Hits, st.DiskHits, st.Misses, 100*st.HitRate())
+	}
 	if tel != nil {
 		fmt.Println("telemetry summary:")
-		if err := tel.Reg.WriteSummary(os.Stdout); err != nil {
+		if err := tel.WriteSummary(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			failed++
 		}
 		if *metricsOut != "" {
-			writeFile(*metricsOut, tel.Sampler.WriteJSONL)
-			fmt.Printf("wrote %d metric samples to %s\n", tel.Sampler.Len(), *metricsOut)
+			writeFile(*metricsOut, tel.WriteSamplesJSONL)
+			fmt.Printf("wrote %d metric samples to %s\n", tel.SampleCount(), *metricsOut)
 		}
 		if *traceOut != "" {
-			writeFile(*traceOut, tel.Trace.WriteChrome)
+			writeFile(*traceOut, tel.WriteTraceChrome)
 			fmt.Printf("wrote %d trace events to %s (open in Perfetto / chrome://tracing)\n",
-				len(tel.Trace.Events()), *traceOut)
+				tel.TraceEventCount(), *traceOut)
 		}
 	}
 	if failed > 0 {

@@ -1,0 +1,85 @@
+// hwgc-serve exposes the experiment fleet as a long-running simulation
+// service: an HTTP/JSON API over a bounded job queue drained by a worker
+// pool, with every result stored in the content-addressed cache so
+// repeated cells are served without re-simulating. See docs/SERVICE.md.
+//
+// Usage:
+//
+//	hwgc-serve                         # listen on :8077
+//	hwgc-serve -addr :9000 -workers 4
+//	hwgc-serve -cache-dir /var/cache/hwgc   # persistent result cache
+//	hwgc-serve -job-timeout 10m        # cancel cells that run too long
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: in-flight jobs finish
+// (bounded by -drain-timeout, then cancelled), new submissions get 503,
+// and the process exits 0.
+//
+//	curl -s localhost:8077/v1/experiments
+//	curl -s -X POST localhost:8077/v1/jobs \
+//	    -d '{"experiment":"fig15","options":{"Quick":true},"wait":true}'
+//	curl -s localhost:8077/v1/jobs/job-000001
+//	curl -s localhost:8077/v1/metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"hwgc/internal/resultcache"
+	"hwgc/internal/service"
+	"hwgc/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size")
+	queue := flag.Int("queue", 64, "max queued jobs; submissions past this get 503")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job deadline (0 = none)")
+	cacheEntries := flag.Int("cache-entries", 0, "in-memory result cache entries (0 = default)")
+	cacheDir := flag.String("cache-dir", "", "persist cached results under this directory")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
+		"how long in-flight jobs may keep running after SIGINT/SIGTERM before being cancelled")
+	sampleEvery := flag.Uint64("sample-every", 1024, "telemetry gauge sampling interval in cycles")
+	flag.Parse()
+
+	cache, err := resultcache.New(*cacheEntries, *cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// A synchronized hub lets every concurrently running simulation attach
+	// (each forks a private child), so jobs keep the fleet's full parallel
+	// width and /v1/metrics merges service, cache, and simulation metrics.
+	hub := telemetry.NewSyncHub(*sampleEvery)
+	telemetry.SetDefault(hub)
+
+	sched := service.New(service.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		JobTimeout: *jobTimeout,
+		Cache:      cache,
+		Hub:        hub,
+	})
+	d := &service.Daemon{
+		Addr:         *addr,
+		Scheduler:    sched,
+		Hub:          hub,
+		DrainTimeout: *drainTimeout,
+		Logf:         log.Printf,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := d.Run(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -93,19 +93,15 @@ func main() {
 		kind = core.SWCollector
 	}
 
-	// The hub's registry and sampler are single-threaded by design, so
-	// telemetry output forces a serial sweep even under -run.
+	// The synchronized hub forks a private child per benchmark run, so
+	// telemetry output composes with a parallel -run sweep.
 	var tel *hwgc.Telemetry
 	width := *parallel
 	if *metricsOut != "" || *traceOut != "" {
-		tel = hwgc.NewTelemetry(*sampleEvery)
+		tel = hwgc.NewSyncTelemetry(*sampleEvery)
 		if *traceOut != "" {
 			tel.EnableTrace()
 		}
-		if width > 1 && len(specsToRun) > 1 {
-			fmt.Fprintln(os.Stderr, "note: telemetry output requested; running serially")
-		}
-		width = 1
 	}
 
 	run := func(w io.Writer, spec workload.Spec) error {
@@ -155,18 +151,18 @@ func main() {
 
 	if tel != nil {
 		fmt.Println("\ntelemetry summary:")
-		if err := tel.Reg.WriteSummary(os.Stdout); err != nil {
+		if err := tel.WriteSummary(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		if *metricsOut != "" {
-			writeFile(*metricsOut, tel.Sampler.WriteJSONL)
-			fmt.Printf("wrote %d metric samples to %s\n", tel.Sampler.Len(), *metricsOut)
+			writeFile(*metricsOut, tel.WriteSamplesJSONL)
+			fmt.Printf("wrote %d metric samples to %s\n", tel.SampleCount(), *metricsOut)
 		}
 		if *traceOut != "" {
-			writeFile(*traceOut, tel.Trace.WriteChrome)
+			writeFile(*traceOut, tel.WriteTraceChrome)
 			fmt.Printf("wrote %d trace events to %s (open in Perfetto / chrome://tracing)\n",
-				len(tel.Trace.Events()), *traceOut)
+				tel.TraceEventCount(), *traceOut)
 		}
 	}
 	if failed > 0 {
@@ -182,7 +178,9 @@ func runOne(w io.Writer, cfg hwgc.Config, spec workload.Spec, kind core.Collecto
 	if err != nil {
 		return err
 	}
-	runner.AttachTelemetry(tel)
+	// ForRun forks a private child on the synchronized hub so parallel
+	// sweeps never share mutable telemetry state (plain hubs pass through).
+	runner.AttachTelemetry(tel.ForRun(spec.Name))
 	runner.Validate = validate
 	fmt.Fprintf(w, "%s on %s, %d collections (memory=%s)\n", kind, spec.Name, gcs, memory)
 	for i := 0; i < gcs; i++ {

@@ -26,6 +26,7 @@ package hwgc
 import (
 	"hwgc/internal/core"
 	"hwgc/internal/experiments"
+	"hwgc/internal/resultcache"
 	"hwgc/internal/telemetry"
 	"hwgc/internal/workload"
 )
@@ -80,6 +81,13 @@ type Telemetry = telemetry.Hub
 // the result to also record structured events.
 func NewTelemetry(sampleEvery uint64) *Telemetry { return telemetry.NewHub(sampleEvery) }
 
+// NewSyncTelemetry returns a synchronized hub: safe to install as the
+// process default while simulations run concurrently, so instrumented
+// fleet runs keep their full parallel width. Each simulation forks a
+// private child hub internally; the hub's WriteSummary /
+// WriteSamplesJSONL / WriteTraceChrome methods merge them back together.
+func NewSyncTelemetry(sampleEvery uint64) *Telemetry { return telemetry.NewSyncHub(sampleEvery) }
+
 // SetDefaultTelemetry installs tel as the process-wide default hub: every
 // collector system built afterwards (including the ones experiment runners
 // build internally) attaches to it. Pass nil to clear.
@@ -131,7 +139,8 @@ type ExperimentResult = experiments.Result
 // GOMAXPROCS) and returns one result per runner in the given order.
 // Reports are byte-identical to a serial run at any width; see
 // docs/PERFORMANCE.md for the determinism contract. The fan-out degrades
-// to serial while a default telemetry hub is installed.
+// to serial only while a plain (non-synchronized) default telemetry hub is
+// installed; NewSyncTelemetry hubs keep the full width.
 func RunFleet(runners []experiments.Runner, o Options, parallel int) []ExperimentResult {
 	return experiments.RunFleet(runners, o, parallel)
 }
@@ -150,6 +159,26 @@ func DefaultOptions() Options { return experiments.DefaultOptions() }
 
 // QuickOptions returns reduced-scale options for smoke runs.
 func QuickOptions() Options { return experiments.QuickOptions() }
+
+// ResultCache is the content-addressed result store behind hwgc-bench's
+// -cache flag and the hwgc-serve daemon: results are keyed by a canonical
+// hash of everything that determines them, and — because reports are
+// byte-identical at any fleet width — a hit is provably identical to
+// recomputation. See docs/SERVICE.md.
+type ResultCache = resultcache.Cache
+
+// NewResultCache returns a cache holding up to maxEntries results in
+// memory (0 picks the default). A non-empty dir adds a persistent on-disk
+// tier shared across processes.
+func NewResultCache(maxEntries int, dir string) (*ResultCache, error) {
+	return resultcache.New(maxEntries, dir)
+}
+
+// CachedExperiments wraps runners so each consults cache before simulating
+// and stores successful reports back.
+func CachedExperiments(cache *ResultCache, runners []ExperimentRunner) []ExperimentRunner {
+	return experiments.Cached(cache, runners)
+}
 
 type errUnknownExperiment string
 

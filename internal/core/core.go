@@ -342,9 +342,17 @@ func NewAppRunner(cfg Config, spec workload.Spec, kind CollectorKind, seed uint6
 	} else {
 		r.SW = NewSW(cfg, sys)
 	}
-	// A process-default hub (hwgc-bench --metrics-out) instruments every
-	// runner it builds; the latest runner's callbacks win in the registry.
-	r.AttachTelemetry(telemetry.Default())
+	// A process-default hub (hwgc-bench -metrics-out, hwgc-serve)
+	// instruments every runner it builds. A synchronized hub forks a
+	// private per-run child here, so concurrent runners never share
+	// mutable telemetry state; a plain hub attaches directly (the latest
+	// runner's callbacks win in the registry, and the fleet keeps such
+	// runs serial).
+	short := "sw"
+	if kind == HWCollector {
+		short = "hw"
+	}
+	r.AttachTelemetry(telemetry.Default().ForRun(spec.Name + "/" + short))
 	return r, nil
 }
 

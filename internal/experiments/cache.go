@@ -1,0 +1,70 @@
+package experiments
+
+// Result-cache integration: every experiment invocation has a canonical
+// content address (CellKey), and Cached wraps runners so already-computed
+// cells are served from a resultcache.Cache instead of being re-simulated.
+// The determinism contract (reports are byte-identical at any width, for a
+// given Options) is what makes this sound: a hit is provably byte-identical
+// to recomputation, which TestCachedRunner and the service integration test
+// assert directly.
+
+import (
+	"encoding/json"
+
+	"hwgc/internal/resultcache"
+)
+
+// CellKey returns the content address of one experiment invocation: the
+// runner ID, the resolved options, and the benchmark spec table those
+// options expand to (so recalibrating a workload invalidates cached
+// results even on unstamped dev builds). Options.Parallel is excluded via
+// its cachekey tag — width never changes a report. The module and schema
+// versions participate inside resultcache.CellKey.
+func CellKey(runnerID string, o Options) resultcache.Key {
+	return resultcache.CellKey(runnerID, o, specs(o), o.Seed)
+}
+
+// EncodeReport serializes a report for the result cache. DecodeReport
+// inverts it exactly: Report holds only strings, so the round trip is
+// byte-identical.
+func EncodeReport(r Report) ([]byte, error) { return json.Marshal(r) }
+
+// DecodeReport parses a cached report payload.
+func DecodeReport(b []byte) (Report, error) {
+	var r Report
+	err := json.Unmarshal(b, &r)
+	return r, err
+}
+
+// Cached wraps each runner so its Run consults cache first and stores
+// successful results back. A corrupt cache entry is treated as a miss.
+// Errors are never cached — a failing cell reruns on the next request.
+func Cached(cache *resultcache.Cache, runners []Runner) []Runner {
+	out := make([]Runner, len(runners))
+	for i, r := range runners {
+		out[i] = CachedRunner(cache, r)
+	}
+	return out
+}
+
+// CachedRunner wraps one runner with the cache-first policy of Cached.
+func CachedRunner(cache *resultcache.Cache, r Runner) Runner {
+	id, run := r.ID, r.Run
+	r.Run = func(o Options) (Report, error) {
+		key := CellKey(id, o)
+		if b, ok := cache.Get(key); ok {
+			if rep, err := DecodeReport(b); err == nil {
+				return rep, nil
+			}
+		}
+		rep, err := run(o)
+		if err == nil {
+			if b, encErr := EncodeReport(rep); encErr == nil {
+				// A failed disk write only loses reuse, never a result.
+				_ = cache.Put(key, b)
+			}
+		}
+		return rep, err
+	}
+	return r
+}

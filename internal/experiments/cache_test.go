@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"hwgc/internal/resultcache"
+)
+
+// TestCachedRunnerHitIsByteIdentical is the core cache-soundness check: the
+// second invocation of the same cell must not re-run the simulator, and the
+// decoded report must round-trip to exactly the bytes the first run produced.
+func TestCachedRunnerHitIsByteIdentical(t *testing.T) {
+	cache, err := resultcache.New(16, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := 0
+	r, ok := ByID("table1")
+	if !ok {
+		t.Fatal("runner table1 missing")
+	}
+	inner := r.Run
+	r.Run = func(o Options) (Report, error) { runs++; return inner(o) }
+	cached := CachedRunner(cache, r)
+
+	o := QuickOptions()
+	first, err := cached.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := cached.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Fatalf("simulator ran %d times; want 1 (second call must be a cache hit)", runs)
+	}
+	b1, _ := EncodeReport(first)
+	b2, _ := EncodeReport(second)
+	if string(b1) != string(b2) {
+		t.Fatalf("cache hit is not byte-identical:\n first %s\nsecond %s", b1, b2)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("decoded reports differ")
+	}
+	if st := cache.Stats(); st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestCachedRunnerErrorNotCached checks that failures re-run: an error from
+// the simulator must never be replayed from the cache.
+func TestCachedRunnerErrorNotCached(t *testing.T) {
+	cache, err := resultcache.New(16, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := 0
+	boom := errors.New("boom")
+	cached := CachedRunner(cache, Runner{
+		ID: "failing",
+		Run: func(o Options) (Report, error) {
+			runs++
+			if runs == 1 {
+				return Report{}, boom
+			}
+			return Report{ID: "failing", Rows: []string{"ok"}}, nil
+		},
+	})
+	if _, err := cached.Run(QuickOptions()); !errors.Is(err, boom) {
+		t.Fatalf("first run err = %v, want boom", err)
+	}
+	rep, err := cached.Run(QuickOptions())
+	if err != nil || len(rep.Rows) != 1 {
+		t.Fatalf("second run = %+v, %v; want recomputed success", rep, err)
+	}
+	if runs != 2 {
+		t.Fatalf("simulator ran %d times; want 2 (errors must not be cached)", runs)
+	}
+}
+
+// TestCellKeyIgnoresParallel pins the width-independence contract: reports
+// are byte-identical at any fleet width, so Options.Parallel must not
+// change the content address (otherwise a serial and a parallel run of the
+// same cell would never share cache entries).
+func TestCellKeyIgnoresParallel(t *testing.T) {
+	o := DefaultOptions()
+	base := CellKey("fig20", o)
+	o.Parallel = 8
+	if CellKey("fig20", o) != base {
+		t.Fatal("Options.Parallel changed the cell key; width must be excluded (cachekey tag)")
+	}
+	o.Parallel = 0
+	o.Seed++
+	if CellKey("fig20", o) == base {
+		t.Fatal("seed change did not change the cell key")
+	}
+	o.Seed--
+	o.Quick = !o.Quick
+	if CellKey("fig20", o) == base {
+		t.Fatal("Quick change did not change the cell key")
+	}
+}

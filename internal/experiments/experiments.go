@@ -30,8 +30,9 @@ type Options struct {
 	// concurrently (<= 1 means serial, 0 is treated as serial here; the
 	// fleet runner resolves 0 to GOMAXPROCS before fan-out). Every cell
 	// owns its engine, heap, and RNG, and cell results are reassembled in
-	// canonical order, so reports are byte-identical at any width.
-	Parallel int
+	// canonical order, so reports are byte-identical at any width — which
+	// is why the field is excluded from result-cache keys (cachekey tag).
+	Parallel int `cachekey:"-"`
 }
 
 // DefaultOptions returns the full-scale settings used for EXPERIMENTS.md.

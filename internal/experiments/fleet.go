@@ -15,9 +15,11 @@ package experiments
 // private sim.Engine, heap, and seeded RNG; nothing is shared between
 // cells, and results are collected into an index-addressed slice, so the
 // assembled report does not depend on completion order. The one piece of
-// process-global mutable state — the default telemetry hub, whose registry
-// and sampler are deliberately unsynchronized — is detected here and
-// degrades the fan-out to serial rather than racing on it.
+// process-global mutable state is the default telemetry hub: a plain hub's
+// registry and sampler are deliberately unsynchronized, so an installed
+// plain hub degrades the fan-out to serial rather than racing on it; a
+// synchronized hub (telemetry.NewSyncHub) forks a private child per runner
+// and keeps the full width.
 
 import (
 	"fmt"
@@ -38,15 +40,19 @@ type Result struct {
 }
 
 // Width resolves a requested parallelism to the effective worker count:
-// <= 0 means GOMAXPROCS, and any width collapses to 1 while a process
+// <= 0 means GOMAXPROCS. A width collapses to 1 while a *plain* process
 // default telemetry hub is installed (its registry, sampler, and tracer
-// are single-threaded by design; see docs/PERFORMANCE.md).
+// are single-threaded by design; see docs/PERFORMANCE.md). A synchronized
+// hub (telemetry.NewSyncHub) forks a private child per runner, so it keeps
+// the full width.
 func Width(parallel int) int {
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
-	if parallel > 1 && telemetry.Default() != nil {
-		parallel = 1
+	if parallel > 1 {
+		if h := telemetry.Default(); h != nil && !h.Synchronized() {
+			parallel = 1
+		}
 	}
 	return parallel
 }

@@ -142,9 +142,9 @@ func TestRunFleetShieldsPanics(t *testing.T) {
 	}
 }
 
-// TestWidthTelemetryGate checks that installing a process-default telemetry
-// hub forces the fleet serial (the hub's registry and sampler are
-// single-threaded by design).
+// TestWidthTelemetryGate checks that installing a plain process-default
+// telemetry hub forces the fleet serial (its registry and sampler are
+// single-threaded by design), while a synchronized hub keeps the width.
 func TestWidthTelemetryGate(t *testing.T) {
 	if telemetry.Default() != nil {
 		t.Fatal("test requires no default hub installed")
@@ -158,6 +158,64 @@ func TestWidthTelemetryGate(t *testing.T) {
 	telemetry.SetDefault(telemetry.NewHub(0))
 	defer telemetry.SetDefault(nil)
 	if got := Width(8); got != 1 {
-		t.Fatalf("Width(8) = %d with a default hub installed, want 1", got)
+		t.Fatalf("Width(8) = %d with a plain default hub installed, want 1", got)
+	}
+	telemetry.SetDefault(telemetry.NewSyncHub(0))
+	if got := Width(8); got != 8 {
+		t.Fatalf("Width(8) = %d with a synchronized default hub installed, want 8", got)
+	}
+}
+
+// TestSyncHubParallelFleet is the synchronized-hub contract: with a sync
+// hub installed as the process default, the fleet keeps its parallel width
+// (each runner forks a private child), runs race-free, and the hub's merged
+// metric summary is byte-identical to a serial instrumented run — the
+// aggregate is pure summation, so it cannot depend on completion order.
+func TestSyncHubParallelFleet(t *testing.T) {
+	if telemetry.Default() != nil {
+		t.Fatal("test requires no default hub installed")
+	}
+	ids := []string{"table1", "fig22", "abl-layout"}
+	runners := make([]Runner, 0, len(ids))
+	for _, id := range ids {
+		r, ok := ByID(id)
+		if !ok {
+			t.Fatalf("unknown experiment %q", id)
+		}
+		runners = append(runners, r)
+	}
+	o := fastOptions()
+	o.Shrink = 8
+
+	run := func(width int) (reports, summary string) {
+		hub := telemetry.NewSyncHub(256)
+		telemetry.SetDefault(hub)
+		defer telemetry.SetDefault(nil)
+		var rep strings.Builder
+		for _, res := range RunFleet(runners, o, width) {
+			if res.Err != nil {
+				t.Fatalf("width %d: %s: %v", width, res.Runner.ID, res.Err)
+			}
+			rep.WriteString(res.Report.String())
+		}
+		var sum strings.Builder
+		if err := hub.WriteSummary(&sum); err != nil {
+			t.Fatalf("width %d: summary: %v", width, err)
+		}
+		return rep.String(), sum.String()
+	}
+
+	serialReports, serialSummary := run(1)
+	parReports, parSummary := run(8)
+	if serialSummary == "" || !strings.Contains(serialSummary, "heap.allocations") {
+		t.Fatalf("summary looks empty or unpopulated:\n%s", serialSummary)
+	}
+	if parReports != serialReports {
+		t.Errorf("parallel reports differ from serial with a sync hub installed:\n--- serial ---\n%s--- parallel ---\n%s",
+			serialReports, parReports)
+	}
+	if parSummary != serialSummary {
+		t.Errorf("parallel telemetry summary differs from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+			serialSummary, parSummary)
 	}
 }

@@ -1,0 +1,215 @@
+// Package resultcache is the content-addressed result store behind the
+// simulation service and hwgc-bench's -cache flag. A result is keyed by a
+// canonical hash of everything that determines it (runner, config point,
+// workload spec, seed, module version — see KeyOf/CellKey); because the
+// simulator is deterministic, a hit is provably byte-identical to
+// recomputation.
+//
+// The store is an in-memory LRU over opaque byte payloads with an optional
+// on-disk tier: evicted-from-memory entries survive on disk, and a fresh
+// process warms itself from the directory lazily on Get. All methods are
+// goroutine-safe.
+package resultcache
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"hwgc/internal/telemetry"
+)
+
+// DefaultMaxEntries bounds the in-memory LRU when New is given n <= 0.
+const DefaultMaxEntries = 1024
+
+// Cache is a goroutine-safe content-addressed result store.
+type Cache struct {
+	mu         sync.Mutex
+	maxEntries int
+	ll         *list.List // front = most recently used; element values are *entry
+	byKey      map[Key]*list.Element
+	bytes      int64
+	dir        string // "" = memory only
+
+	hits, diskHits, misses, puts, evictions uint64
+}
+
+type entry struct {
+	key Key
+	val []byte
+}
+
+// Stats is a point-in-time snapshot of the cache's counters.
+type Stats struct {
+	Hits      uint64 // total hits (memory + disk)
+	DiskHits  uint64 // hits served by promoting a disk entry
+	Misses    uint64
+	Puts      uint64
+	Evictions uint64 // memory-LRU evictions (disk copies survive)
+	Entries   int    // current in-memory entries
+	Bytes     int64  // current in-memory payload bytes
+}
+
+// HitRate returns Hits / (Hits + Misses), 0 when no lookups happened.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// New returns a cache holding up to maxEntries results in memory
+// (DefaultMaxEntries when <= 0). A non-empty dir adds the on-disk tier
+// rooted there, created if missing.
+func New(maxEntries int, dir string) (*Cache, error) {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("resultcache: %w", err)
+		}
+	}
+	return &Cache{
+		maxEntries: maxEntries,
+		ll:         list.New(),
+		byKey:      make(map[Key]*list.Element),
+		dir:        dir,
+	}, nil
+}
+
+// Get returns a copy of the payload stored under key. A memory miss falls
+// through to the disk tier (when configured) and promotes the entry.
+func (c *Cache) Get(key Key) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return clone(el.Value.(*entry).val), true
+	}
+	if c.dir != "" {
+		if b, err := os.ReadFile(c.path(key)); err == nil {
+			c.hits++
+			c.diskHits++
+			c.insertLocked(key, b)
+			return clone(b), true
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores a copy of val under key in memory and, when configured, on
+// disk (written atomically via rename). The memory LRU may evict older
+// entries; their disk copies survive.
+func (c *Cache) Put(key Key, val []byte) error {
+	v := clone(val)
+	c.mu.Lock()
+	c.puts++
+	c.insertLocked(key, v)
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil
+	}
+	path := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "put-*")
+	if err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	if _, err := tmp.Write(v); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	return nil
+}
+
+// insertLocked adds or refreshes key in the memory LRU, evicting from the
+// cold end past maxEntries. Caller holds c.mu.
+func (c *Cache) insertLocked(key Key, val []byte) {
+	if el, ok := c.byKey[key]; ok {
+		e := el.Value.(*entry)
+		c.bytes += int64(len(val)) - int64(len(e.val))
+		e.val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&entry{key: key, val: val})
+	c.bytes += int64(len(val))
+	for c.ll.Len() > c.maxEntries {
+		el := c.ll.Back()
+		e := el.Value.(*entry)
+		c.ll.Remove(el)
+		delete(c.byKey, e.key)
+		c.bytes -= int64(len(e.val))
+		c.evictions++
+	}
+}
+
+// path returns the disk location of key (two-level fan-out keeps
+// directories small).
+func (c *Cache) path(key Key) string {
+	s := key.String()
+	return filepath.Join(c.dir, s[:2], s)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits: c.hits, DiskHits: c.diskHits, Misses: c.misses,
+		Puts: c.puts, Evictions: c.evictions,
+		Entries: c.ll.Len(), Bytes: c.bytes,
+	}
+}
+
+// AttachTelemetry registers the cache's counters and occupancy gauges under
+// resultcache.* on the hub's registry. The callbacks take the cache's own
+// lock, so they are safe to sample from any goroutine.
+func (c *Cache) AttachTelemetry(h *telemetry.Hub) {
+	reg := h.Registry()
+	if reg == nil {
+		return
+	}
+	locked := func(f func() uint64) func() uint64 {
+		return func() uint64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return f()
+		}
+	}
+	reg.CounterFunc("resultcache.hits", locked(func() uint64 { return c.hits }))
+	reg.CounterFunc("resultcache.diskhits", locked(func() uint64 { return c.diskHits }))
+	reg.CounterFunc("resultcache.misses", locked(func() uint64 { return c.misses }))
+	reg.CounterFunc("resultcache.puts", locked(func() uint64 { return c.puts }))
+	reg.CounterFunc("resultcache.evictions", locked(func() uint64 { return c.evictions }))
+	reg.Gauge("resultcache.entries", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(c.ll.Len())
+	})
+	reg.Gauge("resultcache.bytes", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(c.bytes)
+	})
+	reg.Gauge("resultcache.hitrate", func() float64 { return c.Stats().HitRate() })
+}
+
+func clone(b []byte) []byte { return append([]byte(nil), b...) }

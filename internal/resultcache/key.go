@@ -1,0 +1,168 @@
+package resultcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"reflect"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Key is the 256-bit content address of a simulation cell: the canonical
+// hash of everything that determines its result. Because the simulator is
+// deterministic (PR 2's byte-identical-to-serial contract), two cells with
+// equal keys are guaranteed to produce byte-identical results, so serving
+// one from the cache is provably equivalent to recomputing it.
+type Key [sha256.Size]byte
+
+// String returns the key as lowercase hex.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// KeyOf hashes a canonical encoding of parts. The encoding is reflection
+// driven and stable across processes, platforms, and struct-field
+// reordering:
+//
+//   - scalars encode as their decimal/quoted literal (floats via strconv
+//     'g' with full precision),
+//   - structs encode as {"field":value,...} with fields sorted by name —
+//     every exported field participates automatically, so adding a config
+//     knob can never be silently left out of the key,
+//   - a struct field tagged `cachekey:"-"` is excluded (for knobs that
+//     provably do not affect results, like fleet width),
+//   - slices/arrays encode as [v,...], maps with canonically sorted keys,
+//     and nil pointers/interfaces as null.
+//
+// Kinds with no canonical value (funcs, channels) panic: hashing one is a
+// wiring bug, not an input error.
+func KeyOf(parts ...any) Key {
+	h := sha256.New()
+	var buf []byte
+	for _, p := range parts {
+		buf = appendCanonical(buf[:0], reflect.ValueOf(p))
+		buf = append(buf, '\n')
+		h.Write(buf)
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// appendCanonical appends v's canonical encoding to buf.
+func appendCanonical(buf []byte, v reflect.Value) []byte {
+	if !v.IsValid() {
+		return append(buf, "null"...)
+	}
+	switch v.Kind() {
+	case reflect.Bool:
+		return strconv.AppendBool(buf, v.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return strconv.AppendInt(buf, v.Int(), 10)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		return strconv.AppendUint(buf, v.Uint(), 10)
+	case reflect.Float32, reflect.Float64:
+		return strconv.AppendFloat(buf, v.Float(), 'g', -1, 64)
+	case reflect.String:
+		return strconv.AppendQuote(buf, v.String())
+	case reflect.Pointer, reflect.Interface:
+		if v.IsNil() {
+			return append(buf, "null"...)
+		}
+		return appendCanonical(buf, v.Elem())
+	case reflect.Slice, reflect.Array:
+		buf = append(buf, '[')
+		for i := 0; i < v.Len(); i++ {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = appendCanonical(buf, v.Index(i))
+		}
+		return append(buf, ']')
+	case reflect.Map:
+		type kv struct{ k, v []byte }
+		pairs := make([]kv, 0, v.Len())
+		iter := v.MapRange()
+		for iter.Next() {
+			pairs = append(pairs, kv{
+				k: appendCanonical(nil, iter.Key()),
+				v: appendCanonical(nil, iter.Value()),
+			})
+		}
+		sort.Slice(pairs, func(i, j int) bool { return string(pairs[i].k) < string(pairs[j].k) })
+		buf = append(buf, '{')
+		for i, p := range pairs {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = append(buf, p.k...)
+			buf = append(buf, ':')
+			buf = append(buf, p.v...)
+		}
+		return append(buf, '}')
+	case reflect.Struct:
+		t := v.Type()
+		type field struct {
+			name string
+			idx  int
+		}
+		fields := make([]field, 0, t.NumField())
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if f.PkgPath != "" { // unexported
+				continue
+			}
+			if f.Tag.Get("cachekey") == "-" {
+				continue
+			}
+			fields = append(fields, field{f.Name, i})
+		}
+		sort.Slice(fields, func(i, j int) bool { return fields[i].name < fields[j].name })
+		buf = append(buf, '{')
+		for i, f := range fields {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = strconv.AppendQuote(buf, f.name)
+			buf = append(buf, ':')
+			buf = appendCanonical(buf, v.Field(f.idx))
+		}
+		return append(buf, '}')
+	default:
+		panic("resultcache: cannot canonically encode " + v.Kind().String())
+	}
+}
+
+// schemaVersion participates in every cell key; bump it when the canonical
+// encoding or the cached payload format changes incompatibly.
+const schemaVersion = "hwgc-cell-v1"
+
+// moduleVersion identifies the simulator build embedded in every cell key,
+// so a changed simulator never serves stale results from a shared on-disk
+// cache. Released builds get the module version; VCS-stamped builds append
+// the revision. Plain dev/test builds resolve to "(devel)" — their keys
+// are stable across processes on the same checkout, which is exactly the
+// hwgc-serve deployment unit.
+var moduleVersion = sync.OnceValue(func() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := bi.Main.Version
+	if v == "" {
+		v = "unknown"
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			v += "+" + s.Value
+		}
+	}
+	return v
+})
+
+// CellKey returns the content address of one simulation cell: the runner
+// name, its config point, the workload spec, and the seed, tied to the
+// schema and module versions.
+func CellKey(runner string, config any, spec any, seed uint64) Key {
+	return KeyOf(schemaVersion, moduleVersion(), runner, config, spec, seed)
+}

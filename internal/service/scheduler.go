@@ -1,0 +1,439 @@
+// Package service turns the deterministic experiment fleet into a
+// long-running simulation service: a bounded job queue drained by a worker
+// pool, fronted by an HTTP/JSON API (server.go, daemon.go) and backed by
+// the content-addressed result cache. Because reports are byte-identical
+// at any fleet width (the PR 2 determinism contract), a cache hit served
+// by the scheduler is provably identical to recomputing the cell.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hwgc/internal/experiments"
+	"hwgc/internal/resultcache"
+	"hwgc/internal/telemetry"
+)
+
+// Submission errors. The HTTP layer maps these to status codes.
+var (
+	// ErrDraining is returned by Submit once a drain has begun.
+	ErrDraining = errors.New("service: draining, not accepting jobs")
+	// ErrQueueFull is returned by Submit when the bounded queue is at
+	// capacity.
+	ErrQueueFull = errors.New("service: job queue full")
+)
+
+// UnknownExperimentError reports a submission naming no known runner, and
+// carries the valid IDs so clients can self-correct.
+type UnknownExperimentError struct {
+	Name  string
+	Valid []string
+}
+
+func (e *UnknownExperimentError) Error() string {
+	return fmt.Sprintf("service: unknown experiment %q; valid IDs: %s",
+		e.Name, strings.Join(e.Valid, " "))
+}
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateSucceeded State = "succeeded"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Config parameterizes a Scheduler. The zero value is usable: GOMAXPROCS
+// workers, a 64-deep queue, no per-job deadline, no cache, no telemetry.
+type Config struct {
+	// Workers is the worker-pool size (<= 0 means GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of queued-but-unstarted jobs
+	// (<= 0 means 64). Submissions past the bound fail with ErrQueueFull.
+	QueueDepth int
+	// JobTimeout is the per-job deadline measured from the moment a worker
+	// picks the job up (<= 0 means no deadline). A job past its deadline is
+	// marked cancelled; the simulation goroutine cannot be interrupted and
+	// is left to finish detached, its result discarded.
+	JobTimeout time.Duration
+	// Cache, when set, is consulted before running and updated after every
+	// successful run. Keys come from experiments.CellKey.
+	Cache *resultcache.Cache
+	// Hub, when set, receives service metrics (queue depth, job counters,
+	// latency) and the cache's counters on its registry.
+	Hub *telemetry.Hub
+	// Runners is the experiment table served (nil means experiments.All()).
+	// Tests inject synthetic runners here.
+	Runners []experiments.Runner
+}
+
+// Job is one submitted simulation cell. Inputs are immutable; progress
+// fields are guarded by the owning scheduler's lock — read them through
+// View, or wait for Done.
+type Job struct {
+	id         string
+	experiment string
+	opts       experiments.Options
+	key        resultcache.Key
+
+	state     State
+	cacheHit  bool
+	report    []byte // encoded report, exactly the cached payload bytes
+	errMsg    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	done      chan struct{}
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// View is the JSON representation of a job. Report holds the cached
+// payload verbatim (json.RawMessage), so two views of the same cell carry
+// byte-identical report objects — the property the service integration
+// test asserts.
+type View struct {
+	ID         string              `json:"id"`
+	Experiment string              `json:"experiment"`
+	Options    experiments.Options `json:"options"`
+	State      State               `json:"state"`
+	CacheKey   string              `json:"cacheKey"`
+	CacheHit   bool                `json:"cacheHit"`
+	Report     json.RawMessage     `json:"report,omitempty"`
+	Error      string              `json:"error,omitempty"`
+	Submitted  time.Time           `json:"submittedAt"`
+	Started    *time.Time          `json:"startedAt,omitempty"`
+	Finished   *time.Time          `json:"finishedAt,omitempty"`
+}
+
+// Scheduler owns the job table, the bounded queue, and the worker pool.
+type Scheduler struct {
+	cfg   Config
+	byID  map[string]experiments.Runner
+	ids   []string
+	queue chan *Job
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	seq      int
+	draining bool
+
+	submitted, completed, failed, cancelled, cacheHits uint64
+	latency                                            telemetry.Histogram // guarded by mu (registry histograms are not lock-free)
+}
+
+// New starts a scheduler: the worker pool begins draining the queue
+// immediately. Stop it with Drain.
+func New(cfg Config) *Scheduler {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 64
+	}
+	runners := cfg.Runners
+	if runners == nil {
+		runners = experiments.All()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		cfg:     cfg,
+		byID:    make(map[string]experiments.Runner, len(runners)),
+		queue:   make(chan *Job, depth),
+		baseCtx: ctx,
+		cancel:  cancel,
+		jobs:    make(map[string]*Job),
+	}
+	for _, r := range runners {
+		s.byID[r.ID] = r
+		s.ids = append(s.ids, r.ID)
+	}
+	sort.Strings(s.ids)
+	if cfg.Hub != nil {
+		s.attachTelemetry(cfg.Hub)
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// ExperimentIDs returns the served runner IDs, sorted.
+func (s *Scheduler) ExperimentIDs() []string { return append([]string(nil), s.ids...) }
+
+// Runners returns the served runner table in scheduler order.
+func (s *Scheduler) Runners() []experiments.Runner {
+	out := make([]experiments.Runner, 0, len(s.ids))
+	for _, id := range s.ids {
+		out = append(out, s.byID[id])
+	}
+	return out
+}
+
+// Submit enqueues one cell. It fails fast with UnknownExperimentError,
+// ErrDraining, or ErrQueueFull; it never blocks on a full queue.
+func (s *Scheduler) Submit(experiment string, o experiments.Options) (*Job, error) {
+	r, ok := s.byID[experiment]
+	if !ok {
+		return nil, &UnknownExperimentError{Name: experiment, Valid: s.ExperimentIDs()}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	s.seq++
+	job := &Job{
+		id:         fmt.Sprintf("job-%06d", s.seq),
+		experiment: r.ID,
+		opts:       o,
+		key:        experiments.CellKey(r.ID, o),
+		state:      StateQueued,
+		submitted:  time.Now(),
+		done:       make(chan struct{}),
+	}
+	select {
+	case s.queue <- job:
+	default:
+		return nil, ErrQueueFull
+	}
+	s.jobs[job.id] = job
+	s.order = append(s.order, job.id)
+	s.submitted++
+	return job, nil
+}
+
+// View returns the job's current state.
+func (s *Scheduler) View(id string) (View, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return View{}, false
+	}
+	return s.viewLocked(job), true
+}
+
+// Views returns every job in submission order.
+func (s *Scheduler) Views() []View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]View, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.viewLocked(s.jobs[id]))
+	}
+	return out
+}
+
+func (s *Scheduler) viewLocked(j *Job) View {
+	v := View{
+		ID:         j.id,
+		Experiment: j.experiment,
+		Options:    j.opts,
+		State:      j.state,
+		CacheKey:   j.key.String(),
+		CacheHit:   j.cacheHit,
+		Error:      j.errMsg,
+		Submitted:  j.submitted,
+	}
+	if len(j.report) > 0 {
+		v.Report = json.RawMessage(append([]byte(nil), j.report...))
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	return v
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.run(job)
+	}
+}
+
+func (s *Scheduler) run(job *Job) {
+	s.mu.Lock()
+	job.state = StateRunning
+	job.started = time.Now()
+	runner := s.byID[job.experiment]
+	s.mu.Unlock()
+
+	// Drain deadline already passed: don't start work that will be thrown
+	// away.
+	if err := s.baseCtx.Err(); err != nil {
+		s.finish(job, StateCancelled, nil, err.Error(), false)
+		return
+	}
+
+	if s.cfg.Cache != nil {
+		if b, ok := s.cfg.Cache.Get(job.key); ok {
+			if _, err := experiments.DecodeReport(b); err == nil {
+				s.finish(job, StateSucceeded, b, "", true)
+				return
+			}
+			// Corrupt entry: fall through and recompute.
+		}
+	}
+
+	ctx := s.baseCtx
+	if s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
+		defer cancel()
+	}
+
+	type result struct {
+		rep experiments.Report
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		rep, err := runner.Run(job.opts)
+		ch <- result{rep, err}
+	}()
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			s.finish(job, StateFailed, nil, res.err.Error(), false)
+			return
+		}
+		b, err := experiments.EncodeReport(res.rep)
+		if err != nil {
+			s.finish(job, StateFailed, nil, err.Error(), false)
+			return
+		}
+		if s.cfg.Cache != nil {
+			// A failed disk write only loses reuse, never the result.
+			_ = s.cfg.Cache.Put(job.key, b)
+		}
+		s.finish(job, StateSucceeded, b, "", false)
+	case <-ctx.Done():
+		// Runner.Run takes no context; the simulation goroutine finishes
+		// detached and its result is discarded.
+		s.finish(job, StateCancelled, nil, ctx.Err().Error(), false)
+	}
+}
+
+func (s *Scheduler) finish(job *Job, st State, report []byte, errMsg string, hit bool) {
+	s.mu.Lock()
+	job.state = st
+	job.report = report
+	job.errMsg = errMsg
+	job.cacheHit = hit
+	job.finished = time.Now()
+	switch st {
+	case StateSucceeded:
+		s.completed++
+		if hit {
+			s.cacheHits++
+		}
+	case StateFailed:
+		s.failed++
+	case StateCancelled:
+		s.cancelled++
+	}
+	us := job.finished.Sub(job.submitted).Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	s.latency.Observe(uint64(us))
+	s.mu.Unlock()
+	close(job.done)
+}
+
+// Drain stops the scheduler gracefully: new submissions fail with
+// ErrDraining immediately, queued and in-flight jobs run to completion,
+// and once ctx expires any still-running jobs are cancelled at their next
+// checkpoint. Drain returns when every worker has exited; it is safe to
+// call more than once.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.cancel() // deadline: cancel in-flight and queued jobs
+		<-done
+	}
+	s.cancel()
+	return nil
+}
+
+// attachTelemetry registers the scheduler's metrics on the hub registry.
+// The latency histogram is guarded by the scheduler lock (registry
+// histograms are not lock-free), so it is published as locked gauges and
+// counter funcs rather than as a raw registry histogram — safe to sample
+// or snapshot from any goroutine while jobs finish.
+func (s *Scheduler) attachTelemetry(h *telemetry.Hub) {
+	reg := h.Registry()
+	if reg == nil {
+		return
+	}
+	locked := func(f func() uint64) func() uint64 {
+		return func() uint64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return f()
+		}
+	}
+	gauge := func(f func() float64) func() float64 {
+		return func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return f()
+		}
+	}
+	reg.CounterFunc("service.jobs.submitted", locked(func() uint64 { return s.submitted }))
+	reg.CounterFunc("service.jobs.completed", locked(func() uint64 { return s.completed }))
+	reg.CounterFunc("service.jobs.failed", locked(func() uint64 { return s.failed }))
+	reg.CounterFunc("service.jobs.cancelled", locked(func() uint64 { return s.cancelled }))
+	reg.CounterFunc("service.jobs.cachehits", locked(func() uint64 { return s.cacheHits }))
+	reg.Gauge("service.queue.depth", func() float64 { return float64(len(s.queue)) })
+	reg.CounterFunc("service.job.latency.count", locked(func() uint64 { return s.latency.Count() }))
+	reg.Gauge("service.job.latency.mean_us", gauge(func() float64 { return s.latency.Mean() }))
+	reg.Gauge("service.job.latency.max_us", gauge(func() float64 { return float64(s.latency.Max()) }))
+	reg.Gauge("service.job.latency.p50_us", gauge(func() float64 { return s.latency.Quantile(0.50) }))
+	reg.Gauge("service.job.latency.p99_us", gauge(func() float64 { return s.latency.Quantile(0.99) }))
+	if s.cfg.Cache != nil {
+		s.cfg.Cache.AttachTelemetry(h)
+	}
+}

@@ -1,0 +1,130 @@
+package service
+
+// HTTP/JSON API over a Scheduler:
+//
+//	POST /v1/jobs        submit a cell; {"experiment","options","wait"}
+//	GET  /v1/jobs        list all jobs in submission order
+//	GET  /v1/jobs/{id}   one job's state (and report once finished)
+//	GET  /v1/experiments valid experiment IDs and titles
+//	GET  /v1/metrics     telemetry registry snapshot (when a hub is wired)
+//
+// Error responses are {"error": "..."}; an unknown experiment additionally
+// carries "validExperiments" so clients can self-correct.
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"hwgc/internal/experiments"
+	"hwgc/internal/telemetry"
+)
+
+// SubmitRequest is the POST /v1/jobs body. Options is decoded over
+// experiments.DefaultOptions, so partial bodies like {"Quick":true} keep
+// the remaining defaults. Wait holds the response until the job finishes
+// (bounded by the request context), which is how a client observes a cache
+// hit in a single round trip.
+type SubmitRequest struct {
+	Experiment string          `json:"experiment"`
+	Options    json.RawMessage `json:"options,omitempty"`
+	Wait       bool            `json:"wait,omitempty"`
+}
+
+type errorResponse struct {
+	Error            string   `json:"error"`
+	ValidExperiments []string `json:"validExperiments,omitempty"`
+}
+
+// NewHandler returns the service API over s. hub may be nil; then
+// GET /v1/metrics reports 404.
+func NewHandler(s *Scheduler, hub *telemetry.Hub) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		handleSubmit(s, w, r)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Views())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		v, ok := s.View(r.PathValue("id"))
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job " + r.PathValue("id")})
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+	mux.HandleFunc("GET /v1/experiments", func(w http.ResponseWriter, r *http.Request) {
+		type exp struct {
+			ID    string `json:"id"`
+			Title string `json:"title"`
+		}
+		out := make([]exp, 0, len(s.ids))
+		for _, runner := range s.Runners() {
+			out = append(out, exp{ID: runner.ID, Title: runner.Title})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if hub == nil {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: "telemetry not enabled"})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = hub.Snapshot().WriteJSON(w)
+	})
+	return mux
+}
+
+func handleSubmit(s *Scheduler, w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	opts := experiments.DefaultOptions()
+	if len(req.Options) > 0 {
+		if err := json.Unmarshal(req.Options, &opts); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad options: " + err.Error()})
+			return
+		}
+	}
+	job, err := s.Submit(req.Experiment, opts)
+	if err != nil {
+		var unknown *UnknownExperimentError
+		switch {
+		case errors.As(err, &unknown):
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error:            err.Error(),
+				ValidExperiments: unknown.Valid,
+			})
+		case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		}
+		return
+	}
+	if req.Wait {
+		select {
+		case <-job.Done():
+		case <-r.Context().Done():
+			// Client gave up; report whatever state the job is in.
+		}
+	}
+	v, _ := s.View(job.ID())
+	status := http.StatusAccepted
+	switch v.State {
+	case StateSucceeded, StateFailed, StateCancelled:
+		status = http.StatusOK
+	}
+	writeJSON(w, status, v)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

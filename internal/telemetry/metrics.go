@@ -25,24 +25,28 @@ package telemetry
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Counter is a monotonically increasing count (requests issued, objects
 // marked). All methods are nil-safe no-ops so disabled units can hold a nil
-// counter.
-type Counter struct{ v uint64 }
+// counter. Updates are atomic, so one counter instance may be shared by
+// concurrent writers (the synchronized hub and the simulation service rely
+// on this); the other metric kinds stay unsynchronized and need external
+// locking or per-goroutine instances for concurrent use.
+type Counter struct{ v atomic.Uint64 }
 
 // Inc adds 1.
 func (c *Counter) Inc() {
 	if c != nil {
-		c.v++
+		c.v.Add(1)
 	}
 }
 
 // Add adds n.
 func (c *Counter) Add(n uint64) {
 	if c != nil {
-		c.v += n
+		c.v.Add(n)
 	}
 }
 
@@ -51,25 +55,26 @@ func (c *Counter) Value() uint64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	return c.v.Load()
 }
 
 // Rate is a counter whose per-interval delta the sampler reports as a
 // time-resolved rate (requests per cycle, bytes per cycle). The cumulative
-// total still appears in the end-of-run summary.
-type Rate struct{ v uint64 }
+// total still appears in the end-of-run summary. Like Counter, updates are
+// atomic.
+type Rate struct{ v atomic.Uint64 }
 
 // Inc adds 1.
 func (r *Rate) Inc() {
 	if r != nil {
-		r.v++
+		r.v.Add(1)
 	}
 }
 
 // Add adds n.
 func (r *Rate) Add(n uint64) {
 	if r != nil {
-		r.v += n
+		r.v.Add(n)
 	}
 }
 
@@ -78,7 +83,7 @@ func (r *Rate) Value() uint64 {
 	if r == nil {
 		return 0
 	}
-	return r.v
+	return r.v.Load()
 }
 
 // Histogram is a power-of-two bucketed histogram for positive integer
@@ -135,6 +140,24 @@ func (h *Histogram) Mean() float64 {
 		return 0
 	}
 	return float64(h.sum) / float64(h.count)
+}
+
+// Merge folds o's observations into h (bucket-wise sums; max of maxes).
+// Used when per-run histograms from a synchronized hub's children are
+// aggregated; merging is commutative, so the aggregate is independent of
+// run completion order. Nil-safe on both sides.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil {
+		return
+	}
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
 }
 
 // Bucket returns the count of observations v with log2ceil(v) == i.

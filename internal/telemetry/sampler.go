@@ -126,12 +126,22 @@ func (s *Sampler) Series(name string) (cycles []uint64, vals []float64) {
 //
 // Keys are sorted and floats formatted deterministically, so identical runs
 // produce byte-identical output.
-func (s *Sampler) WriteJSONL(w io.Writer) error {
+func (s *Sampler) WriteJSONL(w io.Writer) error { return s.writeJSONL(w, "") }
+
+// writeJSONL is WriteJSONL with an optional run tag: when run is non-empty
+// every row carries a leading "run" field, so samples from several
+// concurrent runs merged into one stream (the synchronized hub) stay
+// attributable.
+func (s *Sampler) writeJSONL(w io.Writer, run string) error {
 	if s == nil {
 		return nil
 	}
+	prefix := ""
+	if run != "" {
+		prefix = `"run":` + strconv.Quote(run) + `,`
+	}
 	for _, row := range s.rows {
-		if _, err := fmt.Fprintf(w, `{"cycle":%d,"metrics":{`, row.cycle); err != nil {
+		if _, err := fmt.Fprintf(w, `{%s"cycle":%d,"metrics":{`, prefix, row.cycle); err != nil {
 			return err
 		}
 		for i, n := range row.names {

@@ -204,6 +204,20 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 	if t == nil {
 		return nil
 	}
+	return writeChromeParts(w, []tracePart{{t: t}})
+}
+
+// tracePart is one tracer in a merged Chrome trace; a non-empty name labels
+// its process in the viewer (synchronized-hub runs).
+type tracePart struct {
+	name string
+	t    *Tracer
+}
+
+// writeChromeParts writes one Chrome trace file containing every part as
+// its own process (pid 1..n). A single unnamed part produces exactly the
+// classic single-trace output.
+func writeChromeParts(w io.Writer, parts []tracePart) error {
 	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
 		return err
 	}
@@ -216,14 +230,41 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		_, err := io.WriteString(w, ",\n")
 		return err
 	}
+	var dropped uint64
+	for i, p := range parts {
+		if p.t == nil {
+			continue
+		}
+		dropped += p.t.dropped
+		if err := p.t.writeChromeBody(w, i+1, p.name, writeSep); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "\n],\"displayTimeUnit\":\"ns\",\"otherData\":{\"droppedEvents\":%d}}\n", dropped)
+	return err
+}
+
+// writeChromeBody writes t's metadata and events as process pid into an
+// already-open traceEvents array.
+func (t *Tracer) writeChromeBody(w io.Writer, pid int, procName string, writeSep func() error) error {
+	if procName != "" {
+		if err := writeSep(); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w,
+			`{"name":"process_name","ph":"M","pid":%d,"args":{"name":%s}}`,
+			pid, strconv.Quote(procName)); err != nil {
+			return err
+		}
+	}
 	// Thread-name metadata, one per track, in track order.
 	for tid, unit := range t.order {
 		if err := writeSep(); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w,
-			`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%s}}`,
-			tid, strconv.Quote(unit)); err != nil {
+			`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
+			pid, tid, strconv.Quote(unit)); err != nil {
 			return err
 		}
 	}
@@ -236,14 +277,14 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		switch e.Phase {
 		case 'X':
 			if _, err := fmt.Fprintf(w,
-				`{"name":%s,"cat":%s,"ph":"X","pid":1,"tid":%d,"ts":%d,"dur":%d,"args":`,
-				strconv.Quote(e.Name), strconv.Quote(e.Unit), tid, e.Start, e.Dur); err != nil {
+				`{"name":%s,"cat":%s,"ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":%d,"args":`,
+				strconv.Quote(e.Name), strconv.Quote(e.Unit), pid, tid, e.Start, e.Dur); err != nil {
 				return err
 			}
 		default:
 			if _, err := fmt.Fprintf(w,
-				`{"name":%s,"cat":%s,"ph":"i","s":"t","pid":1,"tid":%d,"ts":%d,"args":`,
-				strconv.Quote(e.Name), strconv.Quote(e.Unit), tid, e.Start); err != nil {
+				`{"name":%s,"cat":%s,"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%d,"args":`,
+				strconv.Quote(e.Name), strconv.Quote(e.Unit), pid, tid, e.Start); err != nil {
 				return err
 			}
 		}
@@ -254,8 +295,7 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 			return err
 		}
 	}
-	_, err := fmt.Fprintf(w, "\n],\"displayTimeUnit\":\"ns\",\"otherData\":{\"droppedEvents\":%d}}\n", t.dropped)
-	return err
+	return nil
 }
 
 // WriteJSONL writes one JSON object per event: machine-readable structured
