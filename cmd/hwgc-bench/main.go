@@ -11,6 +11,7 @@
 //	hwgc-bench -parallel 8      # worker count (default GOMAXPROCS)
 //	hwgc-bench -cache           # serve repeated cells from the result cache
 //	hwgc-bench -cache-dir DIR   # ... persisted across runs under DIR
+//	hwgc-bench -ledger runs/    # append a run manifest (see hwgc-report)
 //	hwgc-bench -list
 package main
 
@@ -22,8 +23,12 @@ import (
 	"regexp"
 	"runtime"
 	"strings"
+	"sync"
+	"time"
 
 	"hwgc"
+	"hwgc/internal/experiments"
+	"hwgc/internal/ledger"
 )
 
 func main() {
@@ -39,6 +44,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write sampled metric time series (JSONL) to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file (Perfetto-compatible)")
 	sampleEvery := flag.Uint64("sample-every", 1024, "gauge sampling interval in cycles")
+	ledgerDir := flag.String("ledger", "", "append a run manifest (cell keys, metrics, timings) under this directory")
 	flag.Parse()
 
 	if *list {
@@ -119,14 +125,79 @@ func main() {
 		runners = hwgc.CachedExperiments(cache, runners)
 	}
 
+	var store *ledger.Store
+	if *ledgerDir != "" {
+		var err error
+		store, err = ledger.Open(*ledgerDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	// Per-experiment wall time, recorded by a timing wrapper around each
+	// (possibly cache-backed) runner. The map is written from fleet workers.
+	var timesMu sync.Mutex
+	wallMS := map[string]float64{}
+	if store != nil {
+		for i := range runners {
+			id, run := runners[i].ID, runners[i].Run
+			runners[i].Run = func(o hwgc.Options) (hwgc.Report, error) {
+				t0 := time.Now()
+				rep, err := run(o)
+				timesMu.Lock()
+				wallMS[id] = float64(time.Since(t0).Microseconds()) / 1e3
+				timesMu.Unlock()
+				return rep, err
+			}
+		}
+	}
+
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+	start := time.Now()
+
+	results := hwgc.RunFleet(runners, opts, *parallel)
 	failed := 0
-	for _, res := range hwgc.RunFleet(runners, opts, *parallel) {
+	for _, res := range results {
 		if res.Err != nil {
 			fmt.Fprintf(os.Stderr, "%s: ERROR: %v\n", res.Runner.ID, res.Err)
 			failed++
 			continue
 		}
 		fmt.Println(res.Report.String())
+	}
+
+	if store != nil {
+		m := ledger.NewManifest("hwgc-bench", ledger.Scale{
+			GCs: opts.GCs, Seed: opts.Seed, Quick: opts.Quick, Shrink: opts.Shrink,
+		})
+		m.Host.WallMS = float64(time.Since(start).Microseconds()) / 1e3
+		var memAfter runtime.MemStats
+		runtime.ReadMemStats(&memAfter)
+		m.Host.AllocBytes = memAfter.TotalAlloc - memBefore.TotalAlloc
+		m.Host.Mallocs = memAfter.Mallocs - memBefore.Mallocs
+		for _, res := range results {
+			rec := ledger.Experiment{
+				ID:      res.Runner.ID,
+				Title:   res.Runner.Title,
+				CellKey: experiments.CellKey(res.Runner.ID, opts).String(),
+				WallMS:  wallMS[res.Runner.ID],
+			}
+			if res.Err != nil {
+				rec.Error = res.Err.Error()
+			} else {
+				rec.Metrics = res.Report.Metrics
+			}
+			m.Experiments = append(m.Experiments, rec)
+		}
+		m.SnapshotTelemetry(tel)
+		path, err := store.Append(m)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed++
+		} else {
+			fmt.Printf("wrote run manifest to %s\n", path)
+		}
 	}
 
 	if cache != nil {

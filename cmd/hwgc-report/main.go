@@ -1,0 +1,178 @@
+// hwgc-report is the regression sentinel over the run ledger: it checks run
+// manifests (written by hwgc-bench/hwgc-sim/hwgc-serve via -ledger) against
+// the machine-readable EXPERIMENTS.md tolerance bands, and diffs manifests
+// against each other so "what did this change bend?" is one command.
+//
+// Usage:
+//
+//	hwgc-report -ledger runs -list           # list recorded runs
+//	hwgc-report -ledger runs -check          # judge the latest run's shape
+//	hwgc-report -manifest run.json -check    # ... or a specific manifest
+//	hwgc-report -diff old.json new.json      # per-metric deltas, regressions first
+//	hwgc-report -manifest run.json -baseline base.json -tolerance 0.25
+//
+// -check exits non-zero when any band is drifted, broken, or missing,
+// naming each offending experiment/metric. -baseline exits non-zero when
+// any metric moved more than -tolerance relative to the baseline manifest —
+// the CI gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hwgc/internal/ledger"
+)
+
+func main() {
+	ledgerDir := flag.String("ledger", "", "run-ledger directory (uses its latest manifest)")
+	manifestPath := flag.String("manifest", "", "check this manifest file instead of the ledger's latest")
+	list := flag.Bool("list", false, "list the ledger's recorded runs and exit")
+	check := flag.Bool("check", false, "judge the manifest against the EXPERIMENTS.md tolerance bands")
+	diff := flag.Bool("diff", false, "diff two manifest files (args: FROM TO)")
+	baseline := flag.String("baseline", "", "diff the manifest against this baseline and fail on moves past -tolerance")
+	tolerance := flag.Float64("tolerance", 0.25, "relative-change threshold for -baseline / noise floor for -diff")
+	flag.Parse()
+
+	switch {
+	case *list:
+		if *ledgerDir == "" {
+			fatal("hwgc-report: -list needs -ledger DIR")
+		}
+		store, err := ledger.Open(*ledgerDir)
+		if err != nil {
+			fatal(err)
+		}
+		paths, err := store.List()
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range paths {
+			m, err := ledger.ReadManifest(p)
+			if err != nil {
+				fmt.Printf("%s  (unreadable: %v)\n", p, err)
+				continue
+			}
+			scale := "full"
+			if m.Scale.Quick {
+				scale = "quick"
+			}
+			fmt.Printf("%s  %-10s %s  %s-scale  %d experiments\n",
+				m.CreatedAt.Format("2006-01-02 15:04:05"), m.Tool, p, scale, len(m.Experiments))
+		}
+
+	case *diff:
+		if flag.NArg() != 2 {
+			fatal("hwgc-report: -diff needs two manifest paths: FROM TO")
+		}
+		from, to := readManifest(flag.Arg(0)), readManifest(flag.Arg(1))
+		printDiff(from, to, 0) // show every move; -tolerance only gates -baseline
+
+	case *baseline != "":
+		m := loadTarget(*ledgerDir, *manifestPath)
+		base := readManifest(*baseline)
+		deltas := ledger.Diff(base, m, 0)
+		printDeltas(deltas)
+		failed := 0
+		for _, d := range deltas {
+			if d.OnlyIn == "from" || abs(d.Rel) >= *tolerance {
+				fmt.Printf("REGRESSION: %s\n", d)
+				failed++
+			}
+		}
+		if failed > 0 {
+			fatal(fmt.Sprintf("hwgc-report: %d metric(s) moved past tolerance %.0f%% vs baseline %s",
+				failed, *tolerance*100, *baseline))
+		}
+		fmt.Printf("baseline gate: every metric within %.0f%% of %s\n", *tolerance*100, *baseline)
+
+	case *check:
+		m := loadTarget(*ledgerDir, *manifestPath)
+		res := ledger.CheckManifest(m)
+		for _, c := range res.Checks {
+			fmt.Println(c)
+		}
+		holds := res.Count(ledger.VerdictHolds)
+		fmt.Printf("\n%d/%d bands hold", holds, len(res.Checks))
+		for _, v := range []ledger.Verdict{ledger.VerdictDrifted, ledger.VerdictBroken,
+			ledger.VerdictMissing, ledger.VerdictSkipped} {
+			if n := res.Count(v); n > 0 {
+				fmt.Printf(", %d %s", n, v)
+			}
+		}
+		fmt.Println()
+		if !res.OK() {
+			for _, c := range res.Checks {
+				if c.Verdict != ledger.VerdictHolds {
+					fmt.Fprintf(os.Stderr, "hwgc-report: %s: %s/%s %s\n",
+						c.Verdict, c.Band.Experiment, c.Band.Metric, c.Band.Paper)
+				}
+			}
+			os.Exit(1)
+		}
+		fmt.Println("paper shape holds")
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// loadTarget resolves the manifest under test: an explicit -manifest file,
+// or the ledger's latest run.
+func loadTarget(dir, path string) *ledger.Manifest {
+	if path != "" {
+		return readManifest(path)
+	}
+	if dir == "" {
+		fatal("hwgc-report: need -manifest FILE or -ledger DIR")
+	}
+	store, err := ledger.Open(dir)
+	if err != nil {
+		fatal(err)
+	}
+	m, p, err := store.Latest()
+	if err != nil {
+		fatal(err)
+	}
+	if m == nil {
+		fatal("hwgc-report: ledger " + dir + " has no runs")
+	}
+	fmt.Printf("checking %s (%s, %s)\n\n", p, m.Tool, m.CreatedAt.Format("2006-01-02 15:04:05"))
+	return m
+}
+
+func readManifest(path string) *ledger.Manifest {
+	m, err := ledger.ReadManifest(path)
+	if err != nil {
+		fatal(err)
+	}
+	return m
+}
+
+func printDiff(from, to *ledger.Manifest, epsilon float64) {
+	printDeltas(ledger.Diff(from, to, epsilon))
+}
+
+func printDeltas(deltas []ledger.Delta) {
+	if len(deltas) == 0 {
+		fmt.Println("no metric changes")
+		return
+	}
+	for _, d := range deltas {
+		fmt.Println(d)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func fatal(v any) {
+	fmt.Fprintln(os.Stderr, v)
+	os.Exit(1)
+}

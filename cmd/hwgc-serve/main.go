@@ -9,6 +9,8 @@
 //	hwgc-serve -addr :9000 -workers 4
 //	hwgc-serve -cache-dir /var/cache/hwgc   # persistent result cache
 //	hwgc-serve -job-timeout 10m        # cancel cells that run too long
+//	hwgc-serve -ledger runs/           # append a run manifest per job
+//	hwgc-serve -pprof                  # expose /debug/pprof/
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: in-flight jobs finish
 // (bounded by -drain-timeout, then cancelled), new submissions get 503,
@@ -18,7 +20,9 @@
 //	curl -s -X POST localhost:8077/v1/jobs \
 //	    -d '{"experiment":"fig15","options":{"Quick":true},"wait":true}'
 //	curl -s localhost:8077/v1/jobs/job-000001
+//	curl -s localhost:8077/v1/jobs/job-000001/progress
 //	curl -s localhost:8077/v1/metrics
+//	curl -s localhost:8077/metrics     # Prometheus text format
 package main
 
 import (
@@ -32,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"hwgc/internal/ledger"
 	"hwgc/internal/resultcache"
 	"hwgc/internal/service"
 	"hwgc/internal/telemetry"
@@ -47,12 +52,23 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
 		"how long in-flight jobs may keep running after SIGINT/SIGTERM before being cancelled")
 	sampleEvery := flag.Uint64("sample-every", 1024, "telemetry gauge sampling interval in cycles")
+	ledgerDir := flag.String("ledger", "", "append one run manifest per finished job under this directory")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	cache, err := resultcache.New(*cacheEntries, *cacheDir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	var store *ledger.Store
+	if *ledgerDir != "" {
+		store, err = ledger.Open(*ledgerDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	// A synchronized hub lets every concurrently running simulation attach
@@ -67,11 +83,13 @@ func main() {
 		JobTimeout: *jobTimeout,
 		Cache:      cache,
 		Hub:        hub,
+		Ledger:     store,
 	})
 	d := &service.Daemon{
 		Addr:         *addr,
 		Scheduler:    sched,
 		Hub:          hub,
+		EnablePprof:  *pprofOn,
 		DrainTimeout: *drainTimeout,
 		Logf:         log.Printf,
 	}

@@ -20,9 +20,11 @@ import (
 	"regexp"
 	"runtime"
 	"sync"
+	"time"
 
 	"hwgc"
 	"hwgc/internal/core"
+	"hwgc/internal/ledger"
 	"hwgc/internal/workload"
 )
 
@@ -44,6 +46,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write sampled metric time series (JSONL) to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file (Perfetto-compatible)")
 	sampleEvery := flag.Uint64("sample-every", 1024, "gauge sampling interval in cycles")
+	ledgerDir := flag.String("ledger", "", "append a run manifest (per-benchmark timings) under this directory")
 	flag.Parse()
 
 	var specsToRun []workload.Spec
@@ -104,15 +107,22 @@ func main() {
 		}
 	}
 
-	run := func(w io.Writer, spec workload.Spec) error {
-		return runOne(w, cfg, spec, kind, *gcs, *seed, *memory, *validate, tel)
+	// Per-benchmark outcomes, kept for the run ledger.
+	ress := make([]core.AppResult, len(specsToRun))
+	times := make([]float64, len(specsToRun))
+	errsAll := make([]error, len(specsToRun))
+	run := func(w io.Writer, i int) error {
+		t0 := time.Now()
+		res, err := runOne(w, cfg, specsToRun[i], kind, *gcs, *seed, *memory, *validate, tel)
+		ress[i], times[i] = res, float64(time.Since(t0).Microseconds())/1e3
+		return err
 	}
 
 	failed := 0
 	if width <= 1 || len(specsToRun) <= 1 {
-		for _, spec := range specsToRun {
-			if err := run(os.Stdout, spec); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", spec.Name, err)
+		for i, spec := range specsToRun {
+			if errsAll[i] = run(os.Stdout, i); errsAll[i] != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", spec.Name, errsAll[i])
 				failed++
 			}
 		}
@@ -123,7 +133,6 @@ func main() {
 			width = len(specsToRun)
 		}
 		bufs := make([]bytes.Buffer, len(specsToRun))
-		errs := make([]error, len(specsToRun))
 		jobs := make(chan int)
 		var wg sync.WaitGroup
 		for w := 0; w < width; w++ {
@@ -131,7 +140,7 @@ func main() {
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					errs[i] = run(&bufs[i], specsToRun[i])
+					errsAll[i] = run(&bufs[i], i)
 				}
 			}()
 		}
@@ -142,10 +151,18 @@ func main() {
 		wg.Wait()
 		for i := range specsToRun {
 			os.Stdout.Write(bufs[i].Bytes())
-			if errs[i] != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", specsToRun[i].Name, errs[i])
+			if errsAll[i] != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", specsToRun[i].Name, errsAll[i])
 				failed++
 			}
+		}
+	}
+
+	if *ledgerDir != "" {
+		if err := appendSimManifest(*ledgerDir, *collector, *gcs, *seed,
+			specsToRun, ress, times, errsAll, tel); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed++
 		}
 	}
 
@@ -170,13 +187,51 @@ func main() {
 	}
 }
 
+// appendSimManifest records the sweep in the run ledger: one experiment
+// record per benchmark ("sim:<bench>:<collector>") with mean mark/sweep
+// times and the GC share as metrics.
+func appendSimManifest(dir, collector string, gcs int, seed uint64,
+	specs []workload.Spec, ress []core.AppResult, times []float64,
+	errs []error, tel *hwgc.Telemetry) error {
+	store, err := ledger.Open(dir)
+	if err != nil {
+		return err
+	}
+	m := ledger.NewManifest("hwgc-sim", ledger.Scale{GCs: gcs, Seed: seed})
+	for i, spec := range specs {
+		rec := ledger.Experiment{
+			ID:     fmt.Sprintf("sim:%s:%s", spec.Name, collector),
+			WallMS: times[i],
+		}
+		m.Host.WallMS += times[i]
+		if errs[i] != nil {
+			rec.Error = errs[i].Error()
+		} else {
+			mean := ress[i].MeanGC()
+			rec.Metrics = map[string]float64{
+				"mark_ms":     mean.MarkMS(),
+				"sweep_ms":    mean.SweepMS(),
+				"gc_fraction": ress[i].GCFraction(),
+			}
+		}
+		m.Experiments = append(m.Experiments, rec)
+	}
+	m.SnapshotTelemetry(tel)
+	path, err := store.Append(m)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote run manifest to %s\n", path)
+	return nil
+}
+
 // runOne executes one benchmark/collector simulation and renders the full
 // report into w.
 func runOne(w io.Writer, cfg hwgc.Config, spec workload.Spec, kind core.CollectorKind,
-	gcs int, seed uint64, memory string, validate bool, tel *hwgc.Telemetry) error {
+	gcs int, seed uint64, memory string, validate bool, tel *hwgc.Telemetry) (core.AppResult, error) {
 	runner, err := core.NewAppRunner(cfg, spec, kind, seed)
 	if err != nil {
-		return err
+		return core.AppResult{}, err
 	}
 	// ForRun forks a private child on the synchronized hub so parallel
 	// sweeps never share mutable telemetry state (plain hubs pass through).
@@ -185,7 +240,7 @@ func runOne(w io.Writer, cfg hwgc.Config, spec workload.Spec, kind core.Collecto
 	fmt.Fprintf(w, "%s on %s, %d collections (memory=%s)\n", kind, spec.Name, gcs, memory)
 	for i := 0; i < gcs; i++ {
 		if err := runner.Step(); err != nil {
-			return err
+			return runner.Res, err
 		}
 		g := runner.Res.GCs[i]
 		fmt.Fprintf(w, "GC %d: mark %8.3f ms  sweep %8.3f ms  marked %7d  freed %7d\n",
@@ -229,7 +284,7 @@ func runOne(w io.Writer, cfg hwgc.Config, spec workload.Spec, kind core.Collecto
 		fmt.Fprintln(w, "\nvalidation: marks and sweeps matched the reachability ground truth")
 	}
 	fmt.Fprintln(w)
-	return nil
+	return runner.Res, nil
 }
 
 // writeFile streams write into path, exiting on error.

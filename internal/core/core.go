@@ -47,6 +47,13 @@ type Config struct {
 	PipeLatency  uint64 // MemPipe only
 	PipeBPC      uint64 // MemPipe bytes/cycle
 	DriverCycles uint64 // fixed launch overhead per unit start (MMIO)
+
+	// Beat, when non-nil, receives a live cycles-simulated heartbeat from
+	// every system built with this config: the hardware engine bumps it
+	// from the cycle probe, the software side per collection. It never
+	// affects simulated timing or results, so it is excluded from cache
+	// keys and serialized forms.
+	Beat *telemetry.Beat `json:"-" cachekey:"-"`
 }
 
 // DefaultConfig returns the paper's baseline configuration (Table I plus
@@ -116,9 +123,30 @@ func (hw *HW) AttachTelemetry(h *telemetry.Hub) {
 	hw.Trace.AttachTelemetry(h)
 	hw.Sweep.AttachTelemetry(h)
 	hw.Sys.Heap.AttachTelemetry(h)
-	if h.Sampler != nil {
-		hw.Eng.SetProbe(h.Sampler.Every, h.Sampler.Sample)
+	hw.hookProbe(h.Sampler)
+}
+
+// hookProbe installs the engine's single cycle probe serving both
+// consumers that need one: the sampler (gauge time series) and the
+// config's progress heartbeat. The probe fires between events and never
+// schedules anything, so neither consumer perturbs measured cycle counts.
+func (hw *HW) hookProbe(s *telemetry.Sampler) {
+	beat := hw.Cfg.Beat
+	if s == nil && beat == nil {
+		return
 	}
+	every := uint64(1024)
+	if s != nil && s.Every > 0 {
+		every = s.Every
+	}
+	last := hw.Eng.Now()
+	hw.Eng.SetProbe(every, func(cycle uint64) {
+		if s != nil {
+			s.Sample(cycle)
+		}
+		beat.Add(cycle - last)
+		last = cycle
+	})
 }
 
 // NewHW builds the hardware system around an existing runtime system.
@@ -139,6 +167,9 @@ func NewHW(cfg Config, sys *rts.System) *HW {
 	hw.Bus = tilelink.New(eng, memory)
 	hw.Trace = trace.NewUnit(eng, hw.Bus, sys, cfg.Unit)
 	hw.Sweep = sweep.NewUnit(eng, hw.Bus, sys, cfg.Sweep)
+	// A heartbeat works without telemetry; AttachTelemetry re-hooks the
+	// probe to serve the sampler as well.
+	hw.hookProbe(nil)
 	return hw
 }
 
@@ -388,6 +419,9 @@ func (r *AppRunner) Step() error {
 		g = r.HW.Collect()
 	} else {
 		g = r.SW.Collect()
+		// The software side is synchronous (no engine probe), so the
+		// heartbeat advances per collection instead.
+		r.Cfg.Beat.Add(g.TotalCycles())
 	}
 	if r.Validate {
 		if err := r.Sys.CheckSweep(); err != nil {
@@ -411,6 +445,7 @@ func (r *AppRunner) CollectNow() GCResult {
 		g = r.HW.Collect()
 	} else {
 		g = r.SW.Collect()
+		r.Cfg.Beat.Add(g.TotalCycles())
 	}
 	r.App.PruneDeadPool(reach)
 	r.Res.GCs = append(r.Res.GCs, g)

@@ -31,7 +31,7 @@ func AblMAS(o Options) (Report, error) {
 	// One cell per (scheduler point, collector) pair.
 	cells, err := mapCells(o, len(points)*2, func(i int) (uint64, error) {
 		p := points[i/2]
-		cfg := ScaledConfig()
+		cfg := o.config()
 		cfg.MemPolicy = p.policy
 		cfg.MaxReads = p.maxReads
 		kind := core.HWCollector
@@ -48,15 +48,25 @@ func AblMAS(o Options) (Report, error) {
 		return rep, err
 	}
 	var hwBase, swBase uint64
+	var hwSpread, swSpread float64
 	for i, p := range points {
 		hw, sw := cells[i*2], cells[i*2+1]
 		if hwBase == 0 {
 			hwBase, swBase = hw, sw
 		}
+		hwDelta := float64(hw)/float64(hwBase) - 1
+		swDelta := float64(sw)/float64(swBase) - 1
+		if d := abs(hwDelta); d > hwSpread {
+			hwSpread = d
+		}
+		if d := abs(swDelta); d > swSpread {
+			swSpread = d
+		}
 		rep.Rowf("%-22s unit mark %6.2f ms (%+5.1f%% vs FIFO/8) | CPU mark %6.2f ms (%+5.1f%%)",
-			p.label, float64(hw)/1e6, (float64(hw)/float64(hwBase)-1)*100,
-			float64(sw)/1e6, (float64(sw)/float64(swBase)-1)*100)
+			p.label, float64(hw)/1e6, hwDelta*100, float64(sw)/1e6, swDelta*100)
 	}
+	rep.Metric("unit_spread_frac", hwSpread)
+	rep.Metric("cpu_spread_frac", swSpread)
 	rep.Notef("paper §VI-A: the unit improved significantly moving FIFO->FR-FCFS and 8->16 reads; Rocket was insensitive")
 	return rep, nil
 }
@@ -72,7 +82,7 @@ func AblLayout(o Options) (Report, error) {
 	spec := benchSpec(o, "avrora")
 	layouts := []heap.Layout{heap.Bidirectional, heap.TIBLayout}
 	cells, err := mapCells(o, len(layouts), func(i int) (core.GCResult, error) {
-		cfg := ScaledConfig()
+		cfg := o.config()
 		cfg.System.Heap.Layout = layouts[i]
 		res, err := core.RunApp(cfg, spec, core.SWCollector, o.GCs, o.Seed, false)
 		return res.MeanGC(), err
@@ -84,6 +94,7 @@ func AblLayout(o Options) (Report, error) {
 	rep.Rowf("bidirectional layout: mark %6.2f ms", bidi.MarkMS())
 	rep.Rowf("TIB layout:           mark %6.2f ms (%.2fx)", tib.MarkMS(),
 		float64(tib.MarkCycles)/float64(bidi.MarkCycles))
+	rep.Metric("tib_over_bidi_mark", ratio(tib.MarkCycles, bidi.MarkCycles))
 	rep.Notef("paper §IV-A: the TIB layout adds two accesses per object; a cacheless accelerator with an unmodified runtime 'would be poor'")
 	return rep, nil
 }
@@ -107,11 +118,22 @@ func AblBarriers(o Options) (Report, error) {
 	// a relocated page).
 	const slowFrac = 0.01
 	rep.Rowf("weighted (1%% slow-path loads):")
+	weighted := make(map[concurrent.BarrierKind]float64, len(kinds))
 	for _, k := range kinds {
 		w := float64(concurrent.BarrierCost(k, false))*(1-slowFrac) +
 			float64(concurrent.BarrierCost(k, true))*slowFrac
+		weighted[k] = w
 		rep.Rowf("    %-16s %.2f cycles/load", k.String(), w)
 	}
+	rep.Metric("refload_weighted", weighted[concurrent.BarrierREFLOAD])
+	// The paper's ordering claim: REFLOAD is the cheapest design, the
+	// coherence barrier beats the VM trap.
+	orderOK := 0.0
+	if weighted[concurrent.BarrierREFLOAD] <= weighted[concurrent.BarrierCoherence] &&
+		weighted[concurrent.BarrierCoherence] < weighted[concurrent.BarrierTrap] {
+		orderOK = 1
+	}
+	rep.Metric("barrier_order_ok", orderOK)
 	rep.Notef("paper §IV-D/E: the coherence barrier eliminates traps; REFLOAD also lets the CPU speculate over the check")
 	return rep, nil
 }
@@ -123,25 +145,33 @@ func AblThrottle(o Options) (Report, error) {
 	rep := Report{ID: "abl-throttle", Title: "Unit bandwidth throttling (Section VII)"}
 	spec := benchSpec(o, "avrora")
 	shares := []float64{1.0, 0.5, 0.25}
-	rows, err := mapCells(o, len(shares), func(i int) (string, error) {
+	type cell struct {
+		row  string
+		mark uint64
+	}
+	cells, err := mapCells(o, len(shares), func(i int) (cell, error) {
 		share := shares[i]
-		cfg := ScaledConfig()
+		cfg := o.config()
 		runner, err := core.NewAppRunner(cfg, spec, core.HWCollector, o.Seed)
 		if err != nil {
-			return "", err
+			return cell{}, err
 		}
 		runner.HW.Bus.MaxShare = share
 		if err := runner.RunGCs(o.GCs); err != nil {
-			return "", err
+			return cell{}, err
 		}
 		g := runner.Res.MeanGC()
-		return fmt.Sprintf("unit share %3.0f%%: mark %6.2f ms, sweep %6.2f ms, port busy %4.1f%%",
-			share*100, g.MarkMS(), g.SweepMS(), runner.HW.Bus.BusyFraction()*100), nil
+		return cell{mark: g.MarkCycles, row: fmt.Sprintf(
+			"unit share %3.0f%%: mark %6.2f ms, sweep %6.2f ms, port busy %4.1f%%",
+			share*100, g.MarkMS(), g.SweepMS(), runner.HW.Bus.BusyFraction()*100)}, nil
 	})
 	if err != nil {
 		return rep, err
 	}
-	rep.Rows = append(rep.Rows, rows...)
+	for _, c := range cells {
+		rep.Rows = append(rep.Rows, c.row)
+	}
+	rep.Metric("mark_25_over_100", ratio(cells[2].mark, cells[0].mark))
 	rep.Notef("paper §VII: interference could be reduced by using only residual bandwidth; throttling lengthens GC proportionally")
 	return rep, nil
 }

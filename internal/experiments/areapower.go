@@ -22,11 +22,28 @@ func Fig22(o Options) (Report, error) {
 		rep.Rowf("    %-10s %5.2f mm²", c.Name, c.MM2)
 	}
 	rep.Rowf("(c) GC unit:")
+	markqDominant := 1.0
 	for _, c := range unit.Components {
 		rep.Rowf("    %-10s %5.3f mm²", c.Name, c.MM2)
+		if c.Name != "Mark Q." && c.MM2 > unitComponent(unit.Components, "Mark Q.") {
+			markqDominant = 0
+		}
 	}
+	rep.Metric("unit_area_fraction", unit.Total()/rocket.Total())
+	rep.Metric("unit_sram_equiv_kb", power.SRAMEquivalentKB(unit.Total()))
+	rep.Metric("markq_dominant", markqDominant)
 	rep.Notef("paper: unit is 18.5%% the area of Rocket, equivalent to ~64 KB of SRAM; the mark queue dominates (Fig. 22)")
 	return rep, nil
+}
+
+// unitComponent returns the named component's area (0 when absent).
+func unitComponent(cs []power.AreaComponent, name string) float64 {
+	for _, c := range cs {
+		if c.Name == name {
+			return c.MM2
+		}
+	}
+	return 0
 }
 
 // Fig23 runs each benchmark's collections on both collectors and evaluates
@@ -34,7 +51,7 @@ func Fig22(o Options) (Report, error) {
 // energy improves by ~14.5%).
 func Fig23(o Options) (Report, error) {
 	rep := Report{ID: "fig23", Title: "Power and energy"}
-	cfg := ScaledConfig()
+	cfg := o.config()
 	sp := specs(o)
 	// One cell per (benchmark, collector) run, each evaluating the energy
 	// model on its own system's activity counters.
@@ -66,17 +83,22 @@ func Fig23(o Options) (Report, error) {
 	if err != nil {
 		return rep, err
 	}
-	var swTotal, hwTotal float64
+	var swTotal, hwTotal, dramRatioSum float64
 	for i, spec := range sp {
 		swE, hwE := cells[i*2], cells[i*2+1]
 		swTotal += swE.Joules
 		hwTotal += hwE.Joules
+		if swE.DRAMW > 0 {
+			dramRatioSum += hwE.DRAMW / swE.DRAMW
+		}
 		rep.Rowf("%-9s CPU: %5.0f mW DRAM, %6.3f mJ | unit: %5.0f mW DRAM, %6.3f mJ | saving %5.1f%%",
 			spec.Name, swE.DRAMW*1000, swE.MilliJoules(),
 			hwE.DRAMW*1000, hwE.MilliJoules(),
 			(1-hwE.Joules/swE.Joules)*100)
 	}
 	rep.Rowf("overall energy saving: %.1f%%", (1-hwTotal/swTotal)*100)
+	rep.Metric("energy_saving_frac", 1-hwTotal/swTotal)
+	rep.Metric("dram_power_ratio_mean", dramRatioSum/float64(len(sp)))
 	rep.Notef("paper: the unit's DRAM power is much higher, but total GC energy improves by ~14.5%% (Fig. 23)")
 	return rep, nil
 }

@@ -23,7 +23,7 @@ func Fig18(o Options) (Report, error) {
 		markCycles uint64
 	}
 	cells, err := mapCells(o, 2, func(i int) (cell, error) {
-		cfg := ScaledConfig()
+		cfg := o.config()
 		cfg.Unit.SharedCache = i == 0
 		runner, err := core.NewAppRunner(cfg, spec, core.HWCollector, o.Seed)
 		if err != nil {
@@ -71,6 +71,8 @@ func Fig18(o Options) (Report, error) {
 		float64(sharedCycles)/1e6, float64(partCycles)/1e6,
 		float64(sharedCycles)/float64(partCycles))
 	rep.Rowf("PTW share of shared-cache requests: %.0f%%", cells[0].ptwFrac*100)
+	rep.Metric("ptw_share", cells[0].ptwFrac)
+	rep.Metric("shared_over_partitioned_mark", ratio(sharedCycles, partCycles))
 	rep.Notef("paper: ~2/3 of shared-cache requests come from the PTW; partitioning makes marker+tracer dominate memory requests (Fig. 18)")
 	return rep, nil
 }
@@ -95,18 +97,23 @@ func Fig19(o Options) (Report, error) {
 	}
 	sizes := []int{256, 512, 2048, 16384} // main-queue entries: 2/4/16/128 KB at 8 B
 	// One cell per (variant, size) config point.
-	rows, err := mapCells(o, len(variants)*len(sizes), func(i int) (string, error) {
+	type cell struct {
+		row       string
+		spillReqs uint64
+		frac      float64
+	}
+	cells, err := mapCells(o, len(variants)*len(sizes), func(i int) (cell, error) {
 		v, entries := variants[i/len(sizes)], sizes[i%len(sizes)]
-		cfg := ScaledConfig()
+		cfg := o.config()
 		cfg.Unit.MarkQueueEntries = entries
 		cfg.Unit.TracerQueueEntries = v.tq
 		cfg.Unit.Compress = v.compress
 		runner, err := core.NewAppRunner(cfg, spec, core.HWCollector, o.Seed)
 		if err != nil {
-			return "", err
+			return cell{}, err
 		}
 		if err := runner.RunGCs(o.GCs); err != nil {
-			return "", err
+			return cell{}, err
 		}
 		mq := runner.HW.Trace.MQ
 		spillReqs := mq.SpillWriteReqs + mq.SpillReadReqs
@@ -115,16 +122,34 @@ func Fig19(o Options) (Report, error) {
 		if grants > 0 {
 			frac = float64(spillReqs) / float64(grants)
 		}
-		return fmt.Sprintf("    q=%6d entries (%3d KB): spill reqs %7d (%4.1f%% of memory requests), mark %6.2f ms",
+		return cell{spillReqs: spillReqs, frac: frac, row: fmt.Sprintf(
+			"    q=%6d entries (%3d KB): spill reqs %7d (%4.1f%% of memory requests), mark %6.2f ms",
 			entries, entries*8/1024, spillReqs, frac*100,
-			runner.Res.MeanGC().MarkMS()), nil
+			runner.Res.MeanGC().MarkMS())}, nil
 	})
 	if err != nil {
 		return rep, err
 	}
+	var plainSpills, compressedSpills uint64
+	spillFracMax := 0.0
 	for vi, v := range variants {
 		rep.Rowf("%s:", v.label)
-		rep.Rows = append(rep.Rows, rows[vi*len(sizes):(vi+1)*len(sizes)]...)
+		for _, c := range cells[vi*len(sizes) : (vi+1)*len(sizes)] {
+			rep.Rows = append(rep.Rows, c.row)
+			switch vi {
+			case 0: // TQ=128, uncompressed: the paper's headline variant
+				plainSpills += c.spillReqs
+				if c.frac > spillFracMax {
+					spillFracMax = c.frac
+				}
+			case 2: // TQ=128 compressed
+				compressedSpills += c.spillReqs
+			}
+		}
+	}
+	rep.Metric("spill_frac_max", spillFracMax)
+	if plainSpills > 0 {
+		rep.Metric("compressed_over_plain_spills", float64(compressedSpills)/float64(plainSpills))
 	}
 	rep.Notef("paper: spilling accounts for ~2%% of memory requests; queue size barely affects mark time; compression halves spill traffic (Fig. 19)")
 	return rep, nil
@@ -142,7 +167,7 @@ func Fig20(o Options) (Report, error) {
 	cols := 1 + len(sweepers)
 	cells, err := mapCells(o, len(sp)*cols, func(i int) (uint64, error) {
 		spec, k := sp[i/cols], i%cols
-		cfg := ScaledConfig()
+		cfg := o.config()
 		kind := core.SWCollector
 		if k > 0 {
 			cfg.Sweep.Sweepers = sweepers[k-1]
@@ -157,13 +182,19 @@ func Fig20(o Options) (Report, error) {
 	if err != nil {
 		return rep, err
 	}
+	speedupSum := make([]float64, len(sweepers))
 	for si, spec := range sp {
 		swSweep := cells[si*cols]
 		row := spec.Name + ":"
 		for ni, n := range sweepers {
-			row += sprintfSpeed(n, float64(swSweep)/float64(cells[si*cols+1+ni]))
+			x := float64(swSweep) / float64(cells[si*cols+1+ni])
+			speedupSum[ni] += x
+			row += sprintfSpeed(n, x)
 		}
 		rep.Rows = append(rep.Rows, row)
+	}
+	for ni, n := range sweepers {
+		rep.Metric(fmt.Sprintf("sweep_speedup_%dsw_mean", n), speedupSum[ni]/float64(len(sp)))
 	}
 	rep.Notef("paper: sweep speedup scales to 2 sweepers, diminishes after; 4 sweepers outperform the CPU by 2-3x (Fig. 20)")
 	return rep, nil
@@ -186,11 +217,12 @@ func Fig21(o Options) (Report, error) {
 	// no-cache baseline for (b)'s savings column.
 	type cell struct {
 		skewRow         string
+		topN            int
 		marks, filtered uint64
 		markMS          float64
 	}
 	cells, err := mapCells(o, 1+len(sizes), func(i int) (cell, error) {
-		cfg := ScaledConfig()
+		cfg := o.config()
 		if i > 0 {
 			cfg.Unit.MarkBitCacheSize = sizes[i-1]
 		}
@@ -229,6 +261,7 @@ func Fig21(o Options) (Report, error) {
 			}
 			c.skewRow = fmt.Sprintf("(a) %d objects account for 10%% of %d mark accesses (max per-object accesses: %d)",
 				topN, total, counts[0])
+			c.topN = topN
 		}
 		return c, nil
 	})
@@ -236,15 +269,18 @@ func Fig21(o Options) (Report, error) {
 		return rep, err
 	}
 	rep.Rows = append(rep.Rows, cells[0].skewRow)
+	rep.Metric("objects_for_10pct", float64(cells[0].topN))
 	rep.Rowf("(b) mark-bit cache size vs marker memory requests:")
 	baseline := cells[1].marks // sizes[0] == 0: no cache
 	for i, size := range sizes {
 		c := cells[1+i]
 		perRef := float64(c.marks) / float64(c.marks+c.filtered)
+		saved := 1 - float64(c.marks)/float64(baseline)
+		if size == 64 {
+			rep.Metric("saved_frac_64", saved)
+		}
 		rep.Rowf("    size %3d: %8d mark requests (%.3f of lookups; %5.2f%% saved vs no cache), mark %6.2f ms",
-			size, c.marks, perRef,
-			(1-float64(c.marks)/float64(baseline))*100,
-			c.markMS)
+			size, c.marks, perRef, saved*100, c.markMS)
 	}
 	rep.Notef("paper: ~56 objects receive 10%% of accesses (luindex); a <64-entry filter captures most of the gain with little impact on mark time (Fig. 21)")
 	return rep, nil

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"hwgc/internal/core"
+	"hwgc/internal/telemetry"
 	"hwgc/internal/workload"
 )
 
@@ -33,6 +34,11 @@ type Options struct {
 	// canonical order, so reports are byte-identical at any width — which
 	// is why the field is excluded from result-cache keys (cachekey tag).
 	Parallel int `cachekey:"-"`
+	// Beat, when non-nil, receives a live cycles-simulated heartbeat from
+	// every system the experiment builds (the service's job-progress
+	// endpoint reads it while the run is in flight). It never affects
+	// results, so it is excluded from cache keys and JSON.
+	Beat *telemetry.Beat `json:"-" cachekey:"-"`
 }
 
 // DefaultOptions returns the full-scale settings used for EXPERIMENTS.md.
@@ -50,6 +56,17 @@ func ScaledConfig() core.Config {
 	cfg.System.Heap.MarkSweepBytes = 20 << 20 // 1:10 of the paper's 200 MB
 	cfg.Unit.PTWCacheBytes = 2 << 10
 	cfg.Unit.L2TLBEntries = 64
+	return cfg
+}
+
+// config returns ScaledConfig with the run-scoped plumbing applied: the
+// options' progress heartbeat rides along into every system a runner
+// builds. Runners construct their configs through this so a served job's
+// /v1/jobs/{id}/progress counter advances no matter which cells the
+// experiment fans out.
+func (o Options) config() core.Config {
+	cfg := ScaledConfig()
+	cfg.Beat = o.Beat
 	return cfg
 }
 
@@ -102,12 +119,17 @@ func shrinkSpec(spec workload.Spec, n int) workload.Spec {
 	return spec
 }
 
-// Report is one experiment's regenerated result.
+// Report is one experiment's regenerated result. Rows and Notes carry the
+// human-readable table; Metrics carries the same headline numbers under
+// stable machine-readable names, which is what the run ledger records and
+// the regression sentinel checks against the EXPERIMENTS.md tolerance
+// bands (see expect.go).
 type Report struct {
-	ID    string
-	Title string
-	Rows  []string
-	Notes []string
+	ID      string
+	Title   string
+	Rows    []string
+	Notes   []string
+	Metrics map[string]float64 `json:",omitempty"`
 }
 
 // Rowf appends a formatted row.
@@ -118,6 +140,16 @@ func (r *Report) Rowf(format string, args ...interface{}) {
 // Notef appends a formatted paper-comparison note.
 func (r *Report) Notef(format string, args ...interface{}) {
 	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Metric records a headline scalar under a stable name. JSON encoding
+// sorts map keys, so reports with metrics stay byte-identical across
+// widths and processes.
+func (r *Report) Metric(name string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[name] = v
 }
 
 // String renders the report.
@@ -177,4 +209,11 @@ func ratio(a, b uint64) float64 {
 		return 0
 	}
 	return float64(a) / float64(b)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
 }

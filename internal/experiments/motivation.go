@@ -12,21 +12,37 @@ import (
 // benchmark.
 func Fig1a(o Options) (Report, error) {
 	rep := Report{ID: "fig1a", Title: "CPU time spent in GC pauses"}
-	cfg := ScaledConfig()
+	cfg := o.config()
 	sp := specs(o)
-	rows, err := mapCells(o, len(sp), func(i int) (string, error) {
+	type cell struct {
+		row  string
+		frac float64
+	}
+	cells, err := mapCells(o, len(sp), func(i int) (cell, error) {
 		res, err := core.RunApp(cfg, sp[i], core.SWCollector, o.GCs, o.Seed, false)
 		if err != nil {
-			return "", err
+			return cell{}, err
 		}
-		return fmt.Sprintf("%-9s GC %5.1f%%  (mutator %6.1f ms, GC %6.1f ms over %d pauses)",
+		return cell{frac: res.GCFraction(), row: fmt.Sprintf(
+			"%-9s GC %5.1f%%  (mutator %6.1f ms, GC %6.1f ms over %d pauses)",
 			sp[i].Name, res.GCFraction()*100,
-			float64(res.MutatorCycles)/1e6, float64(res.GCCycles)/1e6, len(res.GCs)), nil
+			float64(res.MutatorCycles)/1e6, float64(res.GCCycles)/1e6, len(res.GCs))}, nil
 	})
 	if err != nil {
 		return rep, err
 	}
-	rep.Rows = append(rep.Rows, rows...)
+	minFrac, maxFrac := 1.0, 0.0
+	for _, c := range cells {
+		rep.Rows = append(rep.Rows, c.row)
+		if c.frac < minFrac {
+			minFrac = c.frac
+		}
+		if c.frac > maxFrac {
+			maxFrac = c.frac
+		}
+	}
+	rep.Metric("gc_fraction_min", minFrac)
+	rep.Metric("gc_fraction_max", maxFrac)
 	rep.Notef("paper: workloads spend up to 35%% of CPU time in GC pauses (Fig. 1a)")
 	return rep, nil
 }
@@ -36,7 +52,7 @@ func Fig1a(o Options) (Report, error) {
 // omission. The long tail (orders of magnitude above the median) is the GC.
 func Fig1b(o Options) (Report, error) {
 	rep := Report{ID: "fig1b", Title: "Query latency CDF under GC (lusearch)"}
-	cfg := ScaledConfig()
+	cfg := o.config()
 	spec := benchSpec(o, "lusearch")
 	runner, err := core.NewAppRunner(cfg, spec, core.SWCollector, o.Seed)
 	if err != nil {
@@ -71,6 +87,8 @@ func Fig1b(o Options) (Report, error) {
 	tail := cdf[len(cdf)-1].Value
 	rep.Rowf("queries near a pause: %d / %d", gcHit, len(results))
 	rep.Rowf("tail/median latency ratio: %.0fx", tail/med)
+	rep.Metric("tail_over_median", tail/med)
+	rep.Metric("near_gc_fraction", float64(gcHit)/float64(len(results)))
 	rep.Notef("paper: GC pauses make stragglers up to two orders of magnitude longer than the median (Fig. 1b)")
 	if len(runner.Res.GCs) == 0 {
 		return rep, fmt.Errorf("fig1b: no collections occurred")
@@ -81,7 +99,7 @@ func Fig1b(o Options) (Report, error) {
 // TableI prints the simulated system configuration (the paper's Table I).
 func TableI(o Options) (Report, error) {
 	rep := Report{ID: "table1", Title: "System configuration"}
-	cfg := ScaledConfig()
+	cfg := o.config()
 	rep.Rowf("Processor        in-order Rocket-class @ 1 GHz")
 	rep.Rowf("L1 caches        %d KiB I (modelled in frontend), %d KiB D, %d-way, %d-cycle hit",
 		cfg.CPU.L1Bytes>>10, cfg.CPU.L1Bytes>>10, cfg.CPU.L1Ways, cfg.CPU.L1HitLat)
@@ -96,6 +114,9 @@ func TableI(o Options) (Report, error) {
 	rep.Rowf("Reclamation      %d block sweepers", cfg.Sweep.Sweepers)
 	rep.Rowf("Heap             %d MiB MarkSweep + %d MiB bump (1:10 scale of the paper's 200 MB)",
 		cfg.System.Heap.MarkSweepBytes>>20, cfg.System.Heap.BumpBytes>>20)
+	rep.Metric("heap_marksweep_mib", float64(cfg.System.Heap.MarkSweepBytes>>20))
+	rep.Metric("sweepers", float64(cfg.Sweep.Sweepers))
+	rep.Metric("marker_slots", float64(cfg.Unit.MarkerSlots))
 	rep.Notef("paper Table I at full scale; heaps and unit translation reach scaled 1:10 here")
 	return rep, nil
 }

@@ -14,7 +14,7 @@ import (
 // collector) pair.
 func Fig15(o Options) (Report, error) {
 	rep := Report{ID: "fig15", Title: "GC unit vs CPU: mark and sweep time (DDR3)"}
-	cfg := ScaledConfig()
+	cfg := o.config()
 	sp := specs(o)
 	kinds := []core.CollectorKind{core.SWCollector, core.HWCollector}
 	cells, err := mapCells(o, len(sp)*len(kinds), func(i int) (core.GCResult, error) {
@@ -24,18 +24,22 @@ func Fig15(o Options) (Report, error) {
 	if err != nil {
 		return rep, err
 	}
-	var markSum, sweepSum float64
+	var markSum, sweepSum, markFracSum float64
 	for i, spec := range sp {
 		sw, hw := cells[i*2], cells[i*2+1]
 		mx := ratio(sw.MarkCycles, hw.MarkCycles)
 		sx := ratio(sw.SweepCycles, hw.SweepCycles)
 		markSum += mx
 		sweepSum += sx
+		markFracSum += ratio(sw.MarkCycles, sw.TotalCycles())
 		rep.Rowf("%-9s CPU mark %7.2f ms  sweep %7.2f ms | unit mark %6.2f ms  sweep %6.2f ms | mark %4.2fx sweep %4.2fx",
 			spec.Name, sw.MarkMS(), sw.SweepMS(), hw.MarkMS(), hw.SweepMS(), mx, sx)
 	}
 	n := float64(len(sp))
 	rep.Rowf("mean speedup: mark %.2fx, sweep %.2fx", markSum/n, sweepSum/n)
+	rep.Metric("mark_speedup_mean", markSum/n)
+	rep.Metric("sweep_speedup_mean", sweepSum/n)
+	rep.Metric("sw_mark_fraction_mean", markFracSum/n)
 	rep.Notef("paper: unit outperforms the CPU by 4.2x on mark and 1.9x on sweep (Fig. 15); overall GC 3.3x")
 	return rep, nil
 }
@@ -45,7 +49,7 @@ func Fig15(o Options) (Report, error) {
 // during the mark phase).
 func Fig16(o Options) (Report, error) {
 	rep := Report{ID: "fig16", Title: "Memory bandwidth during the last avrora pause"}
-	cfg := ScaledConfig()
+	cfg := o.config()
 	spec := benchSpec(o, "avrora")
 	const interval = 10000 // cycles per bandwidth sample (10 us)
 
@@ -121,7 +125,9 @@ func Fig16(o Options) (Report, error) {
 		swLast.MarkMS(), swMean, swPeak)
 	if swMean > 0 {
 		rep.Rowf("unit/CPU mean mark-phase bandwidth: %.1fx", hwMean/swMean)
+		rep.Metric("bw_ratio", hwMean/swMean)
 	}
+	rep.Metric("unit_bw_peak_gbs", hwPeak)
 	rep.Notef("paper: the unit exploits much higher bandwidth than the CPU, particularly during mark (Fig. 16)")
 	return rep, nil
 }
@@ -146,7 +152,7 @@ func markWindow(series []float64, interval, start, markCycles uint64) []float64 
 // cycles; max 3.3 GB/s of useful data).
 func Fig17(o Options) (Report, error) {
 	rep := Report{ID: "fig17", Title: "Performance with 1-cycle / 8 GB/s memory"}
-	cfg := ScaledConfig()
+	cfg := o.config()
 	cfg.Memory = core.MemPipe
 	sp := specs(o)
 	type cell struct {
@@ -190,6 +196,9 @@ func Fig17(o Options) (Report, error) {
 	n := float64(len(cells))
 	rep.Rowf("mean: mark %.2fx, port busy %.1f%%, %.2f cycles/request",
 		markSum/n, busySum/n*100, cprSum/n)
+	rep.Metric("mark_speedup_mean", markSum/n)
+	rep.Metric("port_busy_mean", busySum/n)
+	rep.Metric("cycles_per_request_mean", cprSum/n)
 	rep.Notef("paper: 9.0x mark speedup; TileLink port busy 88%% of mark cycles; one request every 8.66 cycles (Fig. 17)")
 	return rep, nil
 }

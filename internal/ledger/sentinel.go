@@ -1,0 +1,207 @@
+package ledger
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hwgc/internal/experiments"
+)
+
+// The regression sentinel: checks a run manifest against the EXPERIMENTS.md
+// tolerance bands (experiments.Expectations) and diffs manifests against
+// each other. Verdict semantics:
+//
+//   - holds:   the measured value is inside the band.
+//   - drifted: outside the band but within a drift margin of half the band's
+//     width beyond either edge — the shape survives but the number moved;
+//     worth a look before it walks further.
+//   - broken:  beyond the drift margin (or any departure from an exact
+//     lo==hi band) — the paper claim no longer reproduces.
+//   - missing: the manifest has no such experiment or metric (a runner was
+//     skipped, renamed, or failed).
+//   - skipped: the experiment errored in the manifest, so its metrics are
+//     not judged.
+type Verdict string
+
+const (
+	VerdictHolds   Verdict = "holds"
+	VerdictDrifted Verdict = "drifted"
+	VerdictBroken  Verdict = "broken"
+	VerdictMissing Verdict = "missing"
+	VerdictSkipped Verdict = "skipped"
+)
+
+// Check is one band's judgement against a manifest.
+type Check struct {
+	Band    experiments.Band
+	Verdict Verdict
+	Value   float64 // measured value (meaningful unless missing/skipped)
+	Lo, Hi  float64 // band applied at the manifest's scale
+}
+
+// String renders one report line.
+func (c Check) String() string {
+	id := c.Band.Experiment + "/" + c.Band.Metric
+	switch c.Verdict {
+	case VerdictMissing, VerdictSkipped:
+		return fmt.Sprintf("%-8s %-42s (band [%g, %g])", c.Verdict, id, c.Lo, c.Hi)
+	default:
+		return fmt.Sprintf("%-8s %-42s = %.4g (band [%g, %g])", c.Verdict, id, c.Value, c.Lo, c.Hi)
+	}
+}
+
+// CheckResult is a manifest judged against every expectation band.
+type CheckResult struct {
+	Checks []Check
+}
+
+// OK reports whether every band holds.
+func (r CheckResult) OK() bool {
+	for _, c := range r.Checks {
+		if c.Verdict != VerdictHolds {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns how many checks carry the verdict.
+func (r CheckResult) Count(v Verdict) int {
+	n := 0
+	for _, c := range r.Checks {
+		if c.Verdict == v {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckManifest judges the manifest against every expectation band at the
+// manifest's scale. Checks come back in Expectations order.
+func CheckManifest(m *Manifest) CheckResult {
+	var res CheckResult
+	for _, b := range experiments.Expectations() {
+		lo, hi := b.Range(m.Scale.Quick)
+		c := Check{Band: b, Lo: lo, Hi: hi}
+		exp, ok := m.Experiment(b.Experiment)
+		switch {
+		case !ok:
+			c.Verdict = VerdictMissing
+		case exp.Error != "":
+			c.Verdict = VerdictSkipped
+		default:
+			v, ok := exp.Metrics[b.Metric]
+			if !ok {
+				c.Verdict = VerdictMissing
+				break
+			}
+			c.Value = v
+			c.Verdict = judge(v, lo, hi)
+		}
+		res.Checks = append(res.Checks, c)
+	}
+	return res
+}
+
+// judge applies the drift margin: half the band's width beyond either edge
+// counts as drifted, further as broken. An exact band (lo == hi) admits no
+// drift — any other value is broken.
+func judge(v, lo, hi float64) Verdict {
+	if v >= lo && v <= hi {
+		return VerdictHolds
+	}
+	margin := (hi - lo) / 2
+	if margin <= 0 {
+		return VerdictBroken
+	}
+	if v >= lo-margin && v <= hi+margin {
+		return VerdictDrifted
+	}
+	return VerdictBroken
+}
+
+// Delta is one metric's movement between two manifests.
+type Delta struct {
+	Experiment string
+	Metric     string
+	From, To   float64
+	// Rel is the relative change (To-From)/|From|; +Inf when From == 0 and
+	// To != 0.
+	Rel float64
+	// OnlyIn marks metrics present in just one manifest ("from" or "to").
+	OnlyIn string `json:",omitempty"`
+}
+
+// String renders one diff line.
+func (d Delta) String() string {
+	id := d.Experiment + "/" + d.Metric
+	if d.OnlyIn != "" {
+		return fmt.Sprintf("%-42s only in %s", id, d.OnlyIn)
+	}
+	return fmt.Sprintf("%-42s %.4g -> %.4g (%+.1f%%)", id, d.From, d.To, d.Rel*100)
+}
+
+// Diff compares two manifests metric by metric. Deltas are sorted by
+// |relative change| descending (one-sided metrics last), so regressions
+// lead the report. Metrics that moved less than epsilon relatively are
+// omitted.
+func Diff(from, to *Manifest, epsilon float64) []Delta {
+	fm, tm := from.Metrics(), to.Metrics()
+	keys := make(map[string]bool, len(fm)+len(tm))
+	for k := range fm {
+		keys[k] = true
+	}
+	for k := range tm {
+		keys[k] = true
+	}
+	var out []Delta
+	for k := range keys {
+		exp, metric := splitKey(k)
+		fv, fok := fm[k]
+		tv, tok := tm[k]
+		switch {
+		case !fok:
+			out = append(out, Delta{Experiment: exp, Metric: metric, To: tv, OnlyIn: "to"})
+		case !tok:
+			out = append(out, Delta{Experiment: exp, Metric: metric, From: fv, OnlyIn: "from"})
+		default:
+			d := Delta{Experiment: exp, Metric: metric, From: fv, To: tv}
+			switch {
+			case fv == tv:
+				continue
+			case fv == 0:
+				d.Rel = math.Inf(1)
+			default:
+				d.Rel = (tv - fv) / math.Abs(fv)
+			}
+			if math.Abs(d.Rel) < epsilon {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if (a.OnlyIn == "") != (b.OnlyIn == "") {
+			return a.OnlyIn == "" // moved metrics before one-sided ones
+		}
+		if ra, rb := math.Abs(a.Rel), math.Abs(b.Rel); ra != rb {
+			return ra > rb
+		}
+		if a.Experiment != b.Experiment {
+			return a.Experiment < b.Experiment
+		}
+		return a.Metric < b.Metric
+	})
+	return out
+}
+
+func splitKey(k string) (exp, metric string) {
+	for i := 0; i < len(k); i++ {
+		if k[i] == '/' {
+			return k[:i], k[i+1:]
+		}
+	}
+	return k, ""
+}

@@ -134,8 +134,11 @@ func appendCanonical(buf []byte, v reflect.Value) []byte {
 }
 
 // schemaVersion participates in every cell key; bump it when the canonical
-// encoding or the cached payload format changes incompatibly.
-const schemaVersion = "hwgc-cell-v1"
+// encoding or the cached payload format changes incompatibly. v2: reports
+// gained the machine-readable Metrics table, so v1 payloads (no metrics)
+// must never satisfy a v2 lookup — the run ledger would record empty
+// ratio tables from stale cache hits.
+const schemaVersion = "hwgc-cell-v2"
 
 // moduleVersion identifies the simulator build embedded in every cell key,
 // so a changed simulator never serves stale results from a shared on-disk
@@ -159,6 +162,12 @@ var moduleVersion = sync.OnceValue(func() string {
 	}
 	return v
 })
+
+// ModuleVersion returns the simulator build identity embedded in every
+// cell key (module version plus VCS revision when stamped, "(devel)" on
+// plain dev builds). The run ledger records it so manifests can be traced
+// back to the build that produced them.
+func ModuleVersion() string { return moduleVersion() }
 
 // CellKey returns the content address of one simulation cell: the runner
 // name, its config point, the workload spec, and the seed, tied to the

@@ -21,8 +21,12 @@ type Daemon struct {
 	Addr string
 	// Scheduler serves the jobs. Required.
 	Scheduler *Scheduler
-	// Hub is forwarded to the API's /v1/metrics endpoint. Optional.
+	// Hub is forwarded to the API's metrics endpoints. Optional — they fall
+	// back to the scheduler's always-on hub.
 	Hub *telemetry.Hub
+	// EnablePprof overlays net/http/pprof under /debug/pprof/ (opt-in; see
+	// withPprof).
+	EnablePprof bool
 	// DrainTimeout bounds how long in-flight jobs may keep running after
 	// shutdown begins before being cancelled (<= 0 means 30s).
 	DrainTimeout time.Duration
@@ -68,7 +72,12 @@ func (d *Daemon) Run(ctx context.Context) error {
 	}
 	d.logf("hwgc-serve: listening on %s", d.ListenAddr())
 
-	srv := &http.Server{Handler: NewHandler(d.Scheduler, d.Hub)}
+	handler := NewHandler(d.Scheduler, d.Hub)
+	if d.EnablePprof {
+		handler = withPprof(handler)
+		d.logf("hwgc-serve: pprof enabled under /debug/pprof/")
+	}
+	srv := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(d.ln) }()
 

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"hwgc/internal/experiments"
+	"hwgc/internal/ledger"
 	"hwgc/internal/resultcache"
 	"hwgc/internal/telemetry"
 )
@@ -71,8 +72,13 @@ type Config struct {
 	// successful run. Keys come from experiments.CellKey.
 	Cache *resultcache.Cache
 	// Hub, when set, receives service metrics (queue depth, job counters,
-	// latency) and the cache's counters on its registry.
+	// latency) and the cache's counters on its registry. When nil the
+	// scheduler creates a private synchronized hub, so service metrics —
+	// and the introspection endpoints built on them — are always on.
 	Hub *telemetry.Hub
+	// Ledger, when set, receives one run manifest per finished job, so a
+	// served fleet leaves the same durable trail as a hwgc-bench run.
+	Ledger *ledger.Store
 	// Runners is the experiment table served (nil means experiments.All()).
 	// Tests inject synthetic runners here.
 	Runners []experiments.Runner
@@ -86,6 +92,10 @@ type Job struct {
 	experiment string
 	opts       experiments.Options
 	key        resultcache.Key
+
+	// beat receives a live cycles-simulated heartbeat from the running
+	// simulation (atomic; read it without the scheduler lock).
+	beat *telemetry.Beat
 
 	state     State
 	cacheHit  bool
@@ -124,6 +134,7 @@ type View struct {
 // Scheduler owns the job table, the bounded queue, and the worker pool.
 type Scheduler struct {
 	cfg   Config
+	hub   *telemetry.Hub // cfg.Hub, or the scheduler's own always-on hub
 	byID  map[string]experiments.Runner
 	ids   []string
 	queue chan *Job
@@ -135,6 +146,7 @@ type Scheduler struct {
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	order    []string
+	running  map[*Job]struct{}
 	seq      int
 	draining bool
 
@@ -165,21 +177,31 @@ func New(cfg Config) *Scheduler {
 		baseCtx: ctx,
 		cancel:  cancel,
 		jobs:    make(map[string]*Job),
+		running: make(map[*Job]struct{}),
 	}
 	for _, r := range runners {
 		s.byID[r.ID] = r
 		s.ids = append(s.ids, r.ID)
 	}
 	sort.Strings(s.ids)
-	if cfg.Hub != nil {
-		s.attachTelemetry(cfg.Hub)
+	// Service metrics are always on: without a caller-supplied hub the
+	// scheduler owns a synchronized one (safe to snapshot while jobs run),
+	// so the metrics endpoints never have nothing to say.
+	s.hub = cfg.Hub
+	if s.hub == nil {
+		s.hub = telemetry.NewSyncHub(0)
 	}
+	s.attachTelemetry(s.hub)
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s
 }
+
+// Hub returns the scheduler's telemetry hub: cfg.Hub when one was supplied,
+// otherwise the scheduler's own always-on synchronized hub. Never nil.
+func (s *Scheduler) Hub() *telemetry.Hub { return s.hub }
 
 // ExperimentIDs returns the served runner IDs, sorted.
 func (s *Scheduler) ExperimentIDs() []string { return append([]string(nil), s.ids...) }
@@ -211,10 +233,14 @@ func (s *Scheduler) Submit(experiment string, o experiments.Options) (*Job, erro
 		experiment: r.ID,
 		opts:       o,
 		key:        experiments.CellKey(r.ID, o),
+		beat:       &telemetry.Beat{},
 		state:      StateQueued,
 		submitted:  time.Now(),
 		done:       make(chan struct{}),
 	}
+	// The heartbeat rides the job's options into every system the runner
+	// builds; it never affects results or the cache key (cachekey:"-").
+	job.opts.Beat = job.beat
 	select {
 	case s.queue <- job:
 	default:
@@ -284,6 +310,7 @@ func (s *Scheduler) run(job *Job) {
 	s.mu.Lock()
 	job.state = StateRunning
 	job.started = time.Now()
+	s.running[job] = struct{}{}
 	runner := s.byID[job.experiment]
 	s.mu.Unlock()
 
@@ -350,6 +377,7 @@ func (s *Scheduler) finish(job *Job, st State, report []byte, errMsg string, hit
 	job.errMsg = errMsg
 	job.cacheHit = hit
 	job.finished = time.Now()
+	delete(s.running, job)
 	switch st {
 	case StateSucceeded:
 		s.completed++
@@ -368,6 +396,85 @@ func (s *Scheduler) finish(job *Job, st State, report []byte, errMsg string, hit
 	s.latency.Observe(uint64(us))
 	s.mu.Unlock()
 	close(job.done)
+	if s.cfg.Ledger != nil {
+		// Manifest writes happen outside the lock — a slow disk never
+		// stalls the job table. A failed append only loses the record.
+		_, _ = s.cfg.Ledger.Append(jobManifest(job))
+	}
+}
+
+// jobManifest records one finished job as a single-experiment run manifest.
+func jobManifest(job *Job) *ledger.Manifest {
+	m := ledger.NewManifest("hwgc-serve", ledger.Scale{
+		GCs: job.opts.GCs, Seed: job.opts.Seed,
+		Quick: job.opts.Quick, Shrink: job.opts.Shrink,
+	})
+	rec := ledger.Experiment{
+		ID:       job.experiment,
+		CellKey:  job.key.String(),
+		CacheHit: job.cacheHit,
+		Error:    job.errMsg,
+	}
+	if !job.started.IsZero() {
+		rec.WallMS = float64(job.finished.Sub(job.started).Microseconds()) / 1e3
+		m.Host.WallMS = rec.WallMS
+	}
+	if len(job.report) > 0 {
+		if rep, err := experiments.DecodeReport(job.report); err == nil {
+			rec.Title = rep.Title
+			rec.Metrics = rep.Metrics
+		}
+	}
+	m.Experiments = []ledger.Experiment{rec}
+	return m
+}
+
+// Progress is the live view of one job's simulation: CyclesSimulated
+// advances while the job runs (it reads the heartbeat the simulation
+// updates between engine events), so a client polling
+// GET /v1/jobs/{id}/progress can watch a cell make headway long before the
+// report exists.
+type Progress struct {
+	ID              string     `json:"id"`
+	Experiment      string     `json:"experiment"`
+	State           State      `json:"state"`
+	CacheHit        bool       `json:"cacheHit"`
+	CyclesSimulated uint64     `json:"cyclesSimulated"`
+	Submitted       time.Time  `json:"submittedAt"`
+	Started         *time.Time `json:"startedAt,omitempty"`
+	RunningMS       float64    `json:"runningMs"`
+}
+
+// Progress returns the job's live progress.
+func (s *Scheduler) Progress(id string) (Progress, bool) {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return Progress{}, false
+	}
+	p := Progress{
+		ID:         job.id,
+		Experiment: job.experiment,
+		State:      job.state,
+		CacheHit:   job.cacheHit,
+		Submitted:  job.submitted,
+	}
+	if !job.started.IsZero() {
+		t := job.started
+		p.Started = &t
+		end := job.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		p.RunningMS = float64(end.Sub(job.started).Microseconds()) / 1e3
+	}
+	beat := job.beat
+	s.mu.Unlock()
+	// The beat is atomic: read it after dropping the lock so a hot
+	// simulation never contends with the job table.
+	p.CyclesSimulated = beat.Cycles()
+	return p, true
 }
 
 // Drain stops the scheduler gracefully: new submissions fail with
@@ -428,6 +535,20 @@ func (s *Scheduler) attachTelemetry(h *telemetry.Hub) {
 	reg.CounterFunc("service.jobs.cancelled", locked(func() uint64 { return s.cancelled }))
 	reg.CounterFunc("service.jobs.cachehits", locked(func() uint64 { return s.cacheHits }))
 	reg.Gauge("service.queue.depth", func() float64 { return float64(len(s.queue)) })
+	reg.Gauge("service.jobs.running", gauge(func() float64 { return float64(len(s.running)) }))
+	reg.Gauge("service.inflight.cycles", func() float64 {
+		s.mu.Lock()
+		beats := make([]*telemetry.Beat, 0, len(s.running))
+		for job := range s.running {
+			beats = append(beats, job.beat)
+		}
+		s.mu.Unlock()
+		var sum uint64
+		for _, b := range beats {
+			sum += b.Cycles()
+		}
+		return float64(sum)
+	})
 	reg.CounterFunc("service.job.latency.count", locked(func() uint64 { return s.latency.Count() }))
 	reg.Gauge("service.job.latency.mean_us", gauge(func() float64 { return s.latency.Mean() }))
 	reg.Gauge("service.job.latency.max_us", gauge(func() float64 { return float64(s.latency.Max()) }))

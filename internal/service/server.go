@@ -2,19 +2,25 @@ package service
 
 // HTTP/JSON API over a Scheduler:
 //
-//	POST /v1/jobs        submit a cell; {"experiment","options","wait"}
-//	GET  /v1/jobs        list all jobs in submission order
-//	GET  /v1/jobs/{id}   one job's state (and report once finished)
-//	GET  /v1/experiments valid experiment IDs and titles
-//	GET  /v1/metrics     telemetry registry snapshot (when a hub is wired)
+//	POST /v1/jobs                 submit a cell; {"experiment","options","wait"}
+//	GET  /v1/jobs                 list all jobs in submission order
+//	GET  /v1/jobs/{id}            one job's state (and report once finished)
+//	GET  /v1/jobs/{id}/progress   live progress: cycles simulated so far
+//	GET  /v1/experiments          valid experiment IDs and titles
+//	GET  /v1/metrics              telemetry registry snapshot (JSON)
+//	GET  /metrics                 the same registry in Prometheus text format
 //
-// Error responses are {"error": "..."}; an unknown experiment additionally
-// carries "validExperiments" so clients can self-correct.
+// The metrics endpoints are always on: the scheduler owns a fallback hub,
+// so they serve the service's own counters even when no simulation
+// telemetry was wired. Error responses are {"error": "..."}; an unknown
+// experiment additionally carries "validExperiments" so clients can
+// self-correct.
 
 import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/pprof"
 
 	"hwgc/internal/experiments"
 	"hwgc/internal/telemetry"
@@ -36,9 +42,13 @@ type errorResponse struct {
 	ValidExperiments []string `json:"validExperiments,omitempty"`
 }
 
-// NewHandler returns the service API over s. hub may be nil; then
-// GET /v1/metrics reports 404.
+// NewHandler returns the service API over s. hub may be nil; the metrics
+// endpoints then fall back to the scheduler's own always-on hub, so they
+// never 404.
 func NewHandler(s *Scheduler, hub *telemetry.Hub) http.Handler {
+	if hub == nil {
+		hub = s.Hub()
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		handleSubmit(s, w, r)
@@ -65,14 +75,36 @@ func NewHandler(s *Scheduler, hub *telemetry.Hub) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, out)
 	})
-	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
-		if hub == nil {
-			writeJSON(w, http.StatusNotFound, errorResponse{Error: "telemetry not enabled"})
+	mux.HandleFunc("GET /v1/jobs/{id}/progress", func(w http.ResponseWriter, r *http.Request) {
+		p, ok := s.Progress(r.PathValue("id"))
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job " + r.PathValue("id")})
 			return
 		}
+		writeJSON(w, http.StatusOK, p)
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = hub.Snapshot().WriteJSON(w)
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = hub.WritePrometheus(w)
+	})
+	return mux
+}
+
+// withPprof overlays net/http/pprof's handlers on h under /debug/pprof/.
+// Opt-in (hwgc-serve -pprof): profiling endpoints expose goroutine stacks
+// and heap contents, which an always-on service should not.
+func withPprof(h http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", h)
 	return mux
 }
 

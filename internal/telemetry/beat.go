@@ -1,0 +1,30 @@
+package telemetry
+
+import "sync/atomic"
+
+// Beat is a live cycles-simulated heartbeat: a lock-free counter a running
+// simulation bumps as it advances, readable from any goroutine while the
+// run is still in flight. It exists for coarse progress reporting (the
+// service's /v1/jobs/{id}/progress endpoint), not for measurement — hooks
+// add cycles at probe/collection granularity, so the value lags the engine
+// by up to one probe interval.
+//
+// All methods are nil-safe, so plumbing a beat through Options/Config costs
+// nothing when none is attached; the field is excluded from result-cache
+// keys and JSON because it provably never affects results.
+type Beat struct{ v atomic.Uint64 }
+
+// Add records n more simulated cycles. Nil-safe.
+func (b *Beat) Add(n uint64) {
+	if b != nil {
+		b.v.Add(n)
+	}
+}
+
+// Cycles returns the cycles simulated so far (0 on nil).
+func (b *Beat) Cycles() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.v.Load()
+}

@@ -58,7 +58,12 @@ func (c syncChild) name() string { return c.label + "#" + strconv.Itoa(c.seq) }
 // off until EnableTrace.
 func NewHub(sampleEvery uint64) *Hub {
 	reg := NewRegistry()
-	return &Hub{Reg: reg, Sampler: NewSampler(reg, sampleEvery)}
+	s := NewSampler(reg, sampleEvery)
+	// Sampling volume is part of every summary, so a run that recorded no
+	// series (probe never hooked, interval too coarse) is visible at a
+	// glance rather than silently empty.
+	reg.CounterFunc("telemetry.sampler.samples", func() uint64 { return uint64(s.Len()) })
+	return &Hub{Reg: reg, Sampler: s}
 }
 
 // NewSyncHub returns a synchronized hub: safe to install as the process
@@ -81,6 +86,12 @@ func (h *Hub) Synchronized() bool { return h != nil && h.sync != nil }
 func (h *Hub) EnableTrace() *Tracer {
 	if h.Trace == nil {
 		h.Trace = NewTracer()
+		// Truncation must be visible in summaries, not just buried in the
+		// trace file's otherData: a capped tracer silently dropping spans
+		// would otherwise look like a quiet run.
+		t := h.Trace
+		h.Reg.CounterFunc("telemetry.trace.events", func() uint64 { return uint64(len(t.Events())) })
+		h.Reg.CounterFunc("telemetry.trace.dropped", t.Dropped)
 	}
 	if h.sync != nil {
 		h.sync.mu.Lock()

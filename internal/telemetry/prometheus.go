@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): counters, counter funcs, and rates as counter
+// families, gauges as gauge families, and histograms as summaries with
+// quantile labels plus _sum/_count. Names are sanitized to the Prometheus
+// grammar (dots and other separators become underscores) and prefixed with
+// "hwgc_"; families are emitted in sorted registry-name order, so the
+// output is deterministic. Nil-safe.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, n := range r.Names() {
+		m := r.metrics[n]
+		pn := PrometheusName(n)
+		var err error
+		switch m.kind {
+		case KindCounter, KindCounterFunc, KindRate:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %s\n", pn, pn, fnum(m.value()))
+		case KindGauge:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, fnum(m.value()))
+		case KindHistogram:
+			h := m.hist
+			if _, err = fmt.Fprintf(w, "# TYPE %s summary\n", pn); err != nil {
+				return err
+			}
+			for _, q := range [...]float64{0.5, 0.9, 0.99} {
+				if _, err = fmt.Fprintf(w, "%s{quantile=%q} %s\n", pn, fnum(q), fnum(h.Quantile(q))); err != nil {
+					return err
+				}
+			}
+			_, err = fmt.Fprintf(w, "%s_sum %s\n%s_count %s\n",
+				pn, fnum(float64(h.Sum())), pn, fnum(float64(h.Count())))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePrometheus renders the hub's aggregate snapshot (see Registry
+// counterpart). Nil-safe.
+func (h *Hub) WritePrometheus(w io.Writer) error { return h.Snapshot().WritePrometheus(w) }
+
+// PrometheusName maps a dotted registry name onto the Prometheus metric
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]* with an "hwgc_" namespace prefix:
+// "service.queue.depth" -> "hwgc_service_queue_depth".
+func PrometheusName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 5)
+	b.WriteString("hwgc_")
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,17 +1,28 @@
 #!/bin/sh
 # Host-performance benchmark harness: runs the event-engine micro-benchmarks
 # (value-typed 4-ary heap vs the boxed container/heap baseline) and the
-# end-to-end quick-suite benchmarks (serial vs parallel fleet), then distills
-# everything into BENCH_host.json for diffing across commits.
+# end-to-end quick-suite benchmarks (serial vs parallel fleet), then appends
+# one JSONL trajectory line to BENCH_host.json — keyed by git SHA and date —
+# so host performance is a time series across commits, not a single snapshot.
 #
-#   scripts/bench.sh                # writes ./BENCH_host.json
-#   scripts/bench.sh /tmp/out.json  # writes elsewhere
+#   scripts/bench.sh                # appends to ./BENCH_host.json
+#   scripts/bench.sh /tmp/out.json  # appends elsewhere
+#
+# Each line is a self-contained JSON object:
+#   {"git_sha": "...", "date": "YYYY-MM-DD", "host": "...", "cpus": N,
+#    "benchmarks": [{"name": ..., "iters": ..., "ns_per_op": ...,
+#                    "bytes_per_op": ..., "allocs_per_op": ...}, ...]}
+# Diff two commits with e.g.:
+#   jq -s '.[-2:]' BENCH_host.json
 set -eu
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_host.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
+
+sha="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+date="$(date -u +%Y-%m-%d)"
 
 echo "== engine micro-benchmarks (ns/op, allocs/op)"
 go test -run '^$' -bench 'BenchmarkHostEngine' -benchmem -benchtime=200ms \
@@ -21,7 +32,8 @@ echo "== full experiment suite, serial vs parallel (host wall time)"
 go test -run '^$' -bench 'BenchmarkHostFullSuite' -benchmem -benchtime=1x \
     . | tee -a "$raw"
 
-awk -v host="$(uname -sm)" -v ncpu="$(nproc 2>/dev/null || echo 1)" '
+awk -v host="$(uname -sm)" -v ncpu="$(nproc 2>/dev/null || echo 1)" \
+    -v sha="$sha" -v date="$date" '
 BEGIN { n = 0 }
 /^Benchmark/ && /ns\/op/ {
     name = $1; sub(/-[0-9]+$/, "", name)
@@ -31,15 +43,15 @@ BEGIN { n = 0 }
         if ($i == "B/op") bytes = $(i - 1)
         if ($i == "allocs/op") allocs = $(i - 1)
     }
-    rows[n++] = sprintf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+    rows[n++] = sprintf("{\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
                         name, iters, ns, bytes == "" ? "null" : bytes,
                         allocs == "" ? "null" : allocs)
 }
 END {
-    printf "{\n  \"host\": \"%s\",\n  \"cpus\": %s,\n  \"benchmarks\": [\n", host, ncpu
-    for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
-    printf "  ]\n}\n"
+    printf "{\"git_sha\": \"%s\", \"date\": \"%s\", \"host\": \"%s\", \"cpus\": %s, \"benchmarks\": [", sha, date, host, ncpu
+    for (i = 0; i < n; i++) printf "%s%s", rows[i], (i < n - 1 ? ", " : "")
+    printf "]}\n"
 }
-' "$raw" > "$out"
+' "$raw" >> "$out"
 
-echo "wrote $out"
+echo "appended $(tail -1 "$out" | cut -c1-60)... to $out ($(wc -l < "$out") runs)"
