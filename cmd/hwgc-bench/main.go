@@ -12,6 +12,8 @@
 //	hwgc-bench -cache           # serve repeated cells from the result cache
 //	hwgc-bench -cache-dir DIR   # ... persisted across runs under DIR
 //	hwgc-bench -ledger runs/    # append a run manifest (see hwgc-report)
+//	hwgc-bench -timeseries      # record bounded per-unit time series
+//	hwgc-bench -report out.html # ... and render the HTML run report
 //	hwgc-bench -list
 package main
 
@@ -29,6 +31,7 @@ import (
 	"hwgc"
 	"hwgc/internal/experiments"
 	"hwgc/internal/ledger"
+	"hwgc/internal/report"
 )
 
 func main() {
@@ -45,6 +48,9 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file (Perfetto-compatible)")
 	sampleEvery := flag.Uint64("sample-every", 1024, "gauge sampling interval in cycles")
 	ledgerDir := flag.String("ledger", "", "append a run manifest (cell keys, metrics, timings) under this directory")
+	reportOut := flag.String("report", "", "write a self-contained HTML run report to this file (implies -timeseries)")
+	recordSeries := flag.Bool("timeseries", false, "record bounded per-unit time series into the run manifest")
+	seriesPoints := flag.Int("timeseries-points", 0, "max retained points per recorded series (0 = default 512)")
 	flag.Parse()
 
 	if *list {
@@ -83,11 +89,20 @@ func main() {
 	// internally; samples and events accumulate across all experiments. The
 	// synchronized hub forks a private child per simulation, so the fleet
 	// keeps its full parallel width.
+	record := *recordSeries || *reportOut != ""
 	var tel *hwgc.Telemetry
-	if *metricsOut != "" || *traceOut != "" {
+	if *metricsOut != "" || *traceOut != "" || record {
 		tel = hwgc.NewSyncTelemetry(*sampleEvery)
 		if *traceOut != "" {
 			tel.EnableTrace()
+		}
+		if record {
+			tel.EnableRecording(*seriesPoints)
+			if *metricsOut == "" {
+				// Recording alone is fixed-memory; the unbounded row log
+				// only runs when the JSONL dump asked for it.
+				tel.DisableRowCapture()
+			}
 		}
 		hwgc.SetDefaultTelemetry(tel)
 		defer hwgc.SetDefaultTelemetry(nil)
@@ -134,11 +149,13 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	// A manifest is built for the ledger and/or the HTML report.
+	wantManifest := store != nil || *reportOut != ""
 	// Per-experiment wall time, recorded by a timing wrapper around each
 	// (possibly cache-backed) runner. The map is written from fleet workers.
 	var timesMu sync.Mutex
 	wallMS := map[string]float64{}
-	if store != nil {
+	if wantManifest {
 		for i := range runners {
 			id, run := runners[i].ID, runners[i].Run
 			runners[i].Run = func(o hwgc.Options) (hwgc.Report, error) {
@@ -167,7 +184,7 @@ func main() {
 		fmt.Println(res.Report.String())
 	}
 
-	if store != nil {
+	if wantManifest {
 		m := ledger.NewManifest("hwgc-bench", ledger.Scale{
 			GCs: opts.GCs, Seed: opts.Seed, Quick: opts.Quick, Shrink: opts.Shrink,
 		})
@@ -191,12 +208,24 @@ func main() {
 			m.Experiments = append(m.Experiments, rec)
 		}
 		m.SnapshotTelemetry(tel)
-		path, err := store.Append(m)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			failed++
-		} else {
-			fmt.Printf("wrote run manifest to %s\n", path)
+		m.SnapshotTimeseries(tel)
+		if store != nil {
+			path, err := store.Append(m)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				failed++
+			} else {
+				fmt.Printf("wrote run manifest to %s\n", path)
+			}
+		}
+		if *reportOut != "" {
+			data := report.Render(m, "")
+			if err := os.WriteFile(*reportOut, data, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				failed++
+			} else {
+				fmt.Printf("wrote HTML report to %s (%d bytes)\n", *reportOut, len(data))
+			}
 		}
 	}
 

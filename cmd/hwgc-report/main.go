@@ -3,13 +3,21 @@
 // the machine-readable EXPERIMENTS.md tolerance bands, and diffs manifests
 // against each other so "what did this change bend?" is one command.
 //
+// It also renders manifests into self-contained HTML reports (-html): the
+// per-run chart catalog keyed to the paper's figures, or the BENCH_host.json
+// cross-run dashboard (-trajectory).
+//
 // Usage:
 //
 //	hwgc-report -ledger runs -list           # list recorded runs
 //	hwgc-report -ledger runs -check          # judge the latest run's shape
 //	hwgc-report -manifest run.json -check    # ... or a specific manifest
+//	hwgc-report -check -format json ...      # machine-readable verdicts
 //	hwgc-report -diff old.json new.json      # per-metric deltas, regressions first
 //	hwgc-report -manifest run.json -baseline base.json -tolerance 0.25
+//	hwgc-report -html report.html -manifest run.json   # self-contained HTML report
+//	hwgc-report -html run.json               # ... or directly from a manifest path
+//	hwgc-report -html dash.html -trajectory BENCH_host.json
 //
 // -check exits non-zero when any band is drifted, broken, or missing,
 // naming each offending experiment/metric. -baseline exits non-zero when
@@ -18,11 +26,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"hwgc/internal/ledger"
+	"hwgc/internal/report"
 )
 
 func main() {
@@ -33,9 +44,15 @@ func main() {
 	diff := flag.Bool("diff", false, "diff two manifest files (args: FROM TO)")
 	baseline := flag.String("baseline", "", "diff the manifest against this baseline and fail on moves past -tolerance")
 	tolerance := flag.Float64("tolerance", 0.25, "relative-change threshold for -baseline / noise floor for -diff")
+	htmlOut := flag.String("html", "", "write a self-contained HTML report to FILE (from -manifest/-ledger, a positional manifest path, or -trajectory; a .json FILE is treated as the input manifest and the report lands beside it)")
+	trajectory := flag.String("trajectory", "", "render the BENCH_host.json host-benchmark dashboard instead of a run manifest")
+	format := flag.String("format", "text", "-check output format: text or json")
 	flag.Parse()
 
 	switch {
+	case *htmlOut != "":
+		renderHTML(*htmlOut, *trajectory, *ledgerDir, *manifestPath)
+
 	case *list:
 		if *ledgerDir == "" {
 			fatal("hwgc-report: -list needs -ledger DIR")
@@ -70,7 +87,7 @@ func main() {
 		printDiff(from, to, 0) // show every move; -tolerance only gates -baseline
 
 	case *baseline != "":
-		m := loadTarget(*ledgerDir, *manifestPath)
+		m := loadTarget(*ledgerDir, *manifestPath, true)
 		base := readManifest(*baseline)
 		deltas := ledger.Diff(base, m, 0)
 		printDeltas(deltas)
@@ -87,8 +104,16 @@ func main() {
 		}
 		fmt.Printf("baseline gate: every metric within %.0f%% of %s\n", *tolerance*100, *baseline)
 
+	case *check && *format == "json":
+		m := loadTarget(*ledgerDir, *manifestPath, false)
+		res := ledger.CheckManifest(m)
+		printJSONChecks(res)
+		if !res.OK() {
+			os.Exit(1)
+		}
+
 	case *check:
-		m := loadTarget(*ledgerDir, *manifestPath)
+		m := loadTarget(*ledgerDir, *manifestPath, true)
 		res := ledger.CheckManifest(m)
 		for _, c := range res.Checks {
 			fmt.Println(c)
@@ -119,12 +144,94 @@ func main() {
 	}
 }
 
+// renderHTML writes a self-contained HTML report: the BENCH_host.json
+// trajectory dashboard when -trajectory is given, otherwise a run report
+// from the chosen manifest. As a convenience, `hwgc-report -html run.json`
+// (the flag value itself a manifest) writes run.html next to the input.
+func renderHTML(out, trajPath, dir, manifestPath string) {
+	var data []byte
+	var err error
+	switch {
+	case trajPath != "":
+		raw, rerr := os.ReadFile(trajPath)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		data, err = report.RenderTrajectory(raw, trajPath)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		src := manifestPath
+		if src == "" && flag.NArg() == 1 {
+			src = flag.Arg(0)
+		}
+		if src == "" && dir == "" && strings.HasSuffix(out, ".json") {
+			src = out
+			out = strings.TrimSuffix(out, ".json") + ".html"
+		}
+		var m *ledger.Manifest
+		if src != "" {
+			m = readManifest(src)
+		} else {
+			m, src = loadLatest(dir)
+		}
+		data = report.Render(m, src)
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", out, len(data))
+}
+
+// printJSONChecks emits the -check result as one JSON document, so CI can
+// consume verdicts without scraping text.
+func printJSONChecks(res ledger.CheckResult) {
+	type jsonCheck struct {
+		Experiment string  `json:"experiment"`
+		Metric     string  `json:"metric"`
+		Paper      string  `json:"paper,omitempty"`
+		Verdict    string  `json:"verdict"`
+		Value      float64 `json:"value"`
+		Lo         float64 `json:"lo"`
+		Hi         float64 `json:"hi"`
+	}
+	doc := struct {
+		OK     bool           `json:"ok"`
+		Counts map[string]int `json:"counts"`
+		Checks []jsonCheck    `json:"checks"`
+	}{OK: res.OK(), Counts: map[string]int{}}
+	for _, c := range res.Checks {
+		doc.Counts[string(c.Verdict)]++
+		doc.Checks = append(doc.Checks, jsonCheck{
+			Experiment: c.Band.Experiment, Metric: c.Band.Metric,
+			Paper: c.Band.Paper, Verdict: string(c.Verdict),
+			Value: c.Value, Lo: c.Lo, Hi: c.Hi,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fatal(err)
+	}
+}
+
 // loadTarget resolves the manifest under test: an explicit -manifest file,
-// or the ledger's latest run.
-func loadTarget(dir, path string) *ledger.Manifest {
+// or the ledger's latest run. announce notes the resolved path on stdout
+// (off for machine-readable output).
+func loadTarget(dir, path string, announce bool) *ledger.Manifest {
 	if path != "" {
 		return readManifest(path)
 	}
+	m, p := loadLatest(dir)
+	if announce {
+		fmt.Printf("checking %s (%s, %s)\n\n", p, m.Tool, m.CreatedAt.Format("2006-01-02 15:04:05"))
+	}
+	return m
+}
+
+// loadLatest reads the ledger's newest manifest.
+func loadLatest(dir string) (*ledger.Manifest, string) {
 	if dir == "" {
 		fatal("hwgc-report: need -manifest FILE or -ledger DIR")
 	}
@@ -139,8 +246,7 @@ func loadTarget(dir, path string) *ledger.Manifest {
 	if m == nil {
 		fatal("hwgc-report: ledger " + dir + " has no runs")
 	}
-	fmt.Printf("checking %s (%s, %s)\n\n", p, m.Tool, m.CreatedAt.Format("2006-01-02 15:04:05"))
-	return m
+	return m, p
 }
 
 func readManifest(path string) *ledger.Manifest {

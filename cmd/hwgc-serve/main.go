@@ -21,6 +21,7 @@
 //	    -d '{"experiment":"fig15","options":{"Quick":true},"wait":true}'
 //	curl -s localhost:8077/v1/jobs/job-000001
 //	curl -s localhost:8077/v1/jobs/job-000001/progress
+//	curl -s localhost:8077/v1/jobs/job-000001/report > job.html
 //	curl -s localhost:8077/v1/metrics
 //	curl -s localhost:8077/metrics     # Prometheus text format
 package main

@@ -25,6 +25,7 @@ import (
 	"hwgc"
 	"hwgc/internal/core"
 	"hwgc/internal/ledger"
+	"hwgc/internal/report"
 	"hwgc/internal/workload"
 )
 
@@ -47,6 +48,9 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file (Perfetto-compatible)")
 	sampleEvery := flag.Uint64("sample-every", 1024, "gauge sampling interval in cycles")
 	ledgerDir := flag.String("ledger", "", "append a run manifest (per-benchmark timings) under this directory")
+	reportOut := flag.String("report", "", "write a self-contained HTML run report to this file (implies -timeseries)")
+	recordSeries := flag.Bool("timeseries", false, "record bounded per-unit time series into the run manifest")
+	seriesPoints := flag.Int("timeseries-points", 0, "max retained points per recorded series (0 = default 512)")
 	flag.Parse()
 
 	var specsToRun []workload.Spec
@@ -98,12 +102,19 @@ func main() {
 
 	// The synchronized hub forks a private child per benchmark run, so
 	// telemetry output composes with a parallel -run sweep.
+	record := *recordSeries || *reportOut != ""
 	var tel *hwgc.Telemetry
 	width := *parallel
-	if *metricsOut != "" || *traceOut != "" {
+	if *metricsOut != "" || *traceOut != "" || record {
 		tel = hwgc.NewSyncTelemetry(*sampleEvery)
 		if *traceOut != "" {
 			tel.EnableTrace()
+		}
+		if record {
+			tel.EnableRecording(*seriesPoints)
+			if *metricsOut == "" {
+				tel.DisableRowCapture()
+			}
 		}
 	}
 
@@ -158,11 +169,22 @@ func main() {
 		}
 	}
 
-	if *ledgerDir != "" {
-		if err := appendSimManifest(*ledgerDir, *collector, *gcs, *seed,
-			specsToRun, ress, times, errsAll, tel); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			failed++
+	if *ledgerDir != "" || *reportOut != "" {
+		m := buildSimManifest(*collector, *gcs, *seed, specsToRun, ress, times, errsAll, tel)
+		if *ledgerDir != "" {
+			if err := appendSimManifest(*ledgerDir, m); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				failed++
+			}
+		}
+		if *reportOut != "" {
+			data := report.Render(m, "")
+			if err := os.WriteFile(*reportOut, data, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				failed++
+			} else {
+				fmt.Printf("wrote HTML report to %s (%d bytes)\n", *reportOut, len(data))
+			}
 		}
 	}
 
@@ -187,16 +209,12 @@ func main() {
 	}
 }
 
-// appendSimManifest records the sweep in the run ledger: one experiment
-// record per benchmark ("sim:<bench>:<collector>") with mean mark/sweep
-// times and the GC share as metrics.
-func appendSimManifest(dir, collector string, gcs int, seed uint64,
+// buildSimManifest records the sweep as a manifest: one experiment record
+// per benchmark ("sim:<bench>:<collector>") with mean mark/sweep times and
+// the GC share as metrics.
+func buildSimManifest(collector string, gcs int, seed uint64,
 	specs []workload.Spec, ress []core.AppResult, times []float64,
-	errs []error, tel *hwgc.Telemetry) error {
-	store, err := ledger.Open(dir)
-	if err != nil {
-		return err
-	}
+	errs []error, tel *hwgc.Telemetry) *ledger.Manifest {
 	m := ledger.NewManifest("hwgc-sim", ledger.Scale{GCs: gcs, Seed: seed})
 	for i, spec := range specs {
 		rec := ledger.Experiment{
@@ -217,6 +235,16 @@ func appendSimManifest(dir, collector string, gcs int, seed uint64,
 		m.Experiments = append(m.Experiments, rec)
 	}
 	m.SnapshotTelemetry(tel)
+	m.SnapshotTimeseries(tel)
+	return m
+}
+
+// appendSimManifest appends the manifest to the run ledger.
+func appendSimManifest(dir string, m *ledger.Manifest) error {
+	store, err := ledger.Open(dir)
+	if err != nil {
+		return err
+	}
 	path, err := store.Append(m)
 	if err != nil {
 		return err

@@ -251,9 +251,11 @@ func NewSW(cfg Config, sys *rts.System) *SW {
 }
 
 // AttachTelemetry registers the CPU baseline's counters under cpu.* and the
-// heap gauges. The software collector runs on the synchronous timing model,
-// so there is no engine probe to hook; its metrics appear in the summary and
-// are sampled only when a hardware system shares the hub.
+// heap gauges, and hooks the hub's sampler onto the core's clock probe: the
+// software collector has no event engine, so its probe rides the CPU's
+// local cycle count instead, giving SW runs the same sampled time series as
+// HW runs. The probe observes the clock without touching the core, so
+// attaching telemetry does not change simulated timing.
 func (sw *SW) AttachTelemetry(h *telemetry.Hub) {
 	if h == nil {
 		return
@@ -262,10 +264,17 @@ func (sw *SW) AttachTelemetry(h *telemetry.Hub) {
 	reg.CounterFunc("cpu.instructions", func() uint64 { return sw.CPU.Instructions })
 	reg.CounterFunc("cpu.memops", func() uint64 { return sw.CPU.MemOps })
 	reg.CounterFunc("cpu.mispredicts", func() uint64 { return sw.CPU.Mispredicts })
+	reg.CounterFunc("cpu.tlb.hits", func() uint64 { return sw.CPU.TLB.TLB().Hits })
+	reg.CounterFunc("cpu.tlb.misses", func() uint64 { return sw.CPU.TLB.TLB().Misses })
 	if s, ok := sw.Sync.(*dram.Sync); ok {
 		s.AttachTelemetry(h)
 	}
 	sw.Sys.Heap.AttachTelemetry(h)
+	if s := h.Sampler; s != nil {
+		// The heartbeat stays per-collection (see Step/CollectNow): the
+		// probe serves sampling only, to avoid double-counting cycles.
+		sw.CPU.SetProbe(s.Every, func(cycle uint64) { s.Sample(cycle) })
+	}
 }
 
 // Collect runs a full software collection.

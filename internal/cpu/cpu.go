@@ -60,6 +60,14 @@ type CPU struct {
 	Instructions uint64
 	MemOps       uint64
 	Mispredicts  uint64
+
+	// Cycle probe (SetProbe): fires at each crossed multiple of probeEvery
+	// as the local clock advances, mirroring the event engine's probe so
+	// software-collector runs get sampled telemetry too. probe == nil is
+	// the disabled fast path — one nil check per clock advance.
+	probeEvery uint64
+	probeNext  uint64
+	probe      func(cycle uint64)
 }
 
 // New builds a core whose cache hierarchy bottoms out at memory (the
@@ -77,19 +85,52 @@ func New(cfg Config, pt *vmem.PageTable, memory dram.SyncMemory) *CPU {
 func (c *CPU) Now() uint64 { return c.now }
 
 // SetNow repositions the clock (used when interleaving with other timed
-// components).
-func (c *CPU) SetNow(t uint64) { c.now = t }
+// components). Repositioning is not simulated time passing, so the probe
+// realigns to the new position without firing.
+func (c *CPU) SetNow(t uint64) {
+	c.now = t
+	if c.probe != nil {
+		c.probeNext = (t/c.probeEvery + 1) * c.probeEvery
+	}
+}
+
+// SetProbe installs fn to fire at every crossed multiple of every cycles as
+// the core's clock advances (0 = default 1024). Like the engine probe, it
+// observes timing without participating in it: the callback must not touch
+// the core. A nil fn removes the probe.
+func (c *CPU) SetProbe(every uint64, fn func(cycle uint64)) {
+	if every == 0 {
+		every = 1024
+	}
+	c.probeEvery = every
+	c.probe = fn
+	c.probeNext = (c.now/every + 1) * every
+}
+
+// tick fires the probe for each interval boundary the clock crossed.
+func (c *CPU) tick() {
+	for c.now >= c.probeNext {
+		c.probe(c.probeNext)
+		c.probeNext += c.probeEvery
+	}
+}
 
 // Compute retires n single-cycle instructions.
 func (c *CPU) Compute(n int) {
 	c.now += uint64(n)
 	c.Instructions += uint64(n)
+	if c.probe != nil {
+		c.tick()
+	}
 }
 
 // Mispredict charges one branch-misprediction penalty.
 func (c *CPU) Mispredict() {
 	c.now += c.cfg.MispredictPenalty
 	c.Mispredicts++
+	if c.probe != nil {
+		c.tick()
+	}
 }
 
 // Access performs one memory operation at virtual address va, advancing the
@@ -103,6 +144,9 @@ func (c *CPU) Access(va uint64, size uint64, kind dram.Kind) {
 		panic("cpu: access to unmapped address")
 	}
 	c.now = c.L1.Access(t, pa, size, kind)
+	if c.probe != nil {
+		c.tick()
+	}
 }
 
 // AccessPhys performs a memory operation on an already-physical address
@@ -110,4 +154,7 @@ func (c *CPU) Access(va uint64, size uint64, kind dram.Kind) {
 func (c *CPU) AccessPhys(pa uint64, size uint64, kind dram.Kind) {
 	c.MemOps++
 	c.now = c.L1.Access(c.now, pa, size, kind)
+	if c.probe != nil {
+		c.tick()
+	}
 }

@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -76,6 +77,103 @@ type Manifest struct {
 	// (counter/gauge values, histogram quantiles) taken at the end of the
 	// run, when telemetry was enabled.
 	Telemetry map[string]float64 `json:"telemetry,omitempty"`
+	// Timeseries holds the run's bounded per-metric time series, when
+	// recording was enabled (hwgc-bench/-sim -timeseries or -report).
+	Timeseries *Timeseries `json:"timeseries,omitempty"`
+}
+
+// TimeseriesSchemaVersion identifies the timeseries section layout; it is
+// versioned independently of the manifest so the report renderer can refuse
+// series it does not understand without invalidating the whole manifest.
+const TimeseriesSchemaVersion = "hwgc-timeseries-v1"
+
+// Timeseries is a manifest's recorded time-series section: every run's
+// bounded per-metric (cycle, value) curves from the telemetry recorder.
+type Timeseries struct {
+	SchemaVersion string `json:"schemaVersion"`
+	// SampleEvery is the probe interval in cycles the recorder ticked at.
+	SampleEvery uint64      `json:"sampleEvery,omitempty"`
+	Runs        []RunSeries `json:"runs"`
+}
+
+// RunSeries is one run's recorded series. Run is empty for a single-run
+// (plain hub) manifest; under a fleet it is the run's merged-output name
+// ("main" or "bench/side#seq").
+type RunSeries struct {
+	Run    string   `json:"run,omitempty"`
+	Series []Series `json:"series"`
+}
+
+// Series is one metric's curve. Cycles and Values are parallel arrays
+// (directly plottable). Interval is the retention stride in cycles: the
+// width of the window each point summarizes.
+//
+// On the wire the arrays are space-separated numeric strings rather than
+// JSON arrays: manifests are written indented, and a JSON array costs one
+// line per sample — a fleet run's million-plus points would bloat the file
+// ~8x. Values use shortest-roundtrip formatting, so decoding reproduces the
+// recorded float64s exactly.
+type Series struct {
+	Name     string    `json:"-"`
+	Interval uint64    `json:"-"`
+	Cycles   []uint64  `json:"-"`
+	Values   []float64 `json:"-"`
+}
+
+// seriesJSON is the wire form of Series.
+type seriesJSON struct {
+	Name     string `json:"name"`
+	Interval uint64 `json:"interval"`
+	Cycles   string `json:"cycles"`
+	Values   string `json:"values"`
+}
+
+// MarshalJSON encodes the parallel arrays as compact strings.
+func (s Series) MarshalJSON() ([]byte, error) {
+	var cb, vb strings.Builder
+	for i, c := range s.Cycles {
+		if i > 0 {
+			cb.WriteByte(' ')
+		}
+		cb.WriteString(strconv.FormatUint(c, 10))
+	}
+	for i, v := range s.Values {
+		if i > 0 {
+			vb.WriteByte(' ')
+		}
+		vb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	return json.Marshal(seriesJSON{Name: s.Name, Interval: s.Interval,
+		Cycles: cb.String(), Values: vb.String()})
+}
+
+// UnmarshalJSON decodes the wire form back into parallel arrays. A cycle
+// and value count mismatch is a hard error — a torn series must not plot.
+func (s *Series) UnmarshalJSON(data []byte) error {
+	var w seriesJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	s.Name, s.Interval = w.Name, w.Interval
+	s.Cycles, s.Values = nil, nil
+	for _, f := range strings.Fields(w.Cycles) {
+		c, err := strconv.ParseUint(f, 10, 64)
+		if err != nil {
+			return fmt.Errorf("ledger: series %q: bad cycle %q: %w", w.Name, f, err)
+		}
+		s.Cycles = append(s.Cycles, c)
+	}
+	for _, f := range strings.Fields(w.Values) {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return fmt.Errorf("ledger: series %q: bad value %q: %w", w.Name, f, err)
+		}
+		s.Values = append(s.Values, v)
+	}
+	if len(s.Cycles) != len(s.Values) {
+		return fmt.Errorf("ledger: series %q: %d cycles but %d values", w.Name, len(s.Cycles), len(s.Values))
+	}
+	return nil
 }
 
 // Metrics returns the manifest's experiment metrics keyed
@@ -148,6 +246,59 @@ func (m *Manifest) SnapshotTelemetry(h *telemetry.Hub) {
 	if len(out) > 0 {
 		m.Telemetry = out
 	}
+}
+
+// SnapshotTimeseries copies a hub's recorded time series into the manifest.
+// A hub that never enabled recording (or recorded nothing) leaves the
+// manifest unchanged. Call after workers join, like SnapshotTelemetry.
+func (m *Manifest) SnapshotTimeseries(h *telemetry.Hub) {
+	if h == nil {
+		return
+	}
+	runs := h.RecordedSeries()
+	if len(runs) == 0 {
+		return
+	}
+	ts := &Timeseries{SchemaVersion: TimeseriesSchemaVersion}
+	if h.Sampler != nil {
+		ts.SampleEvery = h.Sampler.Every
+	}
+	for _, r := range runs {
+		rs := RunSeries{Run: r.Run, Series: make([]Series, 0, len(r.Series))}
+		for _, sd := range r.Series {
+			// All-zero series (idle units, counters that never fired) carry
+			// nothing a chart can show; dropping them roughly halves a fleet
+			// manifest.
+			flat := true
+			for _, p := range sd.Points {
+				if p.Val != 0 {
+					flat = false
+					break
+				}
+			}
+			if flat {
+				continue
+			}
+			s := Series{
+				Name:     sd.Name,
+				Interval: sd.Interval,
+				Cycles:   make([]uint64, len(sd.Points)),
+				Values:   make([]float64, len(sd.Points)),
+			}
+			for i, p := range sd.Points {
+				s.Cycles[i] = p.Cycle
+				s.Values[i] = p.Val
+			}
+			rs.Series = append(rs.Series, s)
+		}
+		if len(rs.Series) > 0 {
+			ts.Runs = append(ts.Runs, rs)
+		}
+	}
+	if len(ts.Runs) == 0 {
+		return
+	}
+	m.Timeseries = ts
 }
 
 // WriteManifest atomically writes the manifest as indented JSON.

@@ -208,3 +208,67 @@ func TestDiffRanksRegressions(t *testing.T) {
 		t.Fatalf("epsilon filter: got %d deltas, want 2: %v", len(ds), ds)
 	}
 }
+
+// TestTimeseriesRoundTrip: a recorded hub snapshots into the manifest's
+// timeseries section and survives the write/read cycle intact — parallel
+// cycle/value arrays, schema version, run names.
+func TestTimeseriesRoundTrip(t *testing.T) {
+	h := telemetry.NewHub(10)
+	h.EnableRecording(32)
+	g := 0.0
+	h.Reg.Gauge("unit.occ", func() float64 { return g })
+	for cyc := uint64(10); cyc <= 50; cyc += 10 {
+		g = float64(cyc)
+		h.Sampler.Sample(cyc)
+	}
+
+	m := midBandManifest(true)
+	m.SnapshotTimeseries(h)
+	if m.Timeseries == nil || m.Timeseries.SchemaVersion != TimeseriesSchemaVersion {
+		t.Fatalf("snapshot: %+v", m.Timeseries)
+	}
+	if m.Timeseries.SampleEvery != 10 {
+		t.Fatalf("SampleEvery = %d, want 10", m.Timeseries.SampleEvery)
+	}
+
+	dir := filepath.Join(t.TempDir(), "ledger")
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := s.Append(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Timeseries == nil || got.Timeseries.SchemaVersion != TimeseriesSchemaVersion {
+		t.Fatalf("round trip lost timeseries: %+v", got.Timeseries)
+	}
+	var occ *Series
+	for i := range got.Timeseries.Runs[0].Series {
+		if got.Timeseries.Runs[0].Series[i].Name == "unit.occ" {
+			occ = &got.Timeseries.Runs[0].Series[i]
+		}
+	}
+	if occ == nil {
+		t.Fatalf("unit.occ series missing: %+v", got.Timeseries.Runs[0])
+	}
+	if len(occ.Cycles) != len(occ.Values) || len(occ.Cycles) != 5 {
+		t.Fatalf("parallel arrays: %d cycles, %d values, want 5 each", len(occ.Cycles), len(occ.Values))
+	}
+	for i, c := range occ.Cycles {
+		if c != uint64(10*(i+1)) || occ.Values[i] != float64(c) {
+			t.Fatalf("point %d = (%d, %v), want (%d, %d)", i, c, occ.Values[i], 10*(i+1), 10*(i+1))
+		}
+	}
+
+	// A recording-free hub leaves the section absent entirely.
+	m2 := midBandManifest(false)
+	m2.SnapshotTimeseries(telemetry.NewHub(0))
+	if m2.Timeseries != nil {
+		t.Fatalf("unrecorded hub produced a timeseries section: %+v", m2.Timeseries)
+	}
+}

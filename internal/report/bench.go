@@ -1,0 +1,152 @@
+package report
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The bench trajectory dashboard: scripts/bench.sh appends one JSONL line
+// per commit to BENCH_host.json; RenderTrajectory turns that file into a
+// cross-run dashboard of per-benchmark ns/op curves, so a perf regression
+// shows up as a visible bend instead of a number buried in a diff.
+
+// trajRun is one BENCH_host.json line.
+type trajRun struct {
+	GitSHA     string      `json:"git_sha"`
+	Date       string      `json:"date"`
+	Host       string      `json:"host"`
+	CPUs       int         `json:"cpus"`
+	Benchmarks []trajBench `json:"benchmarks"`
+}
+
+type trajBench struct {
+	Name        string   `json:"name"`
+	Iters       uint64   `json:"iters"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+}
+
+// shortSHA truncates a git SHA for labels.
+func shortSHA(s string) string {
+	if len(s) > 8 {
+		return s[:8]
+	}
+	return s
+}
+
+// RenderTrajectory turns BENCH_host.json (JSONL, one run per line) into a
+// self-contained HTML dashboard: one chart per benchmark, ns/op over runs
+// in file (commit) order. Unparseable lines are skipped with a count.
+func RenderTrajectory(data []byte, source string) ([]byte, error) {
+	var runs []trajRun
+	skipped := 0
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var r trajRun
+		if err := json.Unmarshal(line, &r); err != nil {
+			skipped++
+			continue
+		}
+		runs = append(runs, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("report: no parseable runs in %s", source)
+	}
+
+	// Collect benchmark names across all runs, sorted for stable order.
+	nameSet := map[string]bool{}
+	for _, r := range runs {
+		for _, bm := range r.Benchmarks {
+			nameSet[bm.Name] = true
+		}
+	}
+	names := make([]string, 0, len(nameSet))
+	for n := range nameSet {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var body strings.Builder
+	if skipped > 0 {
+		fmt.Fprintf(&body, "<p class=\"notice\">%d unparseable line(s) skipped.</p>\n", skipped)
+	}
+	for _, name := range names {
+		var pts []pt
+		var labels []string
+		for i, r := range runs {
+			for _, bm := range r.Benchmarks {
+				if bm.Name != name {
+					continue
+				}
+				pts = append(pts, pt{x: float64(i), y: bm.NsPerOp})
+				labels = append(labels, fmt.Sprintf("%s (%s): %s ns/op", r.Date, shortSHA(r.GitSHA), num(bm.NsPerOp)))
+			}
+		}
+		if len(pts) == 0 {
+			continue
+		}
+		var sc scale
+		sc.xmax = float64(len(runs) - 1)
+		if sc.xmax == 0 {
+			sc.xmax = 1
+		}
+		for _, p := range pts {
+			if p.y > sc.ymax {
+				sc.ymax = p.y
+			}
+		}
+		b := &svgB{}
+		b.open(name)
+		b.axes(sc, "run (oldest → newest)", "ns/op")
+		proj := make([]pt, len(pts))
+		for i, p := range pts {
+			proj[i] = pt{x: sc.x(p.x), y: sc.y(p.y)}
+		}
+		b.polyline(proj, 1)
+		// A single series: markers make sparse trajectories readable.
+		if len(proj) <= 60 {
+			for _, p := range proj {
+				fmt.Fprintf(&b.b, `<circle cx="%s" cy="%s" r="4" fill="var(--series-1)" stroke="var(--surface-1)" stroke-width="2"/>`+"\n",
+					coord(p.x), coord(p.y))
+			}
+		}
+		b.hover(proj, labels)
+
+		id := strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-':
+				return r
+			default:
+				return '-'
+			}
+		}, name)
+		latest := pts[len(pts)-1].y
+		writeChart(&body, Chart{
+			ID:      id,
+			Title:   name,
+			Caption: fmt.Sprintf("Host ns/op across %d recorded runs; latest %s ns/op.", len(runs), num(latest)),
+			SVG:     b.close(),
+		})
+	}
+
+	last := runs[len(runs)-1]
+	sub := fmt.Sprintf("%d runs · latest %s (%s) · %s, %d CPUs",
+		len(runs), last.Date, shortSHA(last.GitSHA), last.Host, last.CPUs)
+	if source != "" {
+		sub += " · " + source
+	}
+	return htmlPage("hwgc host benchmark trajectory", sub, &body), nil
+}

@@ -1,0 +1,163 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"hwgc/internal/ledger"
+)
+
+// css is the report's complete stylesheet, inlined so the HTML file is
+// self-contained. The chart colors live in CSS custom properties with
+// light/dark values (dark follows prefers-color-scheme), so the SVGs
+// reference roles (--series-N, --surface-1, ink tokens) rather than hex.
+const css = `
+:root { color-scheme: light dark; }
+body {
+  margin: 0; padding: 0 0 48px;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--page); color: var(--text-primary);
+}
+.viz-root {
+  --page: #f9f9f7; --surface-1: #fcfcfb;
+  --text-primary: #0b0b0b; --text-secondary: #52514e; --text-muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7; --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6; --series-2: #eb6834; --series-3: #1baf7a;
+  --series-4: #eda100; --series-5: #e87ba4; --series-6: #008300;
+  --series-7: #4a3aa7; --series-8: #e34948;
+}
+@media (prefers-color-scheme: dark) {
+  .viz-root {
+    --page: #0d0d0d; --surface-1: #1a1a19;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7; --text-muted: #898781;
+    --grid: #2c2c2a; --axis: #383835; --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+    --series-4: #c98500; --series-5: #d55181; --series-6: #008300;
+    --series-7: #9085e9; --series-8: #e66767;
+  }
+}
+main { max-width: 780px; margin: 0 auto; padding: 0 16px; }
+h1 { font-size: 22px; margin: 28px 0 4px; }
+h2 { font-size: 17px; margin: 28px 0 2px; }
+.sub { color: var(--text-secondary); margin: 0 0 16px; font-size: 14px; }
+.muted { color: var(--text-muted); font-size: 12px; }
+.paper-tag {
+  display: inline-block; font-size: 11px; font-weight: 600;
+  color: var(--text-secondary); border: 1px solid var(--border);
+  border-radius: 10px; padding: 1px 8px; margin-left: 8px; vertical-align: middle;
+}
+figure { margin: 8px 0 28px; }
+figcaption { color: var(--text-secondary); font-size: 13px; margin-top: 4px; }
+.chart {
+  width: 100%; height: auto; display: block;
+  background: var(--surface-1); border: 1px solid var(--border); border-radius: 8px;
+}
+.chart .grid { stroke: var(--grid); stroke-width: 1; }
+.chart .axis { stroke: var(--axis); stroke-width: 1; }
+.chart text { fill: var(--text-muted); font-size: 11px; }
+.chart .axis-label { fill: var(--text-secondary); font-size: 12px; }
+.chart .legend { fill: var(--text-secondary); font-size: 12px; }
+.chart .tick { font-variant-numeric: tabular-nums; }
+table { border-collapse: collapse; font-size: 13px; margin: 8px 0; }
+th, td { text-align: right; padding: 3px 10px; border-bottom: 1px solid var(--grid); }
+th:first-child, td:first-child { text-align: left; }
+td { font-variant-numeric: tabular-nums; }
+details.tbl { margin-top: 6px; font-size: 13px; }
+details.tbl summary { cursor: pointer; color: var(--text-secondary); }
+.meta td, .meta th { text-align: left; }
+.notice {
+  background: var(--surface-1); border: 1px solid var(--border); border-radius: 8px;
+  padding: 12px 16px; color: var(--text-secondary); font-size: 14px;
+}
+`
+
+// htmlPage assembles a complete self-contained document.
+func htmlPage(title, subtitle string, body *strings.Builder) []byte {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	b.WriteString(`<meta name="viewport" content="width=device-width, initial-scale=1">` + "\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n<style>%s</style>\n</head>\n", esc(title), css)
+	b.WriteString("<body class=\"viz-root\">\n<main>\n")
+	fmt.Fprintf(&b, "<h1>%s</h1>\n<p class=\"sub\">%s</p>\n", esc(title), esc(subtitle))
+	b.WriteString(body.String())
+	b.WriteString("</main>\n</body>\n</html>\n")
+	return []byte(b.String())
+}
+
+// writeChart emits one chart as a <figure> with heading, paper tag, SVG,
+// caption, and table view.
+func writeChart(b *strings.Builder, c Chart) {
+	fmt.Fprintf(b, "<h2 id=\"%s\">%s", c.ID, esc(c.Title))
+	if c.Paper != "" {
+		fmt.Fprintf(b, `<span class="paper-tag">%s</span>`, esc(c.Paper))
+	}
+	b.WriteString("</h2>\n<figure>\n")
+	b.WriteString(c.SVG)
+	fmt.Fprintf(b, "<figcaption>%s</figcaption>\n", esc(c.Caption))
+	b.WriteString(c.Table)
+	b.WriteString("</figure>\n")
+}
+
+// Render turns one manifest into a complete report.html. source names where
+// the manifest came from (a path; informational only).
+func Render(m *ledger.Manifest, source string) []byte {
+	var b strings.Builder
+
+	// Run provenance.
+	b.WriteString("<h2>Run</h2>\n<table class=\"meta\"><tbody>\n")
+	meta := [][2]string{
+		{"Tool", m.Tool},
+		{"Created", m.CreatedAt.UTC().Format(time.RFC3339)},
+		{"Module", m.ModuleVersion},
+		{"Scale", fmt.Sprintf("gcs=%d seed=%d quick=%v shrink=%d", m.Scale.GCs, m.Scale.Seed, m.Scale.Quick, m.Scale.Shrink)},
+		{"Host", fmt.Sprintf("%s/%s, %d CPUs, %s, wall %.0f ms", m.Host.OS, m.Host.Arch, m.Host.CPUs, m.Host.GoVersion, m.Host.WallMS)},
+	}
+	if source != "" {
+		meta = append(meta, [2]string{"Source", source})
+	}
+	for _, row := range meta {
+		fmt.Fprintf(&b, "<tr><th>%s</th><td>%s</td></tr>\n", esc(row[0]), esc(row[1]))
+	}
+	b.WriteString("</tbody></table>\n")
+
+	// Chart catalog.
+	charts := FromManifest(m)
+	if len(charts) == 0 {
+		b.WriteString(`<p class="notice">No time series recorded in this manifest. ` +
+			`Re-run with <code>hwgc-bench -timeseries</code> or <code>-report</code> to capture per-unit curves.</p>` + "\n")
+	}
+	for _, c := range charts {
+		writeChart(&b, c)
+	}
+
+	// Experiment headline metrics.
+	if len(m.Experiments) > 0 {
+		b.WriteString("<h2>Experiment metrics</h2>\n")
+		for _, e := range m.Experiments {
+			title := e.ID
+			if e.Title != "" {
+				title += " — " + e.Title
+			}
+			fmt.Fprintf(&b, "<h3 style=\"font-size:14px;margin:16px 0 2px\">%s</h3>\n", esc(title))
+			if e.Error != "" {
+				fmt.Fprintf(&b, "<p class=\"notice\">error: %s</p>\n", esc(e.Error))
+				continue
+			}
+			names := make([]string, 0, len(e.Metrics))
+			for n := range e.Metrics {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			b.WriteString("<table><thead><tr><th>metric</th><th>value</th></tr></thead><tbody>\n")
+			for _, n := range names {
+				fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td></tr>\n", esc(n), num(e.Metrics[n]))
+			}
+			b.WriteString("</tbody></table>\n")
+		}
+	}
+
+	sub := fmt.Sprintf("%s · %s", m.Tool, m.CreatedAt.UTC().Format("2006-01-02 15:04 UTC"))
+	return htmlPage("hwgc run report", sub, &b)
+}

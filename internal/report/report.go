@@ -1,0 +1,432 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hwgc/internal/ledger"
+)
+
+// Chart is one rendered figure: an inline SVG plus the metadata the HTML
+// assembler wraps around it and a data-table view (the accessibility
+// channel — identity and values are never color-alone).
+type Chart struct {
+	ID      string
+	Title   string
+	Paper   string // the paper figure this chart reproduces, e.g. "Fig. 17"
+	Caption string
+	SVG     string
+	Table   string
+}
+
+// maxOverlay caps how many runs a multi-run chart overlays: the categorical
+// palette has eight slots and they are never cycled — extra runs fold into
+// the caption instead of inventing colors.
+const maxOverlay = 8
+
+// namedSeries pairs a display label with a ledger series and a palette slot.
+type namedSeries struct {
+	label string
+	slot  int
+	s     ledger.Series
+}
+
+// runLabel returns a human label for a manifest run name ("" = the run).
+func runLabel(run string) string {
+	if run == "" {
+		return "run"
+	}
+	return run
+}
+
+// seriesIn returns run's series with the given metric name.
+func seriesIn(run ledger.RunSeries, name string) (ledger.Series, bool) {
+	for _, s := range run.Series {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return ledger.Series{}, false
+}
+
+// runsWith collects (run, series) for every run recording the metric, in
+// manifest order (already (label, seq)-sorted by the hub).
+func runsWith(ts *ledger.Timeseries, name string) []namedSeries {
+	var out []namedSeries
+	for _, r := range ts.Runs {
+		if s, ok := seriesIn(r, name); ok && len(s.Cycles) > 0 {
+			out = append(out, namedSeries{label: runLabel(r.Run), s: s})
+		}
+	}
+	return out
+}
+
+// pickRun chooses the run to show for single-run charts: the one with the
+// most recorded points for the given metric prefix, ties broken by run name
+// so the choice is deterministic.
+func pickRun(ts *ledger.Timeseries, prefix string) (ledger.RunSeries, bool) {
+	best, bestPts, found := ledger.RunSeries{}, -1, false
+	for _, r := range ts.Runs {
+		pts := 0
+		for _, s := range r.Series {
+			if strings.HasPrefix(s.Name, prefix) {
+				pts += len(s.Cycles)
+			}
+		}
+		if pts == 0 {
+			continue
+		}
+		if pts > bestPts || (pts == bestPts && r.Run < best.Run) {
+			best, bestPts, found = r, pts, true
+		}
+	}
+	return best, found
+}
+
+// toPts converts a ledger series into chart points under a value scale.
+func toPts(s ledger.Series, yScale float64) []pt {
+	out := make([]pt, len(s.Cycles))
+	for i := range s.Cycles {
+		out[i] = pt{x: float64(s.Cycles[i]), y: s.Values[i] * yScale}
+	}
+	return out
+}
+
+// lineChart renders overlaid 2px lines, one per series, with legend, grid,
+// hover tooltips, and a table view.
+func lineChart(id, title, paper, caption, xLabel, yLabel string, yScale float64, ns []namedSeries) Chart {
+	folded := 0
+	if len(ns) > maxOverlay {
+		folded = len(ns) - maxOverlay
+		ns = ns[:maxOverlay]
+	}
+	var sc scale
+	for _, n := range ns {
+		for i := range n.s.Cycles {
+			if c := float64(n.s.Cycles[i]); c > sc.xmax {
+				sc.xmax = c
+			}
+			if v := n.s.Values[i] * yScale; v > sc.ymax {
+				sc.ymax = v
+			}
+		}
+	}
+	var ss []series
+	for i, n := range ns {
+		slot := n.slot
+		if slot == 0 {
+			slot = i + 1
+		}
+		ss = append(ss, series{label: n.label, slot: slot, pts: toPts(n.s, yScale)})
+	}
+	b := &svgB{}
+	b.open(title)
+	b.axes(sc, xLabel, yLabel)
+	b.legend(ss)
+	for _, s := range ss {
+		proj := make([]pt, len(s.pts))
+		labels := make([]string, len(s.pts))
+		for i, p := range s.pts {
+			proj[i] = pt{x: sc.x(p.x), y: sc.y(p.y)}
+			labels[i] = fmt.Sprintf("%s @ %s cycles: %s", s.label, num(p.x), num(p.y))
+		}
+		b.polyline(proj, s.slot)
+		b.hover(proj, labels)
+	}
+	if folded > 0 {
+		caption += fmt.Sprintf(" (%d more runs recorded; showing the first %d — the palette is never cycled)", folded, maxOverlay)
+	}
+	return Chart{ID: id, Title: title, Paper: paper, Caption: caption,
+		SVG: b.close(), Table: seriesTable(yLabel, yScale, ns)}
+}
+
+// stackedChart renders bands stacked bottom-up in slice order.
+func stackedChart(id, title, paper, caption, xLabel, yLabel string, yScale float64, ns []namedSeries) Chart {
+	if len(ns) == 0 {
+		return Chart{}
+	}
+	// Stacking needs a common x grid; the recorder keeps all of one run's
+	// series on the same tick grid, so merge by cycle index.
+	base := ns[0].s.Cycles
+	var sc scale
+	for i := range base {
+		if c := float64(base[i]); c > sc.xmax {
+			sc.xmax = c
+		}
+		total := 0.0
+		for _, n := range ns {
+			if i < len(n.s.Values) {
+				total += n.s.Values[i] * yScale
+			}
+		}
+		if total > sc.ymax {
+			sc.ymax = total
+		}
+	}
+	b := &svgB{}
+	b.open(title)
+	b.axes(sc, xLabel, yLabel)
+	var ss []series
+	cum := make([]float64, len(base))
+	lower := make([]pt, len(base))
+	for i := range base {
+		lower[i] = pt{x: sc.x(float64(base[i])), y: sc.y(0)}
+	}
+	for i, n := range ns {
+		slot := n.slot
+		if slot == 0 {
+			slot = i + 1
+		}
+		upper := make([]pt, len(base))
+		for j := range base {
+			v := 0.0
+			if j < len(n.s.Values) {
+				v = n.s.Values[j] * yScale
+			}
+			cum[j] += v
+			upper[j] = pt{x: sc.x(float64(base[j])), y: sc.y(cum[j])}
+		}
+		b.area(upper, lower, slot, "0.55")
+		lower = append([]pt(nil), upper...)
+		ss = append(ss, series{label: n.label, slot: slot})
+	}
+	b.legend(ss)
+	return Chart{ID: id, Title: title, Paper: paper, Caption: caption,
+		SVG: b.close(), Table: seriesTable(yLabel, yScale, ns)}
+}
+
+// ramp is the sequential blue ramp (light→dark = low→high) for the
+// occupancy heatmap; a single hue encoding magnitude, shared by both modes.
+var ramp = []string{
+	"#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec", "#5598e7",
+	"#3987e5", "#2a78d6", "#256abf", "#1c5cab", "#184f95", "#104281", "#0d366b",
+}
+
+// heatmap renders one row per run, cells colored by value on the sequential
+// ramp, with a ramp legend and per-cell tooltips.
+func heatmap(id, title, paper, caption string, ns []namedSeries) Chart {
+	const maxRows = 12
+	folded := 0
+	if len(ns) > maxRows {
+		folded = len(ns) - maxRows
+		ns = ns[:maxRows]
+	}
+	var xmax, vmax float64
+	for _, n := range ns {
+		for i := range n.s.Cycles {
+			if c := float64(n.s.Cycles[i]); c > xmax {
+				xmax = c
+			}
+			if v := n.s.Values[i]; v > vmax {
+				vmax = v
+			}
+		}
+	}
+	b := &svgB{}
+	b.open(title)
+	plotW := chartW - marginL - marginR - 120 // room for row labels on the left of cells
+	rowH := (chartH - marginT - marginB) / float64(len(ns))
+	if rowH > 34 {
+		rowH = 34
+	}
+	left := marginL + 120
+	for ri, n := range ns {
+		y := marginT + float64(ri)*rowH
+		b.text(left-8, y+rowH/2+4, "tick", "end", n.label)
+		for i := range n.s.Cycles {
+			v := n.s.Values[i]
+			step := 0
+			if vmax > 0 {
+				step = int(v / vmax * float64(len(ramp)-1))
+			}
+			if step < 0 {
+				step = 0
+			}
+			if step >= len(ramp) {
+				step = len(ramp) - 1
+			}
+			// Cell spans from the previous cycle boundary to this one.
+			x1 := left
+			if i > 0 {
+				x1 = left + float64(n.s.Cycles[i-1])/xmax*plotW
+			}
+			x2 := left + float64(n.s.Cycles[i])/xmax*plotW
+			if x2-x1 < 0.5 {
+				continue
+			}
+			b.rect(x1, y+1, x2-x1, rowH-2, ramp[step],
+				fmt.Sprintf("%s @ %s cycles: %s", n.label, num(float64(n.s.Cycles[i])), num(v)))
+		}
+	}
+	// Ramp legend: min → max swatches.
+	ly := chartH - marginB + 14
+	b.text(left-8, ly+9, "tick", "end", "0")
+	for i, c := range ramp {
+		b.rect(left+float64(i)*14, ly, 14, 10, c, "")
+	}
+	b.text(left+float64(len(ramp))*14+6, ly+9, "tick", "start", num(vmax))
+	b.text(chartW/2, chartH-6, "axis-label", "middle", "cycles")
+	if folded > 0 {
+		caption += fmt.Sprintf(" (%d more runs not shown)", folded)
+	}
+	return Chart{ID: id, Title: title, Paper: paper, Caption: caption,
+		SVG: b.close(), Table: seriesTable("occupancy", 1, ns)}
+}
+
+// seriesTable renders the chart's data as an HTML table, downsampled to at
+// most 32 rows. This is the accessibility/table view every chart ships.
+func seriesTable(yLabel string, yScale float64, ns []namedSeries) string {
+	if len(ns) == 0 {
+		return ""
+	}
+	longest := 0 // densest series supplies the cycle column
+	for i, n := range ns {
+		if len(n.s.Cycles) > len(ns[longest].s.Cycles) {
+			longest = i
+		}
+	}
+	stride := (len(ns[longest].s.Cycles) + 31) / 32
+	if stride < 1 {
+		stride = 1
+	}
+	var b strings.Builder
+	b.WriteString(`<details class="tbl"><summary>Data table</summary><table><thead><tr><th>cycle</th>`)
+	for _, n := range ns {
+		fmt.Fprintf(&b, "<th>%s</th>", esc(n.label))
+	}
+	b.WriteString("</tr></thead><tbody>\n")
+	for i := 0; i < len(ns[longest].s.Cycles); i += stride {
+		fmt.Fprintf(&b, "<tr><td>%s</td>", num(float64(ns[longest].s.Cycles[i])))
+		for _, n := range ns {
+			if i < len(n.s.Values) {
+				fmt.Fprintf(&b, "<td>%s</td>", num(n.s.Values[i]*yScale))
+			} else {
+				b.WriteString("<td>—</td>")
+			}
+		}
+		b.WriteString("</tr>\n")
+	}
+	fmt.Fprintf(&b, "</tbody></table><p class=\"muted\">%s; every %d. point shown.</p></details>\n",
+		esc(yLabel), stride)
+	return b.String()
+}
+
+// FromManifest builds the chart catalog for one manifest. Charts whose
+// metrics were not recorded are omitted; an empty result means the manifest
+// has no usable timeseries section.
+func FromManifest(m *ledger.Manifest) []Chart {
+	ts := m.Timeseries
+	if ts == nil || ts.SchemaVersion != ledger.TimeseriesSchemaVersion {
+		return nil
+	}
+	var charts []Chart
+
+	// Trace-unit port occupancy over cycles (per-port queue depth) for the
+	// busiest recorded run — the utilization view behind Fig. 17.
+	if run, ok := pickRun(ts, "tilelink.port."); ok {
+		var ns []namedSeries
+		for _, s := range run.Series {
+			if strings.HasPrefix(s.Name, "tilelink.port.") && strings.HasSuffix(s.Name, ".occupancy") {
+				port := strings.TrimSuffix(strings.TrimPrefix(s.Name, "tilelink.port."), ".occupancy")
+				ns = append(ns, namedSeries{label: port, s: s})
+			}
+		}
+		sort.Slice(ns, func(i, j int) bool { return ns[i].label < ns[j].label })
+		if len(ns) > 0 {
+			charts = append(charts, lineChart("port-utilization",
+				"Trace-unit port utilization", "Fig. 17",
+				fmt.Sprintf("Mean in-flight requests per TileLink port queue, run %q. Saturated ports bound traversal throughput the way the paper's port sweep does.", runLabel(run.Run)),
+				"cycles", "requests in flight", 1, ns))
+		}
+	}
+
+	// Mark-queue occupancy heatmap across runs (Fig. 13/18: queue pressure
+	// and spilling).
+	if ns := runsWith(ts, "tracer.markqueue.occupancy"); len(ns) > 0 {
+		charts = append(charts, heatmap("markqueue-heatmap",
+			"Mark-queue occupancy", "Fig. 13/18",
+			"On-chip mark-queue entries over each run. Darker = fuller; sustained dark bands mean the queue is spilling to the heap's spill region.",
+			ns))
+	}
+
+	// DRAM bandwidth timeline (Fig. 16). Recorded values are bytes per
+	// cycle; at the paper's 1 GHz clock that is numerically GB/s.
+	if ns := runsWith(ts, "dram.bytes"); len(ns) > 0 {
+		charts = append(charts, lineChart("dram-bandwidth",
+			"DRAM bandwidth", "Fig. 16",
+			"Memory bandwidth per run (bytes/cycle; numerically GB/s at the paper's 1 GHz clock).",
+			"cycles", "GB/s", 1, ns))
+	}
+
+	// TLB miss-rate timeline (Fig. 18). HW runs record the traversal
+	// unit's aggregated L1 TLBs; SW runs record the core's TLB.
+	{
+		var ns []namedSeries
+		for _, r := range ts.Runs {
+			if s, ok := seriesIn(r, "tracer.tlb.misses"); ok && len(s.Cycles) > 0 {
+				ns = append(ns, namedSeries{label: runLabel(r.Run), s: s})
+			} else if s, ok := seriesIn(r, "cpu.tlb.misses"); ok && len(s.Cycles) > 0 {
+				ns = append(ns, namedSeries{label: runLabel(r.Run), s: s})
+			}
+		}
+		if len(ns) > 0 {
+			charts = append(charts, lineChart("tlb-miss-rate",
+				"TLB miss rate", "Fig. 18",
+				"TLB misses per 1k cycles per run (trace-unit TLBs on hardware runs, core TLB on software runs). Spikes line up with pointer-chasing phases that defeat the TLB reach.",
+				"cycles", "misses / 1k cycles", 1000, ns))
+		}
+	}
+
+	// Page-walker activity for the busiest run (Fig. 18's PTW half).
+	if run, ok := pickRun(ts, "tracer.walker."); ok {
+		var ns []namedSeries
+		if s, ok := seriesIn(run, "tracer.walker.walks"); ok {
+			ns = append(ns, namedSeries{label: "walks", slot: 1, s: s})
+		}
+		if s, ok := seriesIn(run, "tracer.walker.ptefetches"); ok {
+			ns = append(ns, namedSeries{label: "PTE fetches", slot: 2, s: s})
+		}
+		if len(ns) > 0 {
+			charts = append(charts, lineChart("ptw-activity",
+				"Page-table walker activity", "Fig. 18",
+				fmt.Sprintf("Walks launched and PTE fetches issued per 1k cycles, run %q.", runLabel(run.Run)),
+				"cycles", "per 1k cycles", 1000, ns))
+		}
+	}
+
+	// Mark-queue spill traffic, stacked (Fig. 13's overflow behavior).
+	if run, ok := pickRun(ts, "tracer.markqueue.spill"); ok {
+		var ns []namedSeries
+		if s, ok := seriesIn(run, "tracer.markqueue.spillwritereqs"); ok {
+			ns = append(ns, namedSeries{label: "spill writes", slot: 1, s: s})
+		}
+		if s, ok := seriesIn(run, "tracer.markqueue.spillreadreqs"); ok {
+			ns = append(ns, namedSeries{label: "spill reads", slot: 2, s: s})
+		}
+		nonzero := false
+		for _, n := range ns {
+			for _, v := range n.s.Values {
+				if v != 0 {
+					nonzero = true
+				}
+			}
+		}
+		if nonzero {
+			charts = append(charts, stackedChart("spill-traffic",
+				"Mark-queue spill traffic", "Fig. 13",
+				fmt.Sprintf("Spill-region requests per 1k cycles, run %q, stacked: writes evict queue entries under pressure, reads refill as it drains.", runLabel(run.Run)),
+				"cycles", "requests / 1k cycles", 1000, ns))
+		}
+	}
+
+	// Marking throughput across runs: how fast the unit retires marks.
+	if ns := runsWith(ts, "tracer.marker.marks"); len(ns) > 0 {
+		charts = append(charts, lineChart("mark-throughput",
+			"Marking throughput", "Fig. 12",
+			"Objects marked per 1k cycles per run — the traversal pipeline's effective speed over each collection.",
+			"cycles", "marks / 1k cycles", 1000, ns))
+	}
+
+	return charts
+}

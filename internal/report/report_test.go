@@ -1,0 +1,172 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"hwgc/internal/ledger"
+)
+
+// syntheticManifest builds a manifest whose timeseries section exercises
+// every chart the catalog knows: port occupancy, mark-queue occupancy,
+// DRAM bandwidth, TLB misses, walker activity, spill traffic, marks.
+func syntheticManifest() *ledger.Manifest {
+	mk := func(name string, vals ...float64) ledger.Series {
+		s := ledger.Series{Name: name, Interval: 1000}
+		for i, v := range vals {
+			s.Cycles = append(s.Cycles, uint64(1000*(i+1)))
+			s.Values = append(s.Values, v)
+		}
+		return s
+	}
+	m := ledger.NewManifest("hwgc-bench", ledger.Scale{GCs: 2, Seed: 42, Quick: true})
+	m.CreatedAt = time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)
+	m.Experiments = []ledger.Experiment{{
+		ID: "fig16", Title: "bandwidth sweep",
+		Metrics: map[string]float64{"gbps": 28.5, "cycles": 4.2e6},
+	}}
+	m.Timeseries = &ledger.Timeseries{
+		SchemaVersion: ledger.TimeseriesSchemaVersion,
+		SampleEvery:   1000,
+		Runs: []ledger.RunSeries{
+			{Run: "hw#0", Series: []ledger.Series{
+				mk("tilelink.port.0.occupancy", 1, 3, 2, 4),
+				mk("tilelink.port.1.occupancy", 0, 2, 1, 3),
+				mk("tracer.markqueue.occupancy", 10, 900, 400, 20),
+				mk("dram.bytes", 4, 12, 9, 6),
+				mk("tracer.tlb.misses", 0.001, 0.004, 0.002, 0.001),
+				mk("tracer.walker.walks", 0.002, 0.006, 0.003, 0.001),
+				mk("tracer.walker.ptefetches", 0.004, 0.012, 0.006, 0.002),
+				mk("tracer.markqueue.spillwritereqs", 0, 0.01, 0.002, 0),
+				mk("tracer.markqueue.spillreadreqs", 0, 0.002, 0.008, 0),
+				mk("tracer.marker.marks", 0.1, 0.5, 0.4, 0.2),
+			}},
+			{Run: "sw#0", Series: []ledger.Series{
+				mk("tracer.markqueue.occupancy", 5, 300, 800, 100),
+				mk("dram.bytes", 2, 7, 8, 3),
+				mk("cpu.tlb.misses", 0.003, 0.009, 0.007, 0.002),
+			}},
+		},
+	}
+	return m
+}
+
+// TestFromManifestRequiredCharts: the acceptance criterion's four charts —
+// port utilization, mark-queue heatmap, DRAM bandwidth, TLB miss rate —
+// all materialize from a recorded manifest (plus the catalog extras).
+func TestFromManifestRequiredCharts(t *testing.T) {
+	charts := FromManifest(syntheticManifest())
+	got := map[string]Chart{}
+	for _, c := range charts {
+		got[c.ID] = c
+	}
+	for _, id := range []string{"port-utilization", "markqueue-heatmap", "dram-bandwidth",
+		"tlb-miss-rate", "ptw-activity", "spill-traffic", "mark-throughput"} {
+		c, ok := got[id]
+		if !ok {
+			t.Errorf("chart %q missing (have %v)", id, keys(got))
+			continue
+		}
+		if c.SVG == "" || c.Paper == "" || c.Caption == "" {
+			t.Errorf("chart %q incomplete: paper=%q svg=%d bytes", id, c.Paper, len(c.SVG))
+		}
+	}
+	// Both runs' TLB series resolve: HW via the trace unit, SW via the core.
+	if c := got["tlb-miss-rate"]; !strings.Contains(c.SVG, "legend") {
+		t.Error("tlb-miss-rate should carry a legend for its two runs")
+	}
+}
+
+func keys(m map[string]Chart) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestFromManifestNoTimeseries: manifests without a (current-schema)
+// timeseries section yield no charts rather than empty ones.
+func TestFromManifestNoTimeseries(t *testing.T) {
+	m := ledger.NewManifest("hwgc-bench", ledger.Scale{})
+	if charts := FromManifest(m); charts != nil {
+		t.Fatalf("no-timeseries manifest produced %d charts", len(charts))
+	}
+	m.Timeseries = &ledger.Timeseries{SchemaVersion: "hwgc-timeseries-v999"}
+	if charts := FromManifest(m); charts != nil {
+		t.Fatal("unknown schema version produced charts")
+	}
+}
+
+// TestRenderSelfContained: the report is one file with no external
+// references — no scripts, no remote stylesheets, no images by URL.
+func TestRenderSelfContained(t *testing.T) {
+	data := Render(syntheticManifest(), "runs/0001.json")
+	doc := string(data)
+	if !strings.HasPrefix(doc, "<!DOCTYPE html>") || !strings.HasSuffix(strings.TrimSpace(doc), "</html>") {
+		t.Fatal("not a complete HTML document")
+	}
+	for _, banned := range []string{"<script", "http://", "https://", "<link", "<img", "url(", "@import"} {
+		if strings.Contains(doc, banned) {
+			t.Errorf("report references external content: found %q", banned)
+		}
+	}
+	for _, want := range []string{"port-utilization", "markqueue-heatmap", "dram-bandwidth",
+		"tlb-miss-rate", "fig16", "28.5", "hwgc-bench", "runs/0001.json",
+		"prefers-color-scheme: dark", "<svg", "<table"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+// TestRenderDeterministic: byte-identical output for the same manifest.
+func TestRenderDeterministic(t *testing.T) {
+	a := Render(syntheticManifest(), "x")
+	b := Render(syntheticManifest(), "x")
+	if !bytes.Equal(a, b) {
+		t.Fatal("Render is not deterministic")
+	}
+}
+
+// TestRenderNoTimeseriesNotice: a manifest without recorded series still
+// renders (metrics tables), plus a pointer at the flags that enable capture.
+func TestRenderNoTimeseriesNotice(t *testing.T) {
+	m := syntheticManifest()
+	m.Timeseries = nil
+	doc := string(Render(m, ""))
+	if !strings.Contains(doc, "-timeseries") {
+		t.Error("notice should name the -timeseries flag")
+	}
+	if !strings.Contains(doc, "fig16") {
+		t.Error("experiment metrics should still render")
+	}
+}
+
+// TestRenderTrajectory parses the BENCH_host.json JSONL shape, skipping
+// garbage lines, and renders one chart per benchmark.
+func TestRenderTrajectory(t *testing.T) {
+	jsonl := `{"git_sha":"aaaaaaaaaaaa","date":"2026-08-01","host":"ci","cpus":8,"benchmarks":[{"name":"BenchmarkMark","iters":100,"ns_per_op":1500}]}
+not json at all
+{"git_sha":"bbbbbbbbbbbb","date":"2026-08-08","host":"ci","cpus":8,"benchmarks":[{"name":"BenchmarkMark","iters":100,"ns_per_op":1200},{"name":"BenchmarkSweep","iters":50,"ns_per_op":900}]}
+`
+	data, err := RenderTrajectory([]byte(jsonl), "BENCH_ci.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+	for _, want := range []string{"BenchmarkMark", "BenchmarkSweep", "1 unparseable", "bbbbbbbb", "2 runs"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("trajectory dashboard missing %q", want)
+		}
+	}
+	if strings.Contains(doc, "<script") {
+		t.Error("trajectory dashboard must be script-free")
+	}
+
+	if _, err := RenderTrajectory([]byte("garbage\n"), "x"); err == nil {
+		t.Error("all-garbage input should error, not render an empty dashboard")
+	}
+}

@@ -1,0 +1,254 @@
+// Package report turns run manifests into self-contained HTML reports: a
+// dependency-free SVG chart renderer (line, area, stacked bands, occupancy
+// heatmap) plus an HTML assembler with a chart catalog keyed to the paper's
+// figures. Everything is generated from the standard library and inlined —
+// no scripts, no external assets — so a report is one file that renders
+// anywhere and diffs deterministically: identical manifests produce
+// byte-identical reports.
+package report
+
+import (
+	"fmt"
+	"html"
+	"strconv"
+	"strings"
+)
+
+// Chart geometry shared by every renderer. Margins leave room for the
+// y-axis labels (left), x-axis labels (bottom), and the legend row (top).
+const (
+	chartW  = 720.0
+	chartH  = 280.0
+	marginL = 64.0
+	marginR = 16.0
+	marginT = 34.0
+	marginB = 44.0
+)
+
+// coord formats an SVG coordinate deterministically (two decimals covers
+// sub-pixel placement; fixed precision keeps output byte-stable).
+func coord(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+
+// num formats a data value for labels and tables: up to four significant
+// digits, no exponent for the magnitudes charts show.
+func num(v float64) string {
+	a := v
+	if a < 0 {
+		a = -a
+	}
+	switch {
+	case a >= 1e9:
+		return strconv.FormatFloat(v/1e9, 'f', 2, 64) + "G"
+	case a >= 1e6:
+		return strconv.FormatFloat(v/1e6, 'f', 2, 64) + "M"
+	case a >= 1e3:
+		return strconv.FormatFloat(v/1e3, 'f', 2, 64) + "k"
+	case a == 0:
+		return "0"
+	case a < 0.01:
+		return strconv.FormatFloat(v, 'g', 3, 64)
+	default:
+		return strconv.FormatFloat(v, 'f', 3, 64)
+	}
+}
+
+// esc escapes text for SVG/HTML content.
+func esc(s string) string { return html.EscapeString(s) }
+
+// pt is one data point in chart space.
+type pt struct{ x, y float64 }
+
+// series is one named curve to draw. Slot selects the categorical palette
+// slot (1-based); the CSS variables --series-N carry the mode-appropriate
+// hex, so the SVG itself is mode-neutral.
+type series struct {
+	label string
+	slot  int
+	pts   []pt
+}
+
+// svgB builds an SVG document.
+type svgB struct{ b strings.Builder }
+
+func (s *svgB) open(title string) {
+	fmt.Fprintf(&s.b,
+		`<svg class="chart" viewBox="0 0 %s %s" role="img" aria-label="%s" font-family="system-ui, -apple-system, 'Segoe UI', sans-serif">`,
+		coord(chartW), coord(chartH), esc(title))
+	s.b.WriteString("\n")
+}
+
+func (s *svgB) close() string {
+	s.b.WriteString("</svg>\n")
+	return s.b.String()
+}
+
+func (s *svgB) line(x1, y1, x2, y2 float64, class string) {
+	fmt.Fprintf(&s.b, `<line x1="%s" y1="%s" x2="%s" y2="%s" class="%s"/>`+"\n",
+		coord(x1), coord(y1), coord(x2), coord(y2), class)
+}
+
+func (s *svgB) text(x, y float64, class, anchor, txt string) {
+	fmt.Fprintf(&s.b, `<text x="%s" y="%s" class="%s" text-anchor="%s">%s</text>`+"\n",
+		coord(x), coord(y), class, anchor, esc(txt))
+}
+
+func (s *svgB) rect(x, y, w, h float64, fill, title string) {
+	fmt.Fprintf(&s.b, `<rect x="%s" y="%s" width="%s" height="%s" fill="%s" rx="1"`,
+		coord(x), coord(y), coord(w), coord(h), fill)
+	if title != "" {
+		fmt.Fprintf(&s.b, `><title>%s</title></rect>`+"\n", esc(title))
+		return
+	}
+	s.b.WriteString("/>\n")
+}
+
+// polyline draws a 2px data line in the given palette slot.
+func (s *svgB) polyline(points []pt, slot int) {
+	if len(points) == 0 {
+		return
+	}
+	var b strings.Builder
+	for i, p := range points {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(coord(p.x))
+		b.WriteByte(',')
+		b.WriteString(coord(p.y))
+	}
+	fmt.Fprintf(&s.b,
+		`<polyline points="%s" fill="none" stroke="var(--series-%d)" stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>`+"\n",
+		b.String(), slot)
+}
+
+// area draws a filled band from the lower boundary up to the upper one (both
+// left-to-right, same length), used for stacked bands. A 2px surface-colored
+// stroke on top separates adjacent bands.
+func (s *svgB) area(upper, lower []pt, slot int, opacity string) {
+	if len(upper) == 0 {
+		return
+	}
+	var b strings.Builder
+	for i, p := range upper {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString("L")
+		if i == 0 {
+			b.Reset()
+			b.WriteString("M")
+		}
+		b.WriteString(coord(p.x))
+		b.WriteByte(' ')
+		b.WriteString(coord(p.y))
+	}
+	for i := len(lower) - 1; i >= 0; i-- {
+		b.WriteString(" L")
+		b.WriteString(coord(lower[i].x))
+		b.WriteByte(' ')
+		b.WriteString(coord(lower[i].y))
+	}
+	b.WriteString(" Z")
+	fmt.Fprintf(&s.b,
+		`<path d="%s" fill="var(--series-%d)" fill-opacity="%s" stroke="var(--surface-1)" stroke-width="2"/>`+"\n",
+		b.String(), slot, opacity)
+	// Crisp top edge in the band's own color.
+	s.polyline(upper, slot)
+}
+
+// hover adds an invisible wide-hit-target circle with a native tooltip at
+// each point (the minimal hover layer for a static SVG). Skipped for dense
+// series to keep file size sane; the table view still exposes every value.
+func (s *svgB) hover(points []pt, labels []string) {
+	if len(points) > 160 {
+		return
+	}
+	for i, p := range points {
+		fmt.Fprintf(&s.b,
+			`<circle cx="%s" cy="%s" r="7" fill="transparent"><title>%s</title></circle>`+"\n",
+			coord(p.x), coord(p.y), esc(labels[i]))
+	}
+}
+
+// scale maps data space to the plot rectangle.
+type scale struct {
+	xmin, xmax, ymin, ymax float64
+}
+
+func (sc scale) x(v float64) float64 {
+	if sc.xmax == sc.xmin {
+		return marginL
+	}
+	return marginL + (v-sc.xmin)/(sc.xmax-sc.xmin)*(chartW-marginL-marginR)
+}
+
+func (sc scale) y(v float64) float64 {
+	if sc.ymax == sc.ymin {
+		return chartH - marginB
+	}
+	return chartH - marginB - (v-sc.ymin)/(sc.ymax-sc.ymin)*(chartH-marginT-marginB)
+}
+
+// niceTicks returns ~n rounded tick values covering [0, max].
+func niceTicks(max float64, n int) []float64 {
+	if max <= 0 {
+		return []float64{0}
+	}
+	rawStep := max / float64(n)
+	mag := 1.0
+	for mag*10 <= rawStep {
+		mag *= 10
+	}
+	for mag > rawStep {
+		mag /= 10
+	}
+	step := mag
+	for _, m := range []float64{2, 5, 10} {
+		if mag*m >= rawStep {
+			step = mag * m
+			break
+		}
+	}
+	var out []float64
+	for v := 0.0; v <= max*1.0001; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+// axes draws the frame: horizontal hairline gridlines with y labels, an
+// x baseline with cycle labels, and axis captions.
+func (s *svgB) axes(sc scale, xLabel, yLabel string) {
+	for _, tv := range niceTicks(sc.ymax, 4) {
+		y := sc.y(tv)
+		s.line(marginL, y, chartW-marginR, y, "grid")
+		s.text(marginL-8, y+4, "tick", "end", num(tv))
+	}
+	base := chartH - marginB
+	s.line(marginL, base, chartW-marginR, base, "axis")
+	for _, tv := range niceTicks(sc.xmax, 6) {
+		x := sc.x(tv)
+		s.line(x, base, x, base+4, "axis")
+		s.text(x, base+18, "tick", "middle", num(tv))
+	}
+	s.text(chartW/2, chartH-6, "axis-label", "middle", xLabel)
+	s.text(12, marginT-18, "axis-label", "start", yLabel)
+}
+
+// legend draws one swatch+label row at the top of the plot. Identity is
+// never color-alone: every chart also ships a data-table view.
+func (s *svgB) legend(ss []series) {
+	if len(ss) < 2 {
+		return
+	}
+	x := marginL
+	for _, sr := range ss {
+		fmt.Fprintf(&s.b, `<rect x="%s" y="%s" width="10" height="10" rx="2" fill="var(--series-%d)"/>`+"\n",
+			coord(x), coord(marginT-24), sr.slot)
+		s.text(x+14, marginT-15, "legend", "start", sr.label)
+		x += 14 + 7.2*float64(len(sr.label)) + 16
+		if x > chartW-marginR-60 {
+			break
+		}
+	}
+}

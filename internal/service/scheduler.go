@@ -403,6 +403,24 @@ func (s *Scheduler) finish(job *Job, st State, report []byte, errMsg string, hit
 	}
 }
 
+// JobManifest rebuilds a finished job's run manifest — the same document
+// the ledger receives — so the HTTP layer can render it (the HTML report
+// endpoint). ok reports whether the job exists; a known-but-unfinished job
+// returns (nil, true), which the handler maps to 409 Conflict.
+func (s *Scheduler) JobManifest(id string) (m *ledger.Manifest, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	switch job.state {
+	case StateSucceeded, StateFailed, StateCancelled:
+		return jobManifest(job), true
+	}
+	return nil, true
+}
+
 // jobManifest records one finished job as a single-experiment run manifest.
 func jobManifest(job *Job) *ledger.Manifest {
 	m := ledger.NewManifest("hwgc-serve", ledger.Scale{

@@ -6,6 +6,7 @@ package service
 //	GET  /v1/jobs                 list all jobs in submission order
 //	GET  /v1/jobs/{id}            one job's state (and report once finished)
 //	GET  /v1/jobs/{id}/progress   live progress: cycles simulated so far
+//	GET  /v1/jobs/{id}/report     finished job's run report as HTML
 //	GET  /v1/experiments          valid experiment IDs and titles
 //	GET  /v1/metrics              telemetry registry snapshot (JSON)
 //	GET  /metrics                 the same registry in Prometheus text format
@@ -23,6 +24,7 @@ import (
 	"net/http/pprof"
 
 	"hwgc/internal/experiments"
+	"hwgc/internal/report"
 	"hwgc/internal/telemetry"
 )
 
@@ -82,6 +84,20 @@ func NewHandler(s *Scheduler, hub *telemetry.Hub) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, p)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/report", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		m, ok := s.JobManifest(id)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job " + id})
+			return
+		}
+		if m == nil {
+			writeJSON(w, http.StatusConflict, errorResponse{Error: "job " + id + " has not finished; poll /v1/jobs/" + id + "/progress"})
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write(report.Render(m, "job "+id))
 	})
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

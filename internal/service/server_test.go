@@ -242,3 +242,61 @@ func TestServiceUnknownExperimentHTTP(t *testing.T) {
 		t.Fatalf("experiments listed = %d, want %d", len(exps), len(experiments.All()))
 	}
 }
+
+// TestServiceJobReportHTTP drives the HTML report endpoint through every
+// branch: 404 for unknown jobs, 409 while a job is still running, and a
+// complete self-contained HTML document once the job finishes.
+func TestServiceJobReportHTTP(t *testing.T) {
+	release := make(chan struct{})
+	s := New(Config{
+		Workers: 1,
+		Runners: []experiments.Runner{blockingRunner("block", release)},
+	})
+	d := &Daemon{Addr: "127.0.0.1:0", Scheduler: s, DrainTimeout: 10 * time.Second}
+	base, _ := startDaemon(t, d)
+
+	get := func(path string) (int, string, []byte) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, resp.Header.Get("Content-Type"), b
+	}
+
+	if code, _, _ := get("/v1/jobs/job-999999/report"); code != http.StatusNotFound {
+		t.Fatalf("report for unknown job = %d, want 404", code)
+	}
+
+	resp, b := postJob(t, base, `{"experiment":"block"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d\n%s", resp.StatusCode, b)
+	}
+	var submitted View
+	if err := json.Unmarshal(b, &submitted); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, submitted.ID, StateRunning)
+
+	if code, _, body := get("/v1/jobs/" + submitted.ID + "/report"); code != http.StatusConflict {
+		t.Fatalf("report for running job = %d, want 409\n%s", code, body)
+	}
+
+	close(release)
+	waitState(t, s, submitted.ID, StateSucceeded)
+
+	code, ctype, body := get("/v1/jobs/" + submitted.ID + "/report")
+	if code != http.StatusOK {
+		t.Fatalf("report for finished job = %d, want 200\n%s", code, body)
+	}
+	if !strings.HasPrefix(ctype, "text/html") {
+		t.Fatalf("Content-Type = %q, want text/html", ctype)
+	}
+	for _, want := range []string{"<!DOCTYPE html>", "hwgc run report", "block", "hwgc-serve"} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Fatalf("report HTML missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -165,10 +165,29 @@ func TestWritePrometheus(t *testing.T) {
 			t.Errorf("Prometheus output missing %q:\n%s", want, out)
 		}
 	}
+	// Every family leads with a HELP line, immediately followed by its TYPE
+	// line for the same sanitized name.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	helps, types := 0, 0
+	for i, line := range lines {
+		if strings.HasPrefix(line, "# HELP ") {
+			helps++
+			name := strings.Fields(line)[2]
+			if i+1 >= len(lines) || !strings.HasPrefix(lines[i+1], "# TYPE "+name+" ") {
+				t.Errorf("HELP for %s not followed by its TYPE line", name)
+			}
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			types++
+		}
+	}
+	if helps == 0 || helps != types {
+		t.Errorf("%d HELP lines for %d TYPE lines; want one per family", helps, types)
+	}
 	// Every non-comment line is "name value" or "name{quantile=...} value"
 	// with a sanitized name.
-	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
-		if strings.HasPrefix(line, "# TYPE ") {
+	for _, line := range lines {
+		if strings.HasPrefix(line, "# ") {
 			continue
 		}
 		if !strings.HasPrefix(line, "hwgc_") || len(strings.Fields(line)) != 2 {
@@ -188,10 +207,47 @@ func TestPrometheusName(t *testing.T) {
 		"service.queue.depth": "hwgc_service_queue_depth",
 		"a-b/c d":             "hwgc_a_b_c_d",
 		"Already_OK9":         "hwgc_Already_OK9",
+		"9starts.with.digit":  "hwgc_9starts_with_digit", // prefix satisfies the first-char rule
+		"name{label=\"x\"}":   "hwgc_name_label__x__",
 	}
 	for in, want := range cases {
 		if got := PrometheusName(in); got != want {
 			t.Errorf("PrometheusName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWritePrometheusHostileNames: a registry name full of exposition
+// metacharacters (newlines, backslashes, braces) must neither break the
+// line-oriented format nor leak unescaped into HELP text.
+func TestWritePrometheusHostileNames(t *testing.T) {
+	h := NewHub(0)
+	h.Reg.Counter("evil\nname{with=\"quotes\"}\\and\\slashes").Add(1)
+
+	var b bytes.Buffer
+	if err := h.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `evil\nname`) {
+		t.Errorf("HELP text newline not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `\\and\\slashes`) {
+		t.Errorf("HELP text backslash not escaped:\n%s", out)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, "# ") && !strings.HasPrefix(line, "hwgc_") {
+			t.Errorf("raw metric name leaked into exposition line %q", line)
+		}
+		// The sanitized sample line must carry only grammar-legal runes.
+		if strings.HasPrefix(line, "hwgc_") {
+			name := strings.Fields(line)[0]
+			for _, c := range name {
+				legal := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+				if !legal {
+					t.Errorf("illegal rune %q in sanitized name %q", c, name)
+				}
+			}
 		}
 	}
 }

@@ -36,10 +36,13 @@ type Hub struct {
 type syncState struct {
 	sampleEvery uint64
 
-	mu       sync.Mutex
-	trace    bool
-	perLabel map[string]int
-	children []syncChild
+	mu           sync.Mutex
+	trace        bool
+	record       bool // children record bounded time series
+	recordPoints int
+	noRows       bool // children skip the unbounded row log
+	perLabel     map[string]int
+	children     []syncChild
 }
 
 // syncChild is one forked per-run hub. seq numbers children that share a
@@ -101,6 +104,68 @@ func (h *Hub) EnableTrace() *Tracer {
 	return h.Trace
 }
 
+// EnableRecording turns on bounded time-series recording (off by default):
+// every probe tick folds into at most maxPoints retained points per metric
+// (0 = DefaultRecorderPoints). On a synchronized hub, children forked
+// afterwards record too. Idempotent.
+func (h *Hub) EnableRecording(maxPoints int) {
+	if h == nil {
+		return
+	}
+	h.Sampler.enableRecording(maxPoints)
+	if h.sync != nil {
+		h.sync.mu.Lock()
+		h.sync.record = true
+		h.sync.recordPoints = maxPoints
+		h.sync.mu.Unlock()
+	}
+}
+
+// DisableRowCapture stops the sampler's unbounded per-tick row log (the
+// -metrics-out JSONL source), leaving the bounded recorder as the only
+// per-tick sink — the fixed-memory configuration for recording-only runs.
+// On a synchronized hub, children forked afterwards inherit the setting.
+func (h *Hub) DisableRowCapture() {
+	if h == nil {
+		return
+	}
+	if h.Sampler != nil {
+		h.Sampler.noRows = true
+	}
+	if h.sync != nil {
+		h.sync.mu.Lock()
+		h.sync.noRows = true
+		h.sync.mu.Unlock()
+	}
+}
+
+// RecordedSeries returns every run's recorded time series. A plain hub
+// yields at most one entry with an empty run name; a synchronized hub
+// yields its own series as "main" plus one entry per child, in (label, fork
+// sequence) order. Runs and series that recorded nothing are omitted. Call
+// after workers join, like Snapshot.
+func (h *Hub) RecordedSeries() []RunSeries {
+	if h == nil {
+		return nil
+	}
+	if h.sync == nil {
+		if sd := h.Sampler.Recorder().Series(); len(sd) > 0 {
+			return []RunSeries{{Series: sd}}
+		}
+		return nil
+	}
+	var out []RunSeries
+	if sd := h.Sampler.Recorder().Series(); len(sd) > 0 {
+		out = append(out, RunSeries{Run: "main", Series: sd})
+	}
+	for _, c := range h.sortedChildren() {
+		if sd := c.hub.Sampler.Recorder().Series(); len(sd) > 0 {
+			out = append(out, RunSeries{Run: c.name(), Series: sd})
+		}
+	}
+	return out
+}
+
 // ForRun returns the hub one simulation run should attach to. For nil and
 // plain hubs that is the hub itself (the single-threaded contract is the
 // caller's problem, as before). For a synchronized hub it forks a private
@@ -118,6 +183,12 @@ func (h *Hub) ForRun(label string) *Hub {
 	c := NewHub(s.sampleEvery)
 	if s.trace {
 		c.EnableTrace()
+	}
+	if s.record {
+		c.Sampler.enableRecording(s.recordPoints)
+	}
+	if s.noRows {
+		c.Sampler.noRows = true
 	}
 	s.children = append(s.children, syncChild{label: label, seq: s.perLabel[label], hub: c})
 	s.perLabel[label]++

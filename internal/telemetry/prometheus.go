@@ -9,10 +9,12 @@ import (
 // WritePrometheus renders the registry in the Prometheus text exposition
 // format (version 0.0.4): counters, counter funcs, and rates as counter
 // families, gauges as gauge families, and histograms as summaries with
-// quantile labels plus _sum/_count. Names are sanitized to the Prometheus
-// grammar (dots and other separators become underscores) and prefixed with
-// "hwgc_"; families are emitted in sorted registry-name order, so the
-// output is deterministic. Nil-safe.
+// quantile labels plus _sum/_count. Every family carries a # HELP line
+// (scrapers and federation proxies expect one per # TYPE) naming the
+// original dotted registry metric, escaped per the exposition grammar.
+// Names are sanitized to the Prometheus grammar (dots and other separators
+// become underscores) and prefixed with "hwgc_"; families are emitted in
+// sorted registry-name order, so the output is deterministic. Nil-safe.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
@@ -20,6 +22,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, n := range r.Names() {
 		m := r.metrics[n]
 		pn := PrometheusName(n)
+		if _, err := fmt.Fprintf(w, "# HELP %s registry metric %s\n", pn, promEscapeHelp(n)); err != nil {
+			return err
+		}
 		var err error
 		switch m.kind {
 		case KindCounter, KindCounterFunc, KindRate:
@@ -49,6 +54,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // WritePrometheus renders the hub's aggregate snapshot (see Registry
 // counterpart). Nil-safe.
 func (h *Hub) WritePrometheus(w io.Writer) error { return h.Snapshot().WritePrometheus(w) }
+
+// promEscapeHelp escapes HELP text per the exposition format: backslash
+// doubles and newlines become the two characters \n, so a hostile metric
+// name can never break the line-oriented scrape.
+func promEscapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
 
 // PrometheusName maps a dotted registry name onto the Prometheus metric
 // grammar [a-zA-Z_:][a-zA-Z0-9_:]* with an "hwgc_" namespace prefix:

@@ -19,6 +19,13 @@ type Sampler struct {
 
 	rows     []sampleRow
 	lastRate []uint64
+	ticks    int
+
+	// rec, when non-nil, is the bounded time-series recorder fed one tick
+	// per sample. noRows suppresses the unbounded row log so a
+	// recording-only run holds fixed memory no matter how long it runs.
+	rec    *Recorder
+	noRows bool
 
 	// Cached sampled-metric list, rebuilt when the registry's generation
 	// changes (Sample is the probe hot path — re-sorting every name each
@@ -77,6 +84,11 @@ func (s *Sampler) Sample(cycle uint64) {
 	if s == nil || s.reg == nil {
 		return
 	}
+	s.ticks++
+	s.rec.Tick(cycle)
+	if s.noRows {
+		return
+	}
 	s.refresh()
 	vals := make([]float64, len(s.ms))
 	for i, m := range s.ms {
@@ -94,12 +106,31 @@ func (s *Sampler) Sample(cycle uint64) {
 	s.rows = append(s.rows, sampleRow{cycle: cycle, names: s.names, vals: vals})
 }
 
-// Len returns the number of recorded samples.
+// Len returns the number of probe ticks taken. With row capture on (the
+// default) it equals the number of recorded rows.
 func (s *Sampler) Len() int {
 	if s == nil {
 		return 0
 	}
-	return len(s.rows)
+	return s.ticks
+}
+
+// enableRecording attaches a bounded time-series recorder (see Recorder);
+// each subsequent Sample tick feeds it. Idempotent.
+func (s *Sampler) enableRecording(maxPoints int) {
+	if s == nil || s.rec != nil {
+		return
+	}
+	s.rec = newRecorder(s.reg, s.Every, maxPoints)
+}
+
+// Recorder returns the attached time-series recorder, or nil when recording
+// is off.
+func (s *Sampler) Recorder() *Recorder {
+	if s == nil {
+		return nil
+	}
+	return s.rec
 }
 
 // Series extracts one metric's time series as (cycle, value) pairs from the

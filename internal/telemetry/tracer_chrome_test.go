@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// chromeEvent mirrors one Chrome trace_event object as written by
+// WriteChrome, loosely enough to parse metadata and data events alike.
+type chromeEvent struct {
+	Name  string                 `json:"name"`
+	Cat   string                 `json:"cat"`
+	Ph    string                 `json:"ph"`
+	Scope string                 `json:"s"`
+	Pid   int                    `json:"pid"`
+	Tid   *int                   `json:"tid"`
+	Ts    *uint64                `json:"ts"`
+	Dur   *uint64                `json:"dur"`
+	Args  map[string]interface{} `json:"args"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	OtherData       struct {
+		DroppedEvents uint64 `json:"droppedEvents"`
+	} `json:"otherData"`
+}
+
+// TestWriteChromeRoundTrip parses WriteChrome's output back and checks the
+// invariants the viewers rely on: valid JSON, phase vocabulary, span
+// durations, instant scope, thread_name metadata consistent with Units(),
+// cat == unit, tid stable per unit, and args matching NArgs exactly.
+func TestWriteChromeRoundTrip(t *testing.T) {
+	tr := goldenTracer()
+	var b bytes.Buffer
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeTrace
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteChrome output is not valid JSON: %v\n%s", err, b.String())
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q, want ns", doc.DisplayTimeUnit)
+	}
+	if doc.OtherData.DroppedEvents != 0 {
+		t.Errorf("droppedEvents = %d, want 0", doc.OtherData.DroppedEvents)
+	}
+
+	// Split metadata from data events.
+	unitByTid := map[int]string{}
+	var data []chromeEvent
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name != "thread_name" {
+				t.Errorf("unexpected metadata event %q", e.Name)
+				continue
+			}
+			if e.Tid == nil {
+				t.Fatalf("thread_name without tid: %+v", e)
+			}
+			unitByTid[*e.Tid] = e.Args["name"].(string)
+		case "X", "i":
+			data = append(data, e)
+		default:
+			t.Errorf("illegal phase %q (viewer vocabulary is M/X/i here)", e.Ph)
+		}
+	}
+
+	// Track table matches Units() exactly, tids dense in emission order.
+	units := tr.Units()
+	if len(unitByTid) != len(units) {
+		t.Fatalf("%d thread_name entries for %d units", len(unitByTid), len(units))
+	}
+	for tid, unit := range units {
+		if unitByTid[tid] != unit {
+			t.Errorf("tid %d = %q, want %q (first-emission order)", tid, unitByTid[tid], unit)
+		}
+	}
+
+	events := tr.Events()
+	if len(data) != len(events) {
+		t.Fatalf("%d data events serialized, %d recorded", len(data), len(events))
+	}
+	for i, e := range data {
+		src := events[i]
+		if e.Name != src.Name || e.Cat != src.Unit {
+			t.Errorf("event %d: name/cat = %s/%s, want %s/%s", i, e.Name, e.Cat, src.Name, src.Unit)
+		}
+		if e.Tid == nil || unitByTid[*e.Tid] != src.Unit {
+			t.Errorf("event %d: tid does not resolve to unit %q", i, src.Unit)
+		}
+		if e.Ts == nil || *e.Ts != src.Start {
+			t.Errorf("event %d: ts = %v, want %d", i, e.Ts, src.Start)
+		}
+		switch src.Phase {
+		case 'X':
+			if e.Ph != "X" || e.Dur == nil || *e.Dur != src.Dur {
+				t.Errorf("event %d: span serialized as ph=%s dur=%v, want X/%d", i, e.Ph, e.Dur, src.Dur)
+			}
+		case 'i':
+			if e.Ph != "i" || e.Scope != "t" {
+				t.Errorf("event %d: instant serialized as ph=%s s=%q, want i with thread scope", i, e.Ph, e.Scope)
+			}
+			if e.Dur != nil {
+				t.Errorf("event %d: instant carries dur", i)
+			}
+		}
+		if len(e.Args) != int(src.NArgs) {
+			t.Errorf("event %d: %d serialized args, NArgs=%d", i, len(e.Args), src.NArgs)
+		}
+		for j := 0; j < int(src.NArgs); j++ {
+			got, ok := e.Args[src.Args[j].Key]
+			if !ok || got.(float64) != float64(src.Args[j].Val) {
+				t.Errorf("event %d: arg %q = %v, want %d", i, src.Args[j].Key, got, src.Args[j].Val)
+			}
+		}
+	}
+}
+
+// TestWriteChromeDroppedEvents: overflow past MaxEvents drops the excess,
+// and the trailer's droppedEvents counter matches the overflow exactly —
+// neither the buffer nor the counter ever disagree with each other.
+func TestWriteChromeDroppedEvents(t *testing.T) {
+	tr := NewTracer()
+	tr.MaxEvents = 4
+	const emitted = 10
+	for i := 0; i < emitted; i++ {
+		tr.Complete("unit", "op", uint64(i*10), uint64(i*10+5))
+	}
+	if got := tr.Dropped(); got != emitted-4 {
+		t.Fatalf("Dropped() = %d, want %d", got, emitted-4)
+	}
+	if len(tr.Events()) != 4 {
+		t.Fatalf("retained %d events, want 4 (earliest kept)", len(tr.Events()))
+	}
+	// The earliest events survive, not an arbitrary window.
+	if tr.Events()[0].Start != 0 || tr.Events()[3].Start != 30 {
+		t.Fatalf("retained window = [%d, %d], want [0, 30]", tr.Events()[0].Start, tr.Events()[3].Start)
+	}
+
+	var b bytes.Buffer
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeTrace
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.OtherData.DroppedEvents != emitted-4 {
+		t.Errorf("otherData.droppedEvents = %d, want %d", doc.OtherData.DroppedEvents, emitted-4)
+	}
+	nonMeta := 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "M" {
+			nonMeta++
+		}
+	}
+	if nonMeta != 4 {
+		t.Errorf("%d non-metadata events serialized, want 4", nonMeta)
+	}
+}

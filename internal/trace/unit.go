@@ -188,6 +188,25 @@ func (u *Unit) AttachTelemetry(h *telemetry.Hub) {
 
 	u.Tracer.attachTelemetry(h, "tracer.tracer")
 	u.Reader.attachTelemetry(h, "tracer.reader")
+
+	// Aggregate L1 TLB traffic across the unit's three translators, so the
+	// sampler can derive a unit-wide TLB miss-rate timeline (Figure 18).
+	tlbs := []*vmem.TLB{u.Marker.tr.TLB(), u.Tracer.tr.TLB(), u.Reader.tr.TLB()}
+	reg.CounterFunc("tracer.tlb.hits", func() uint64 {
+		var n uint64
+		for _, t := range tlbs {
+			n += t.Hits
+		}
+		return n
+	})
+	reg.CounterFunc("tracer.tlb.misses", func() uint64 {
+		var n uint64
+		for _, t := range tlbs {
+			n += t.Misses
+		}
+		return n
+	})
+
 	u.Walker.AttachTelemetry(h, "tracer")
 	if u.Shared != nil {
 		u.Shared.AttachTelemetry(h, "shared")
