@@ -12,6 +12,8 @@ import (
 	"testing"
 
 	"hwgc/internal/core"
+	"hwgc/internal/rts"
+	"hwgc/internal/snapshot"
 	"hwgc/internal/workload"
 )
 
@@ -77,6 +79,39 @@ func BenchmarkHostFullSuiteSerial(b *testing.B) { benchFullSuite(b, 1) }
 // workers; on a multi-core host wall time drops while output stays
 // byte-identical (see internal/experiments.TestFleetParallelMatchesSerial).
 func BenchmarkHostFullSuiteParallel(b *testing.B) { benchFullSuite(b, 0) }
+
+// BenchmarkHostColdBuild measures building one simulation cell's initial
+// heap image from scratch: system assembly plus the full workload graph
+// (what every cell paid before the snapshot store).
+func BenchmarkHostColdBuild(b *testing.B) {
+	cfg := ScaledConfig()
+	spec, _ := workload.ByName("avrora")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := rts.NewSystem(cfg.System)
+		app := workload.NewApp(sys, spec, 42)
+		if !app.Populate() {
+			b.Fatal("populate failed")
+		}
+	}
+}
+
+// BenchmarkHostSnapshotClone measures instantiating the same cell from the
+// snapshot store's copy-on-write image (what cells pay now: O(pages) index
+// copies, no page data, no graph rebuild).
+func BenchmarkHostSnapshotClone(b *testing.B) {
+	cfg := ScaledConfig()
+	spec, _ := workload.ByName("avrora")
+	img := snapshot.NewStore(0).Get(cfg.System, spec, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := img.Instantiate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkUnitMarkPhase measures one hardware mark phase end to end
 // (cycles are simulated; ns/op is host time to simulate it).

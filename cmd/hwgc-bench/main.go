@@ -9,6 +9,7 @@
 //	hwgc-bench -only fig15,fig20
 //	hwgc-bench -run 'fig1[0-9]' # regexp over experiment IDs
 //	hwgc-bench -parallel 8      # worker count (default GOMAXPROCS)
+//	hwgc-bench -snapshot=false  # cold-build every cell (default: CoW clones)
 //	hwgc-bench -cache           # serve repeated cells from the result cache
 //	hwgc-bench -cache-dir DIR   # ... persisted across runs under DIR
 //	hwgc-bench -ledger runs/    # append a run manifest (see hwgc-report)
@@ -42,6 +43,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	gcs := flag.Int("gcs", 0, "collections per benchmark (0 = default)")
 	seed := flag.Uint64("seed", 42, "workload seed")
+	snapshots := flag.Bool("snapshot", true, "instantiate cells from copy-on-write heap-image snapshots")
 	useCache := flag.Bool("cache", false, "serve repeated cells from the content-addressed result cache")
 	cacheDir := flag.String("cache-dir", "", "persist cache entries under this directory (implies -cache)")
 	metricsOut := flag.String("metrics-out", "", "write sampled metric time series (JSONL) to this file")
@@ -59,6 +61,8 @@ func main() {
 		}
 		return
 	}
+
+	hwgc.SetSnapshots(*snapshots)
 
 	opts := hwgc.DefaultOptions()
 	if *quick {
@@ -233,6 +237,10 @@ func main() {
 		st := cache.Stats()
 		fmt.Printf("result cache: %d hits (%d from disk), %d misses, hit rate %.0f%%\n",
 			st.Hits, st.DiskHits, st.Misses, 100*st.HitRate())
+	}
+	if *snapshots {
+		st := hwgc.SnapshotStoreStats()
+		fmt.Printf("snapshot store: %d images built, %d cells cloned\n", st.Misses, st.Hits)
 	}
 	if tel != nil {
 		fmt.Println("telemetry summary:")

@@ -41,6 +41,7 @@ func main() {
 	markq := flag.Int("markq", 0, "mark queue entries (0 = default)")
 	tracerq := flag.Int("tracerq", 0, "tracer queue entries (0 = default)")
 	compress := flag.Bool("compress", false, "compress mark-queue references to 32 bits")
+	snapshots := flag.Bool("snapshot", true, "instantiate runs from copy-on-write heap-image snapshots")
 	mbc := flag.Int("mbc", 0, "mark-bit cache entries")
 	shared := flag.Bool("shared", false, "shared-cache traversal unit design")
 	validate := flag.Bool("validate", false, "cross-check marks/sweeps against ground truth")
@@ -77,6 +78,8 @@ func main() {
 		}
 		specsToRun = []workload.Spec{spec}
 	}
+
+	hwgc.SetSnapshots(*snapshots)
 
 	cfg := hwgc.ScaledConfig()
 	if *memory == "pipe" {

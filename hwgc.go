@@ -27,6 +27,7 @@ import (
 	"hwgc/internal/core"
 	"hwgc/internal/experiments"
 	"hwgc/internal/resultcache"
+	"hwgc/internal/snapshot"
 	"hwgc/internal/telemetry"
 	"hwgc/internal/workload"
 )
@@ -179,6 +180,24 @@ func NewResultCache(maxEntries int, dir string) (*ResultCache, error) {
 func CachedExperiments(cache *ResultCache, runners []ExperimentRunner) []ExperimentRunner {
 	return experiments.Cached(cache, runners)
 }
+
+// SetSnapshots toggles the process-wide heap-image snapshot store (the
+// -snapshot flag, default on): with it on, each simulation cell starts from
+// a copy-on-write clone of a once-built initial heap image instead of
+// rebuilding the image from scratch. Reports are byte-identical either way;
+// see docs/PERFORMANCE.md.
+func SetSnapshots(on bool) { snapshot.SetEnabled(on) }
+
+// SnapshotsEnabled reports whether cells instantiate from the snapshot
+// store.
+func SnapshotsEnabled() bool { return snapshot.Enabled() }
+
+// SnapshotStats reports heap-image snapshot store traffic: Misses counts
+// images cold-built, Hits counts cells served a copy-on-write clone.
+type SnapshotStats = snapshot.Stats
+
+// SnapshotStoreStats returns the process-wide snapshot store's counters.
+func SnapshotStoreStats() SnapshotStats { return snapshot.Default().Stats() }
 
 type errUnknownExperiment string
 

@@ -16,6 +16,7 @@ import (
 	"hwgc/internal/dram"
 	"hwgc/internal/rts"
 	"hwgc/internal/sim"
+	"hwgc/internal/snapshot"
 	"hwgc/internal/sweep"
 	"hwgc/internal/swgc"
 	"hwgc/internal/telemetry"
@@ -366,14 +367,29 @@ type AppRunner struct {
 }
 
 // NewAppRunner builds the system, populates the benchmark's heap, and
-// attaches the chosen collector.
+// attaches the chosen collector. When the snapshot store is enabled (the
+// default), the initial image — heap graph, free lists, page tables, root
+// set — is built once per (system config, spec, seed) and each runner gets
+// a copy-on-write clone; results are byte-identical to a cold build.
 func NewAppRunner(cfg Config, spec workload.Spec, kind CollectorKind, seed uint64) (*AppRunner, error) {
-	sys := rts.NewSystem(cfg.System)
-	app := workload.NewApp(sys, spec, seed)
-	if !app.Populate() {
-		// The initial graph must fit: collecting during population is
-		// not modelled.
-		return nil, fmt.Errorf("core: %s: live set does not fit the heap", spec.Name)
+	var sys *rts.System
+	var app *workload.App
+	if snapshot.Enabled() {
+		var err error
+		sys, app, err = snapshot.Default().Get(cfg.System, spec, seed).Instantiate()
+		if err != nil {
+			// Reproduce the cold-build error exactly (reports must not
+			// depend on the instantiation path).
+			return nil, fmt.Errorf("core: %s: live set does not fit the heap", spec.Name)
+		}
+	} else {
+		sys = rts.NewSystem(cfg.System)
+		app = workload.NewApp(sys, spec, seed)
+		if !app.Populate() {
+			// The initial graph must fit: collecting during population
+			// is not modelled.
+			return nil, fmt.Errorf("core: %s: live set does not fit the heap", spec.Name)
+		}
 	}
 	r := &AppRunner{Cfg: cfg, Spec: spec, Kind: kind, Sys: sys, App: app,
 		Res: AppResult{Bench: spec.Name, Collector: kind}}

@@ -249,6 +249,15 @@ type DDR3 struct {
 	lastBusy uint64
 	busy     uint64
 
+	// Completions are FIFO — access() returns strictly increasing finish
+	// cycles — so issued requests park their Done callbacks in a ring
+	// drained by one pre-bound event function instead of allocating a
+	// closure per request.
+	comps      []completion
+	compHead   int
+	completeFn func()
+	wakeFn     func()
+
 	tel      *telemetry.Tracer // nil = tracing disabled (fast path)
 	rReqs    *telemetry.Rate
 	rBytes   *telemetry.Rate
@@ -260,10 +269,33 @@ type pendingReq struct {
 	seq uint64
 }
 
+type completion struct {
+	finish uint64
+	done   func(uint64)
+}
+
 // NewDDR3 returns an event-driven DDR3 model attached to eng.
 func NewDDR3(eng *sim.Engine, cfg Config) *DDR3 {
 	d := &DDR3{eng: eng, cfg: cfg, t: newTiming(cfg)}
 	d.tick = sim.NewTicker(eng, d.step)
+	d.wakeFn = d.tick.Wake
+	d.completeFn = func() {
+		c := d.comps[d.compHead]
+		d.comps[d.compHead] = completion{} // release the Done closure
+		d.compHead++
+		if d.compHead == len(d.comps) {
+			d.comps = d.comps[:0]
+			d.compHead = 0
+		}
+		d.inflight--
+		if c.done != nil {
+			c.done(c.finish)
+		}
+		d.tick.Wake()
+		if d.onSpace != nil {
+			d.onSpace()
+		}
+	}
 	return d
 }
 
@@ -321,7 +353,7 @@ func (d *DDR3) step() bool {
 			if idx < 0 {
 				// Everything conflicts with a live row: retry
 				// shortly rather than thrash.
-				d.eng.After(rowPatience/2, func() { d.tick.Wake() })
+				d.eng.After(rowPatience/2, d.wakeFn)
 				return false
 			}
 		}
@@ -342,17 +374,8 @@ func (d *DDR3) step() bool {
 		d.lastBusy = finish
 	}
 	d.inflight++
-	done := p.req.Done
-	d.eng.At(finish, func() {
-		d.inflight--
-		if done != nil {
-			done(finish)
-		}
-		d.tick.Wake()
-		if d.onSpace != nil {
-			d.onSpace()
-		}
-	})
+	d.comps = append(d.comps, completion{finish: finish, done: p.req.Done})
+	d.eng.At(finish, d.completeFn)
 	if d.onSpace != nil {
 		d.eng.After(1, d.onSpace)
 	}
@@ -419,7 +442,9 @@ func (d *DDR3) Stats() Stats {
 func (d *DDR3) Pending() int { return len(d.pending) }
 
 // Pipe is the ideal memory from Figure 17: fixed latency and a pure
-// bandwidth limit, no banks.
+// bandwidth limit, no banks. Like DDR3, completions are FIFO (finish
+// cycles are strictly increasing), so Done callbacks park in a ring
+// drained by one pre-bound event function.
 type Pipe struct {
 	eng           *sim.Engine
 	Latency       uint64
@@ -427,12 +452,27 @@ type Pipe struct {
 	busFree       uint64
 	onSpace       func()
 	stats         Stats
+
+	comps      []completion
+	compHead   int
+	completeFn func()
 }
 
 // NewPipe returns a latency-bandwidth pipe (the paper uses 1 cycle and
 // 8 GB/s, i.e. 8 bytes per cycle at 1 GHz).
 func NewPipe(eng *sim.Engine, latency, bytesPerCycle uint64) *Pipe {
-	return &Pipe{eng: eng, Latency: latency, BytesPerCycle: bytesPerCycle}
+	p := &Pipe{eng: eng, Latency: latency, BytesPerCycle: bytesPerCycle}
+	p.completeFn = func() {
+		c := p.comps[p.compHead]
+		p.comps[p.compHead] = completion{}
+		p.compHead++
+		if p.compHead == len(p.comps) {
+			p.comps = p.comps[:0]
+			p.compHead = 0
+		}
+		c.done(c.finish)
+	}
+	return p
 }
 
 // Enqueue implements Memory. The pipe never refuses requests.
@@ -451,9 +491,9 @@ func (p *Pipe) Enqueue(r Request) bool {
 	p.busFree = start + burst
 	p.stats.Accesses++
 	p.stats.Bytes += r.Size
-	done := r.Done
-	if done != nil {
-		p.eng.At(finish, func() { done(finish) })
+	if r.Done != nil {
+		p.comps = append(p.comps, completion{finish: finish, done: r.Done})
+		p.eng.At(finish, p.completeFn)
 	}
 	return true
 }

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"testing"
+
+	"hwgc/internal/snapshot"
+)
+
+// TestFleetSnapshotOnOffIdentical is the snapshot store's fleet-level
+// determinism guarantee: reports must be byte-identical whether cells are
+// cold-built or instantiated from copy-on-write heap images, serial or
+// parallel.
+func TestFleetSnapshotOnOffIdentical(t *testing.T) {
+	ids := []string{"table1", "fig22", "abl-barriers", "abl-layout"}
+	runners := make([]Runner, 0, len(ids))
+	for _, id := range ids {
+		r, ok := ByID(id)
+		if !ok {
+			t.Fatalf("unknown experiment %q", id)
+		}
+		runners = append(runners, r)
+	}
+	o := fastOptions()
+	o.Shrink = 8
+
+	was := snapshot.Enabled()
+	defer snapshot.SetEnabled(was)
+
+	run := func(on bool, width int) []Result {
+		snapshot.SetEnabled(on)
+		return RunFleet(runners, o, width)
+	}
+	cold := run(false, 1)
+	for _, res := range cold {
+		if res.Err != nil {
+			t.Fatalf("%s: cold serial run failed: %v", res.Runner.ID, res.Err)
+		}
+	}
+	cases := []struct {
+		name  string
+		on    bool
+		width int
+	}{
+		{"snapshot serial", true, 1},
+		{"snapshot parallel", true, 8},
+		{"cold parallel", false, 8},
+	}
+	for _, c := range cases {
+		got := run(c.on, c.width)
+		for i, res := range got {
+			if res.Err != nil {
+				t.Fatalf("%s: %s: %v", c.name, res.Runner.ID, res.Err)
+				continue
+			}
+			if want := cold[i].Report.String(); res.Report.String() != want {
+				t.Errorf("%s: %s report differs from cold serial:\n--- cold serial ---\n%s--- %s ---\n%s",
+					c.name, res.Runner.ID, want, c.name, res.Report.String())
+			}
+		}
+	}
+}

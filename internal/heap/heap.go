@@ -148,6 +148,30 @@ func (h *Heap) mapRegion(va, size uint64, arena *mem.Arena) {
 // Config returns the heap configuration.
 func (h *Heap) Config() Config { return h.cfg }
 
+// CloneFor returns a heap over m and pt (snapshot clones of the memory and
+// page table this heap was built in) with identical runtime-side state:
+// free-list mirrors, bump pointers, TIB cache, mark sense, and counters.
+// The in-memory structures themselves ride along in m's pages.
+func (h *Heap) CloneFor(m *mem.Physical, pt *vmem.PageTable) *Heap {
+	c := &Heap{
+		cfg:            h.cfg,
+		Mem:            m,
+		PT:             pt,
+		regions:        append([]region(nil), h.regions...),
+		sense:          h.sense,
+		tibs:           make(map[tibKey]uint64, len(h.tibs)),
+		Allocations:    h.Allocations,
+		AllocatedBytes: h.AllocatedBytes,
+	}
+	for k, v := range h.tibs {
+		c.tibs[k] = v
+	}
+	c.MS = h.MS.cloneFor(c)
+	c.Bump = h.Bump.cloneFor(c)
+	c.Aux = h.Aux.cloneFor(c)
+	return c
+}
+
 // PA translates a heap virtual address through the flat map (functional
 // fast path; the timed models translate through TLBs and page walks).
 func (h *Heap) PA(va uint64) uint64 {

@@ -63,6 +63,39 @@ func (ms *MarkSweep) allocTable() {
 	}
 }
 
+// cloneFor returns a deep copy of the runtime-side mirrors over h. The
+// partial/empty list order is preserved exactly — allocation order depends
+// on it, and snapshot-instantiated cells must allocate identically to
+// cold-built ones. Block mirrors share one backing array so a clone costs
+// three allocations, not one per block. The classes slice is immutable and
+// shared.
+func (ms *MarkSweep) cloneFor(h *Heap) *MarkSweep {
+	c := &MarkSweep{
+		h:          h,
+		base:       ms.base,
+		capBytes:   ms.capBytes,
+		blockBytes: ms.blockBytes,
+		classes:    ms.classes,
+		nextBlock:  ms.nextBlock,
+		tableVA:    ms.tableVA,
+		maxBlocks:  ms.maxBlocks,
+	}
+	backing := make([]Block, len(ms.blocks))
+	c.blocks = make([]*Block, len(ms.blocks))
+	for i, b := range ms.blocks {
+		backing[i] = *b
+		c.blocks[i] = &backing[i]
+	}
+	c.partial = make([][]int, len(ms.partial))
+	for i, list := range ms.partial {
+		if len(list) > 0 {
+			c.partial[i] = append([]int(nil), list...)
+		}
+	}
+	c.empty = append([]int(nil), ms.empty...)
+	return c
+}
+
 // TableVA returns the VA of the block descriptor table.
 func (ms *MarkSweep) TableVA() uint64 { return ms.tableVA }
 
@@ -263,6 +296,12 @@ type BumpSpace struct {
 
 func newBumpSpace(h *Heap, base, size uint64) *BumpSpace {
 	return &BumpSpace{h: h, base: base, size: size}
+}
+
+// cloneFor returns a copy of the runtime-side bump state over h.
+func (s *BumpSpace) cloneFor(h *Heap) *BumpSpace {
+	return &BumpSpace{h: h, base: s.base, size: s.size, next: s.next,
+		objects: append([]Ref(nil), s.objects...)}
 }
 
 // Alloc reserves size bytes (8-byte aligned) and returns the VA, or 0 when

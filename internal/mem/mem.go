@@ -18,17 +18,31 @@ import (
 // 4 KiB virtual page size used by the simulated page tables.
 const PageSize = 4096
 
+// slabPages is how many pages one backing slab holds. Allocating pages in
+// slabs keeps setup to a handful of large allocations instead of one small
+// allocation per touched page.
+const slabPages = 64
+
+// page is one physical page. frozen marks a page owned by a Snapshot: it is
+// shared between the snapshot and any number of clones and must never be
+// written in place — writers copy it first (copy-on-write).
+type page struct {
+	frozen bool
+	data   [PageSize]byte
+}
+
 // Physical is a sparse physical memory of a fixed capacity. Accesses beyond
 // the capacity panic: they indicate a simulator bug, not a recoverable
 // condition.
 type Physical struct {
 	size  uint64
-	pages map[uint64]*[PageSize]byte
+	pages map[uint64]*page
+	slab  []page
 }
 
 // New returns a physical memory with the given capacity in bytes.
 func New(size uint64) *Physical {
-	return &Physical{size: size, pages: make(map[uint64]*[PageSize]byte)}
+	return &Physical{size: size, pages: make(map[uint64]*page)}
 }
 
 // Size returns the configured capacity in bytes.
@@ -37,58 +51,121 @@ func (m *Physical) Size() uint64 { return m.size }
 // Pages returns the number of physical pages that have been touched.
 func (m *Physical) Pages() int { return len(m.pages) }
 
-func (m *Physical) page(pa uint64, create bool) *[PageSize]byte {
+func (m *Physical) newPage() *page {
+	if len(m.slab) == 0 {
+		m.slab = make([]page, slabPages)
+	}
+	p := &m.slab[0]
+	m.slab = m.slab[1:]
+	return p
+}
+
+func (m *Physical) checkBounds(pa uint64) {
 	if pa >= m.size {
 		panic(fmt.Sprintf("mem: physical access 0x%x beyond capacity 0x%x", pa, m.size))
 	}
+}
+
+// page returns the page covering pa for reading, or nil if untouched.
+func (m *Physical) page(pa uint64) *page {
+	m.checkBounds(pa)
+	return m.pages[pa/PageSize]
+}
+
+// writablePage returns the page covering pa for writing, creating it if
+// untouched and copying it first if it is frozen (shared with a snapshot).
+func (m *Physical) writablePage(pa uint64) *page {
+	m.checkBounds(pa)
 	idx := pa / PageSize
 	p := m.pages[idx]
-	if p == nil {
-		if !create {
-			return nil
-		}
-		p = new([PageSize]byte)
+	switch {
+	case p == nil:
+		p = m.newPage()
 		m.pages[idx] = p
+	case p.frozen:
+		np := m.newPage()
+		np.data = p.data
+		m.pages[idx] = np
+		p = np
 	}
 	return p
+}
+
+// Snapshot freezes the current contents and returns an immutable image of
+// them. The receiver stays usable: its pages become copy-on-write, so later
+// writes through it (or through any Clone) never alter the snapshot.
+// Snapshotting is O(touched pages) and copies no page data.
+func (m *Physical) Snapshot() *Snapshot {
+	pages := make(map[uint64]*page, len(m.pages))
+	for idx, p := range m.pages {
+		p.frozen = true
+		pages[idx] = p
+	}
+	return &Snapshot{size: m.size, pages: pages}
+}
+
+// Snapshot is an immutable heap image: a frozen page index that any number
+// of Physical clones share. It is safe for concurrent Clone calls once
+// built.
+type Snapshot struct {
+	size  uint64
+	pages map[uint64]*page
+}
+
+// Size returns the capacity of the captured memory in bytes.
+func (s *Snapshot) Size() uint64 { return s.size }
+
+// Pages returns the number of pages the snapshot holds.
+func (s *Snapshot) Pages() int { return len(s.pages) }
+
+// Clone returns a new Physical backed by the snapshot's frozen pages.
+// Reads hit the shared pages directly; the first write to a page copies it
+// into the clone, so mutations never leak into the snapshot or into
+// sibling clones. Cloning is O(pages) and copies no page data.
+func (s *Snapshot) Clone() *Physical {
+	pages := make(map[uint64]*page, len(s.pages))
+	for idx, p := range s.pages {
+		pages[idx] = p
+	}
+	return &Physical{size: s.size, pages: pages}
 }
 
 // Load64 reads the 64-bit word at pa. pa must be 8-byte aligned.
 func (m *Physical) Load64(pa uint64) uint64 {
 	checkAlign(pa, 8)
-	p := m.page(pa, false)
+	p := m.page(pa)
 	if p == nil {
 		return 0
 	}
 	off := pa % PageSize
-	return binary.LittleEndian.Uint64(p[off : off+8])
+	return binary.LittleEndian.Uint64(p.data[off : off+8])
 }
 
 // Store64 writes the 64-bit word v at pa. pa must be 8-byte aligned.
 func (m *Physical) Store64(pa, v uint64) {
 	checkAlign(pa, 8)
-	p := m.page(pa, true)
+	p := m.writablePage(pa)
 	off := pa % PageSize
-	binary.LittleEndian.PutUint64(p[off:off+8], v)
+	binary.LittleEndian.PutUint64(p.data[off:off+8], v)
 }
 
 // Load32 reads the 32-bit word at pa. pa must be 4-byte aligned.
 func (m *Physical) Load32(pa uint64) uint32 {
 	checkAlign(pa, 4)
-	p := m.page(pa, false)
+	p := m.page(pa)
 	if p == nil {
 		return 0
 	}
 	off := pa % PageSize
-	return binary.LittleEndian.Uint32(p[off : off+4])
+	return binary.LittleEndian.Uint32(p.data[off : off+4])
 }
 
 // Store32 writes the 32-bit word v at pa. pa must be 4-byte aligned.
 func (m *Physical) Store32(pa uint64, v uint32) {
 	checkAlign(pa, 4)
-	p := m.page(pa, true)
+	p := m.writablePage(pa)
 	off := pa % PageSize
-	binary.LittleEndian.PutUint32(p[off:off+4], v)
+	binary.LittleEndian.PutUint32(p.data[off:off+4], v)
 }
 
 // FetchOr64 atomically ORs bits into the word at pa and returns the
@@ -120,13 +197,13 @@ func (m *Physical) Read(pa uint64, buf []byte) {
 		if uint64(len(buf)) < n {
 			n = uint64(len(buf))
 		}
-		p := m.page(pa, false)
+		p := m.page(pa)
 		if p == nil {
 			for i := uint64(0); i < n; i++ {
 				buf[i] = 0
 			}
 		} else {
-			copy(buf[:n], p[off:off+n])
+			copy(buf[:n], p.data[off:off+n])
 		}
 		buf = buf[n:]
 		pa += n
@@ -141,8 +218,8 @@ func (m *Physical) Write(pa uint64, buf []byte) {
 		if uint64(len(buf)) < n {
 			n = uint64(len(buf))
 		}
-		p := m.page(pa, true)
-		copy(p[off:off+n], buf[:n])
+		p := m.writablePage(pa)
+		copy(p.data[off:off+n], buf[:n])
 		buf = buf[n:]
 		pa += n
 	}
@@ -194,3 +271,7 @@ func (a *Arena) Alloc(size, align uint64) Region {
 // Used returns the number of bytes allocated so far (including alignment
 // padding).
 func (a *Arena) Used() uint64 { return a.next }
+
+// CloneFor returns an arena over m that continues from the same allocation
+// point as a — used when m is a snapshot clone of a's memory.
+func (a *Arena) CloneFor(m *Physical) *Arena { return &Arena{mem: m, next: a.next} }

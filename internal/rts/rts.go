@@ -62,6 +62,26 @@ func NewSystem(cfg Config) *System {
 	return s
 }
 
+// Snapshot freezes the system's physical memory into an immutable image
+// (see mem.Snapshot). The receiver stays usable; its pages turn
+// copy-on-write.
+func (s *System) Snapshot() *mem.Snapshot { return s.Mem.Snapshot() }
+
+// CloneFrom builds an independent System over a fresh copy-on-write clone
+// of snap, which must be a snapshot of this system's memory. All
+// runtime-side state (heap mirrors, root space, arena cursor) is copied, so
+// the clone behaves exactly like the system did when the snapshot was
+// taken; writes through the clone never touch the snapshot or siblings.
+func (s *System) CloneFrom(snap *mem.Snapshot) *System {
+	m := snap.Clone()
+	arena := s.Arena.CloneFor(m)
+	pt := s.PT.CloneFor(m, arena)
+	h := s.Heap.CloneFor(m, pt)
+	ns := &System{Mem: m, Arena: arena, PT: pt, Heap: h, Spill: s.Spill}
+	ns.Roots = s.Roots.cloneFor(h)
+	return ns
+}
+
 // DriverConfig is what the driver writes into the unit's MMIO registers.
 type DriverConfig struct {
 	// PTRoot is the physical address of the process's root page table.
@@ -114,6 +134,12 @@ func newRootSpace(h *heap.Heap, capacity int) *RootSpace {
 		panic("rts: aux space exhausted allocating root space")
 	}
 	return &RootSpace{h: h, va: va, capacity: capacity}
+}
+
+// cloneFor returns a copy of the root-space bookkeeping over h.
+func (rs *RootSpace) cloneFor(h *heap.Heap) *RootSpace {
+	return &RootSpace{h: h, va: rs.va, capacity: rs.capacity, count: rs.count,
+		mirror: append([]heap.Ref(nil), rs.mirror...)}
 }
 
 // VA returns the base of the root region.

@@ -14,6 +14,13 @@ func NewRand(seed uint64) *Rand {
 	return &Rand{state: seed + 0x9e3779b97f4a7c15}
 }
 
+// Clone returns an independent generator that continues the same sequence
+// from the receiver's current position.
+func (r *Rand) Clone() *Rand {
+	c := *r
+	return &c
+}
+
 // Uint64 returns the next 64-bit value.
 func (r *Rand) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15
@@ -76,6 +83,10 @@ func NewZipf(r *Rand, n int, s float64) *Zipf {
 	}
 	return &Zipf{cdf: cdf, r: r}
 }
+
+// CloneFor returns a sampler drawing from r over the receiver's (immutable,
+// shared) CDF table.
+func (z *Zipf) CloneFor(r *Rand) *Zipf { return &Zipf{cdf: z.cdf, r: r} }
 
 // Next returns the next rank sample.
 func (z *Zipf) Next() int {

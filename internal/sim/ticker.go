@@ -12,13 +12,21 @@ package sim
 type Ticker struct {
 	e         *Engine
 	step      func() bool
+	run       func() // bound once; scheduling it never allocates
 	scheduled bool
 }
 
 // NewTicker registers step with the engine. step returns true if the unit
 // may be able to make further progress on the next cycle.
 func NewTicker(e *Engine, step func() bool) *Ticker {
-	return &Ticker{e: e, step: step}
+	t := &Ticker{e: e, step: step}
+	t.run = func() {
+		t.scheduled = false
+		if t.step() {
+			t.Wake()
+		}
+	}
+	return t
 }
 
 // Wake schedules the unit to step on the next cycle if it is not already
@@ -39,11 +47,4 @@ func (t *Ticker) WakeNow() {
 	}
 	t.scheduled = true
 	t.e.After(0, t.run)
-}
-
-func (t *Ticker) run() {
-	t.scheduled = false
-	if t.step() {
-		t.Wake()
-	}
 }

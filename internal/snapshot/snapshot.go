@@ -1,0 +1,194 @@
+// Package snapshot amortizes simulator-state construction across the
+// experiment fleet: building one cell's initial image — heap graph, free
+// lists, Sv39 page tables, root set — costs tens of milliseconds, and the
+// experiment matrix reuses the same handful of (system config, workload
+// spec, seed) images across dozens of unit/memory config points. The store
+// builds each image exactly once per process (single-flight) and hands
+// every cell a copy-on-write clone: O(pages) to instantiate, with page data
+// copied only on first write.
+//
+// Determinism contract: an instantiated clone is indistinguishable from a
+// cold-built system — same memory contents, same free-list order, same RNG
+// position — so fleet reports are byte-identical with the store on or off,
+// serial or parallel.
+package snapshot
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hwgc/internal/mem"
+	"hwgc/internal/resultcache"
+	"hwgc/internal/rts"
+	"hwgc/internal/workload"
+)
+
+// schemaVersion participates in every image key; bump it when the captured
+// state changes shape.
+const schemaVersion = "hwgc-image-v1"
+
+// ErrHeapFull reports that the initial graph did not fit the configured
+// heap (the same condition a cold build hits when Populate fails).
+type ErrHeapFull struct{ Spec string }
+
+func (e ErrHeapFull) Error() string {
+	return "snapshot: " + e.Spec + ": live set does not fit the heap"
+}
+
+// Image is one immutable built heap image: a frozen memory snapshot plus
+// the system/app templates cloned for each cell.
+type Image struct {
+	key  resultcache.Key
+	sys  *rts.System   // template; never mutated after build
+	app  *workload.App // template; never mutated after build
+	snap *mem.Snapshot
+	err  error
+}
+
+// Key returns the image's canonical content key.
+func (img *Image) Key() resultcache.Key { return img.key }
+
+// Pages returns the number of physical pages the image holds.
+func (img *Image) Pages() int {
+	if img.snap == nil {
+		return 0
+	}
+	return img.snap.Pages()
+}
+
+// Instantiate returns an independent (system, app) pair continuing exactly
+// where the image's build left off. Safe for concurrent use.
+func (img *Image) Instantiate() (*rts.System, *workload.App, error) {
+	if img.err != nil {
+		return nil, nil, img.err
+	}
+	sys := img.sys.CloneFrom(img.snap)
+	app := img.app.CloneFor(sys)
+	return sys, app, nil
+}
+
+// Store builds and caches images, keyed by the same canonical content-
+// addressed machinery as the result cache. Each key builds exactly once
+// per process under single-flight; concurrent requesters for the same key
+// block until the build completes.
+type Store struct {
+	mu      sync.Mutex
+	entries map[resultcache.Key]*entry
+	order   []resultcache.Key // LRU, oldest first
+	cap     int
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type entry struct {
+	once sync.Once
+	img  *Image
+}
+
+// NewStore returns a store bounded to capacity images (0 = default 32).
+func NewStore(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = 32
+	}
+	return &Store{entries: make(map[resultcache.Key]*entry), cap: capacity}
+}
+
+// KeyFor returns the canonical image key for a cell. The key covers the
+// full system config, the workload spec, and the seed: everything the
+// initial image depends on (unit/sweep/memory configs only shape timing,
+// which starts after the image).
+func KeyFor(cfg rts.Config, spec workload.Spec, seed uint64) resultcache.Key {
+	return resultcache.KeyOf(schemaVersion, cfg, spec, seed)
+}
+
+// Get returns the image for (cfg, spec, seed), building it on first use.
+func (s *Store) Get(cfg rts.Config, spec workload.Spec, seed uint64) *Image {
+	key := KeyFor(cfg, spec, seed)
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if !ok {
+		if len(s.entries) >= s.cap {
+			s.evictOldestLocked()
+		}
+		e = &entry{}
+		s.entries[key] = e
+		s.order = append(s.order, key)
+	} else {
+		s.touchLocked(key)
+	}
+	s.mu.Unlock()
+
+	if ok {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	e.once.Do(func() { e.img = buildImage(key, cfg, spec, seed) })
+	return e.img
+}
+
+func (s *Store) touchLocked(key resultcache.Key) {
+	for i, k := range s.order {
+		if k == key {
+			copy(s.order[i:], s.order[i+1:])
+			s.order[len(s.order)-1] = key
+			return
+		}
+	}
+}
+
+func (s *Store) evictOldestLocked() {
+	if len(s.order) == 0 {
+		return
+	}
+	oldest := s.order[0]
+	s.order = s.order[1:]
+	delete(s.entries, oldest)
+}
+
+// Stats reports image cache traffic.
+type Stats struct {
+	Hits   uint64
+	Misses uint64 // images built
+}
+
+// Stats returns cumulative counters.
+func (s *Store) Stats() Stats {
+	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load()}
+}
+
+// Len returns the number of resident images.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// buildImage cold-builds one image: construct the system, populate the
+// workload graph, freeze the memory.
+func buildImage(key resultcache.Key, cfg rts.Config, spec workload.Spec, seed uint64) *Image {
+	sys := rts.NewSystem(cfg)
+	app := workload.NewApp(sys, spec, seed)
+	if !app.Populate() {
+		return &Image{key: key, err: ErrHeapFull{Spec: spec.Name}}
+	}
+	return &Image{key: key, sys: sys, app: app, snap: sys.Snapshot()}
+}
+
+var (
+	defaultStore = NewStore(0)
+	enabled      atomic.Bool
+)
+
+func init() { enabled.Store(true) }
+
+// Default returns the process-wide store.
+func Default() *Store { return defaultStore }
+
+// SetEnabled toggles snapshot instantiation process-wide (the -snapshot
+// flag). Default on.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether cells should instantiate from snapshots.
+func Enabled() bool { return enabled.Load() }

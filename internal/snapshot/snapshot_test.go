@@ -1,0 +1,189 @@
+package snapshot
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"hwgc/internal/rts"
+	"hwgc/internal/workload"
+)
+
+// testSpec is a small workload that still exercises every population phase
+// (roots, hot objects, large objects, chains, interleaved garbage).
+func testSpec() workload.Spec {
+	spec, ok := workload.ByName("avrora")
+	if !ok {
+		panic("avrora spec missing")
+	}
+	spec.LiveObjects /= 16
+	spec.Roots /= 4
+	return spec
+}
+
+// appState gathers everything observable about a (system, app) pair that a
+// subsequent simulation depends on.
+type appState struct {
+	AllocatedBytes uint64
+	AllocFailures  uint64
+	Replacements   uint64
+	HeapAllocs     uint64
+	HeapBytes      uint64
+	FreeCells      int
+	Live           []uint64
+	Driver         rts.DriverConfig
+	RootMirror     []uint64
+}
+
+func stateOf(sys *rts.System, app *workload.App) appState {
+	app.WriteRoots()
+	st := appState{
+		AllocatedBytes: app.AllocatedBytes,
+		AllocFailures:  app.AllocFailures,
+		Replacements:   app.Replacements,
+		HeapAllocs:     sys.Heap.Allocations,
+		HeapBytes:      sys.Heap.AllocatedBytes,
+		FreeCells:      sys.Heap.MS.FreeCells(),
+		Driver:         sys.DriverConfig(),
+	}
+	for _, r := range sys.Heap.MS.LiveObjects() {
+		st.Live = append(st.Live, uint64(r))
+	}
+	for _, r := range sys.Roots.Mirror() {
+		st.RootMirror = append(st.RootMirror, uint64(r))
+	}
+	return st
+}
+
+// TestInstantiateMatchesColdBuild is the determinism contract: a cell
+// instantiated from a snapshot clone must evolve bit-identically to a
+// cold-built one — same allocations, same free-list consumption, same RNG
+// stream — and heavy mutation through a sibling clone must not perturb it.
+func TestInstantiateMatchesColdBuild(t *testing.T) {
+	cfg := rts.DefaultConfig()
+	spec := testSpec()
+	const seed = 42
+
+	coldSys := rts.NewSystem(cfg)
+	coldApp := workload.NewApp(coldSys, spec, seed)
+	if !coldApp.Populate() {
+		t.Fatal("cold populate failed")
+	}
+
+	store := NewStore(0)
+	img := store.Get(cfg, spec, seed)
+	_, app1, err := img.Instantiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2, app2, err := img.Instantiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hammer the first clone: if copy-on-write leaked, its writes would
+	// surface in the second clone or in later instantiations.
+	app1.Churn(1 << 22)
+
+	const budget = 1 << 20
+	coldApp.Churn(budget)
+	app2.Churn(budget)
+
+	coldState := stateOf(coldSys, coldApp)
+	cloneState := stateOf(sys2, app2)
+	if !reflect.DeepEqual(coldState, cloneState) {
+		t.Fatalf("snapshot clone diverged from cold build after identical churn:\ncold:  %+v\nclone: %+v",
+			coldState, cloneState)
+	}
+
+	// A clone made after the siblings mutated still starts from the
+	// pristine image.
+	sys3, app3, err := img.Instantiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	app3.Churn(budget)
+	if got := stateOf(sys3, app3); !reflect.DeepEqual(coldState, got) {
+		t.Fatalf("late clone diverged (snapshot mutated by siblings):\ncold: %+v\ngot:  %+v",
+			coldState, got)
+	}
+}
+
+// TestStoreSingleFlight: concurrent requests for one key build the image
+// exactly once and all receive the same image.
+func TestStoreSingleFlight(t *testing.T) {
+	store := NewStore(0)
+	cfg := rts.DefaultConfig()
+	spec := testSpec()
+
+	const workers = 8
+	imgs := make([]*Image, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			imgs[i] = store.Get(cfg, spec, 42)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < workers; i++ {
+		if imgs[i] != imgs[0] {
+			t.Fatalf("worker %d got a different image", i)
+		}
+	}
+	st := store.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("images built = %d, want 1", st.Misses)
+	}
+	if st.Hits != workers-1 {
+		t.Fatalf("hits = %d, want %d", st.Hits, workers-1)
+	}
+	if img := store.Get(cfg, spec, 43); img == imgs[0] {
+		t.Fatal("different seed returned the same image")
+	}
+}
+
+// TestHeapFullImage: an image whose live set does not fit reports the error
+// through Instantiate (and caches it like any other image).
+func TestHeapFullImage(t *testing.T) {
+	store := NewStore(0)
+	cfg := rts.DefaultConfig()
+	spec := testSpec()
+	spec.LiveObjects = 1 << 26 // cannot fit the default heap
+
+	img := store.Get(cfg, spec, 42)
+	if _, _, err := img.Instantiate(); err == nil {
+		t.Fatal("Instantiate succeeded for an oversized live set")
+	} else if _, ok := err.(ErrHeapFull); !ok {
+		t.Fatalf("error type = %T, want ErrHeapFull", err)
+	}
+	if img2 := store.Get(cfg, spec, 42); img2 != img {
+		t.Fatal("failed image was not cached")
+	}
+}
+
+// TestStoreLRU: the store is bounded; the least recently used image is
+// evicted first.
+func TestStoreLRU(t *testing.T) {
+	store := NewStore(2)
+	cfg := rts.DefaultConfig()
+	spec := testSpec()
+
+	a := store.Get(cfg, spec, 1)
+	store.Get(cfg, spec, 2)
+	store.Get(cfg, spec, 1) // touch: seed 2 is now oldest
+	store.Get(cfg, spec, 3) // evicts seed 2
+	if store.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", store.Len())
+	}
+	if got := store.Get(cfg, spec, 1); got != a {
+		t.Fatal("recently used image was evicted")
+	}
+	before := store.Stats().Misses
+	store.Get(cfg, spec, 2) // rebuilt after eviction
+	if store.Stats().Misses != before+1 {
+		t.Fatal("evicted image was not rebuilt")
+	}
+}

@@ -84,7 +84,7 @@ func (u *Unit) AttachTelemetry(h *telemetry.Hub) {
 		sw.tel = tel
 		sw.telUnit = "sweep." + sweeperName(sw.id)
 		sw := sw
-		reg.Gauge(sw.telUnit+".pendingwrites", func() float64 { return float64(len(sw.pendingW)) })
+		reg.Gauge(sw.telUnit+".pendingwrites", func() float64 { return float64(sw.pwLen()) })
 	}
 	u.Walker.AttachTelemetry(h, "sweep")
 	u.PTWCache.AttachTelemetry(h, "sweep-ptw")
@@ -147,6 +147,35 @@ const (
 	swWriteback
 )
 
+// transOp selects the continuation run when the sweeper's pre-bound
+// translation callback fires. The FSM keeps at most one translation in
+// flight (pendingT), so a single op tag plus operand fields replaces the
+// per-call closures the hot path used to allocate.
+type transOp uint8
+
+const (
+	transDescRead transOp = iota
+	transScan
+	transFreeWrite
+	transDescWrite
+)
+
+// scanSlot carries one in-flight cell-scan read. Its callbacks are bound
+// once when the slot is created, so issuing, retrying, and classifying a
+// scan never allocates; the slot pool grows on demand and is reused.
+type scanSlot struct {
+	sw    *sweeper
+	pa    uint64
+	size  uint64
+	first int
+	n     int
+
+	issue    func() // try the port; on full, back off one cycle
+	reissue  func() // retry entry: re-take the in-flight slot, then issue
+	done     func(uint64)
+	classify func()
+}
+
 // sweeper scans one block at a time.
 type sweeper struct {
 	u    *Unit
@@ -165,10 +194,34 @@ type sweeper struct {
 	resolved int // cells processed from responses
 	inflight int
 	writeOut bool     // a free-list write is outstanding (serial FSM)
-	pendingW []uint64 // free-list writes to issue (cell VAs)
+	pendingW []uint64 // FIFO of free-list writes to issue (cell VAs)
+	pwHead   int
 	freeHead uint64
 	live     uint64
 	pendingT bool
+
+	// Pre-bound translation continuation + operands (see transOp).
+	transOp   transOp
+	transDone bool
+	transCb   func(pa uint64, ok bool)
+	tSize     uint64 // pending scan operands, consumed by issueScan
+	tFirst    int
+	tN        int
+
+	// Serial descriptor / free-list write state with pre-bound callbacks
+	// (each op class has at most one request outstanding).
+	descVA        uint64 // entry VA of the in-flight descriptor read
+	descPA        uint64
+	fwPA          uint64
+	descReadIss   func()
+	descReadRe    func()
+	descReadDone  func(uint64)
+	descWriteIss  func()
+	descWriteDone func(uint64)
+	fwIss         func()
+	fwDone        func(uint64)
+
+	freeSlots []*scanSlot
 
 	tel        *telemetry.Tracer // nil = tracing disabled (fast path)
 	telUnit    string            // "sweep.sweep<i>", precomputed at attach
@@ -179,11 +232,112 @@ func newSweeper(u *Unit, id int, port *tilelink.Port, tr *vmem.Translator) *swee
 	sw := &sweeper{u: u, id: id, port: port, tr: tr}
 	sw.tick = sim.NewTicker(u.eng, sw.step)
 	port.SetOnSpace(func() { sw.tick.Wake() })
+
+	sw.transCb = func(pa uint64, ok bool) {
+		if !ok {
+			panic("sweep: page fault")
+		}
+		sw.pendingT = false
+		sw.transDone = true
+		switch sw.transOp {
+		case transDescRead:
+			sw.issueDescRead(pa)
+		case transScan:
+			sw.issueScan(pa)
+		case transFreeWrite:
+			sw.issueFreeWrite(pa)
+		case transDescWrite:
+			sw.issueDescWrite(pa)
+		}
+		sw.tick.Wake()
+	}
+
+	sw.descReadDone = func(uint64) {
+		h := sw.u.sys.Heap
+		entryVA := sw.descVA
+		sw.base = h.Load(entryVA)
+		sw.cellSize = h.Load(entryVA + 8)
+		sw.cells = int(h.MS.BlockBytes() / sw.cellSize)
+		sw.scanned, sw.resolved = 0, 0
+		sw.freeHead = 0
+		sw.live = 0
+		sw.inflight--
+		sw.state = swScan
+		sw.tick.Wake()
+	}
+	sw.descReadIss = func() {
+		if !sw.port.Issue(dram.Request{Addr: sw.descPA, Size: 32, Kind: dram.Read,
+			Done: sw.descReadDone}) {
+			sw.inflight--
+			sw.u.eng.After(1, sw.descReadRe)
+		}
+	}
+	sw.descReadRe = func() {
+		sw.inflight++
+		sw.descReadIss()
+	}
+
+	sw.descWriteDone = func(uint64) {
+		sw.u.BlocksSwept++
+		if sw.tel != nil {
+			sw.tel.Complete3(sw.telUnit, "sweep-block", sw.blockStart, sw.u.eng.Now(),
+				"block", uint64(sw.block), "cells", uint64(sw.cells), "live", sw.live)
+		}
+		sw.state = swIdle
+		sw.tick.Wake()
+	}
+	sw.descWriteIss = func() {
+		if !sw.port.Issue(dram.Request{Addr: sw.descPA, Size: 16, Kind: dram.Write,
+			Done: sw.descWriteDone}) {
+			sw.u.eng.After(1, sw.descWriteIss)
+		}
+	}
+
+	sw.fwDone = func(uint64) {
+		sw.writeOut = false
+		sw.tick.Wake()
+	}
+	sw.fwIss = func() {
+		if !sw.port.Issue(dram.Request{Addr: sw.fwPA, Size: 8, Kind: dram.Write,
+			Done: sw.fwDone}) {
+			sw.u.eng.After(1, sw.fwIss)
+		}
+	}
 	return sw
 }
 
+// newScanSlot builds a slot with its callbacks bound once.
+func (sw *sweeper) newScanSlot() *scanSlot {
+	s := &scanSlot{sw: sw}
+	s.issue = func() {
+		if !sw.port.Issue(dram.Request{Addr: s.pa, Size: s.size, Kind: dram.Read,
+			Done: s.done}) {
+			sw.inflight--
+			sw.u.eng.After(1, s.reissue)
+		}
+	}
+	s.reissue = func() {
+		sw.inflight++
+		s.issue()
+	}
+	s.done = func(uint64) {
+		// FSM classification time per cell before the next probe.
+		sw.u.eng.After(sw.u.cfg.CellCycles*uint64(s.n), s.classify)
+	}
+	s.classify = func() {
+		sw.processCells(s.first, s.n)
+		sw.inflight--
+		sw.freeSlots = append(sw.freeSlots, s)
+		sw.tick.Wake()
+	}
+	return s
+}
+
+// pwLen returns the queued free-list writes.
+func (sw *sweeper) pwLen() int { return len(sw.pendingW) - sw.pwHead }
+
 func (sw *sweeper) idle() bool {
-	return sw.state == swIdle && sw.inflight == 0 && len(sw.pendingW) == 0 &&
+	return sw.state == swIdle && sw.inflight == 0 && sw.pwLen() == 0 &&
 		!sw.pendingT && !sw.writeOut
 }
 
@@ -223,12 +377,16 @@ func (sw *sweeper) step() bool {
 		if sw.writeOut {
 			return false
 		}
-		if len(sw.pendingW) > 0 {
-			cell := sw.pendingW[0]
-			if !sw.translateThen(cell, func(pa uint64) { sw.issueFreeWrite(pa) }) {
+		if sw.pwLen() > 0 {
+			cell := sw.pendingW[sw.pwHead]
+			if !sw.translateThen(cell, transFreeWrite) {
 				return false
 			}
-			sw.pendingW = sw.pendingW[1:]
+			sw.pwHead++
+			if sw.pwHead == len(sw.pendingW) {
+				sw.pendingW = sw.pendingW[:0]
+				sw.pwHead = 0
+			}
 			return true
 		}
 		if sw.scanned < sw.cells && sw.inflight < sw.u.cfg.OutstandingReads {
@@ -237,14 +395,14 @@ func (sw *sweeper) step() bool {
 				n = sw.cells - sw.scanned
 			}
 			va := sw.base + uint64(sw.scanned)*sw.cellSize
-			first := sw.scanned
-			if !sw.translateThen(va, func(pa uint64) { sw.issueScan(va, pa, size, first, n) }) {
+			sw.tSize, sw.tFirst, sw.tN = size, sw.scanned, n
+			if !sw.translateThen(va, transScan) {
 				return false
 			}
 			sw.scanned += n
 			return true
 		}
-		if sw.scanned == sw.cells && sw.resolved == sw.cells && sw.inflight == 0 && len(sw.pendingW) == 0 {
+		if sw.scanned == sw.cells && sw.resolved == sw.cells && sw.inflight == 0 && sw.pwLen() == 0 {
 			sw.state = swWriteback
 			return sw.writeDescriptor()
 		}
@@ -255,68 +413,44 @@ func (sw *sweeper) step() bool {
 	return false
 }
 
-// translateThen resolves va and runs fn(pa); it returns false when the
-// translator is busy (retry after wake).
-func (sw *sweeper) translateThen(va uint64, fn func(pa uint64)) bool {
-	done := false
-	accepted := sw.tr.Translate(va, func(pa uint64, ok bool) {
-		if !ok {
-			panic("sweep: page fault")
-		}
-		sw.pendingT = false
-		done = true
-		fn(pa)
-		sw.tick.Wake()
-	})
-	if !accepted {
+// translateThen resolves va and runs the op continuation with the physical
+// address; it returns false when the translator is busy (retry after wake).
+// At most one translation is outstanding per sweeper, so the continuation
+// and its operands live in sweeper fields instead of a per-call closure.
+func (sw *sweeper) translateThen(va uint64, op transOp) bool {
+	sw.transOp = op
+	sw.transDone = false
+	if !sw.tr.Translate(va, sw.transCb) {
 		return false
 	}
-	if !done {
+	if !sw.transDone {
 		sw.pendingT = true
 	}
 	return true
 }
 
 func (sw *sweeper) loadDescriptor() bool {
-	entry := sw.u.sys.Heap.MS.EntryVA(sw.block)
-	ok := sw.translateThen(entry, func(pa uint64) {
-		sw.issueDescRead(entry, pa)
-	})
-	return ok
+	sw.descVA = sw.u.sys.Heap.MS.EntryVA(sw.block)
+	return sw.translateThen(sw.descVA, transDescRead)
 }
 
-func (sw *sweeper) issueDescRead(entryVA, pa uint64) {
+func (sw *sweeper) issueDescRead(pa uint64) {
 	sw.inflight++
-	if !sw.port.Issue(dram.Request{Addr: pa, Size: 32, Kind: dram.Read, Done: func(uint64) {
-		h := sw.u.sys.Heap
-		sw.base = h.Load(entryVA)
-		sw.cellSize = h.Load(entryVA + 8)
-		sw.cells = int(h.MS.BlockBytes() / sw.cellSize)
-		sw.scanned, sw.resolved = 0, 0
-		sw.freeHead = 0
-		sw.live = 0
-		sw.inflight--
-		sw.state = swScan
-		sw.tick.Wake()
-	}}) {
-		sw.inflight--
-		sw.u.eng.After(1, func() { sw.issueDescRead(entryVA, pa) })
-	}
+	sw.descPA = pa
+	sw.descReadIss()
 }
 
-func (sw *sweeper) issueScan(va, pa, size uint64, first, n int) {
+func (sw *sweeper) issueScan(pa uint64) {
 	sw.inflight++
-	if !sw.port.Issue(dram.Request{Addr: pa, Size: size, Kind: dram.Read, Done: func(uint64) {
-		// FSM classification time per cell before the next probe.
-		sw.u.eng.After(sw.u.cfg.CellCycles*uint64(n), func() {
-			sw.processCells(first, n)
-			sw.inflight--
-			sw.tick.Wake()
-		})
-	}}) {
-		sw.inflight--
-		sw.u.eng.After(1, func() { sw.issueScan(va, pa, size, first, n) })
+	var s *scanSlot
+	if n := len(sw.freeSlots); n > 0 {
+		s = sw.freeSlots[n-1]
+		sw.freeSlots = sw.freeSlots[:n-1]
+	} else {
+		s = sw.newScanSlot()
 	}
+	s.pa, s.size, s.first, s.n = pa, sw.tSize, sw.tFirst, sw.tN
+	s.issue()
 }
 
 // processCells classifies the cells covered by one response. Live marked
@@ -346,12 +480,8 @@ func (sw *sweeper) processCells(first, n int) {
 
 func (sw *sweeper) issueFreeWrite(pa uint64) {
 	sw.writeOut = true
-	if !sw.port.Issue(dram.Request{Addr: pa, Size: 8, Kind: dram.Write, Done: func(uint64) {
-		sw.writeOut = false
-		sw.tick.Wake()
-	}}) {
-		sw.u.eng.After(1, func() { sw.issueFreeWrite(pa) })
-	}
+	sw.fwPA = pa
+	sw.fwIss()
 }
 
 // writeDescriptor stores the rebuilt free-list head and live count (a
@@ -361,22 +491,10 @@ func (sw *sweeper) writeDescriptor() bool {
 	entry := h.MS.EntryVA(sw.block)
 	h.Store(entry+16, sw.freeHead)
 	h.Store(entry+24, sw.live)
-	ok := sw.translateThen(entry+16, func(pa uint64) {
-		sw.issueDescWrite(pa)
-	})
-	return ok
+	return sw.translateThen(entry+16, transDescWrite)
 }
 
 func (sw *sweeper) issueDescWrite(pa uint64) {
-	if !sw.port.Issue(dram.Request{Addr: pa, Size: 16, Kind: dram.Write, Done: func(uint64) {
-		sw.u.BlocksSwept++
-		if sw.tel != nil {
-			sw.tel.Complete3(sw.telUnit, "sweep-block", sw.blockStart, sw.u.eng.Now(),
-				"block", uint64(sw.block), "cells", uint64(sw.cells), "live", sw.live)
-		}
-		sw.state = swIdle
-		sw.tick.Wake()
-	}}) {
-		sw.u.eng.After(1, func() { sw.issueDescWrite(pa) })
-	}
+	sw.descPA = pa
+	sw.descWriteIss()
 }

@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"testing"
+
+	"hwgc/internal/heap"
+)
+
+// TestMarkQueuePushPopZeroAllocs guards the mark loop's fast path: the
+// marker and tracer call Push/Pop for every traced reference, so the
+// on-chip steady state (no spill traffic) must not allocate once the rings
+// and the engine's event buffers are warm.
+func TestMarkQueuePushPopZeroAllocs(t *testing.T) {
+	eng, mq := newMQ(t, 64, 8, false)
+	refs := make([]uint64, 32)
+	for i := range refs {
+		refs[i] = heap.VAHeapBase + uint64(i)*8
+	}
+	cycle := func() {
+		for _, r := range refs {
+			if !mq.Push(r) {
+				t.Fatal("push refused with free on-chip capacity")
+			}
+		}
+		for range refs {
+			if _, ok := mq.Pop(); !ok {
+				t.Fatal("pop failed with entries queued")
+			}
+		}
+		eng.Run()
+	}
+	cycle() // warm rings, ticker state, engine buffers
+	if allocs := testing.AllocsPerRun(200, cycle); allocs != 0 {
+		t.Fatalf("steady-state Push/Pop = %.1f allocs/run, want 0", allocs)
+	}
+}

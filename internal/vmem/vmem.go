@@ -57,6 +57,13 @@ func NewPageTable(m *mem.Physical, arena *mem.Arena) *PageTable {
 // pointer the driver writes into the unit's configuration registers).
 func (pt *PageTable) Root() uint64 { return pt.root }
 
+// CloneFor returns a page table handle over m (a snapshot clone of the
+// memory the tables were built in). The table pages themselves live in
+// simulated memory, so only the root pointer and counters carry over.
+func (pt *PageTable) CloneFor(m *mem.Physical, arena *mem.Arena) *PageTable {
+	return &PageTable{mem: m, arena: arena, root: pt.root, TablePages: pt.TablePages}
+}
+
 func (pt *PageTable) allocTable() uint64 {
 	r := pt.arena.Alloc(PageSize, PageSize)
 	pt.TablePages++

@@ -49,6 +49,44 @@ func NewApp(sys *rts.System, spec Spec, seed uint64) *App {
 	return a
 }
 
+// CloneFor returns an application model over sys (a snapshot clone of the
+// system this app populated) that continues exactly where the receiver
+// stands: same RNG position, same graph bookkeeping, same counters. A
+// clone's subsequent Churn/WriteRoots sequence is bit-identical to what the
+// original would have produced. The Zipf CDF table is immutable and shared;
+// the chains share one flat backing array.
+func (a *App) CloneFor(sys *rts.System) *App {
+	c := &App{
+		Spec:           a.Spec,
+		sys:            sys,
+		rand:           a.rand.Clone(),
+		roots:          append([]heap.Ref(nil), a.roots...),
+		hot:            append([]heap.Ref(nil), a.hot...),
+		recent:         append([]heap.Ref(nil), a.recent...),
+		AllocatedBytes: a.AllocatedBytes,
+		AllocFailures:  a.AllocFailures,
+		Replacements:   a.Replacements,
+	}
+	if a.zipf != nil {
+		c.zipf = a.zipf.CloneFor(c.rand)
+	}
+	if len(a.chains) > 0 {
+		total := 0
+		for _, ch := range a.chains {
+			total += len(ch)
+		}
+		flat := make([]heap.Ref, total)
+		c.chains = make([][]heap.Ref, len(a.chains))
+		off := 0
+		for i, ch := range a.chains {
+			n := copy(flat[off:off+len(ch)], ch)
+			c.chains[i] = flat[off : off+n : off+n]
+			off += n
+		}
+	}
+	return c
+}
+
 // refCount samples an object's reference-field count; chain nodes need at
 // least one field for the spine.
 func (a *App) refCount(array bool) int {

@@ -1,0 +1,72 @@
+#!/bin/sh
+# Allocation-regression sentinel: runs the quick experiment suite and the
+# per-cell image-construction micro-benchmarks once (-benchtime=1x) with
+# -benchmem and compares allocs/op against the checked-in budgets in
+# scripts/alloc_budget.txt. A benchmark more than 15% over budget fails the
+# gate — that is how the fleet's allocation discipline stays held after the
+# 638M -> 16M allocs/op overhaul (see docs/PERFORMANCE.md).
+#
+#   scripts/allocguard.sh             # compare against the budget file
+#   scripts/allocguard.sh -update     # rewrite budgets from this run
+set -eu
+
+cd "$(dirname "$0")/.."
+budget="scripts/alloc_budget.txt"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "== allocation sentinel: quick suite + image micro-benchmarks (1 iteration)"
+go test -run '^$' \
+    -bench 'BenchmarkHostFullSuiteSerial$|BenchmarkHostColdBuild$|BenchmarkHostSnapshotClone$' \
+    -benchmem -benchtime=1x . | tee "$raw"
+
+if [ "${1:-}" = "-update" ]; then
+    {
+        head -8 "$budget" | grep '^#' || true
+        awk '/^Benchmark/ && /allocs\/op/ {
+            name = $1; sub(/-[0-9]+$/, "", name)
+            for (i = 4; i <= NF; i++) if ($i == "allocs/op") print name, $(i - 1)
+        }' "$raw"
+    } > "$budget.tmp" && mv "$budget.tmp" "$budget"
+    echo "rewrote $budget"
+    exit 0
+fi
+
+awk -v budget="$budget" '
+BEGIN {
+    while ((getline line < budget) > 0) {
+        if (line ~ /^#/ || line ~ /^[[:space:]]*$/) continue
+        split(line, f, " ")
+        want[f[1]] = f[2] + 0
+    }
+    close(budget)
+    failed = 0
+}
+/^Benchmark/ && /allocs\/op/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    allocs = ""
+    for (i = 4; i <= NF; i++) if ($i == "allocs/op") allocs = $(i - 1) + 0
+    if (allocs == "" || !(name in want)) next
+    seen[name] = 1
+    limit = want[name] * 1.15
+    if (allocs > limit) {
+        printf "FAIL %s: %d allocs/op exceeds budget %d by more than 15%% (limit %.0f)\n",
+               name, allocs, want[name], limit
+        failed = 1
+    } else {
+        printf "ok   %s: %d allocs/op (budget %d, limit %.0f)\n",
+               name, allocs, want[name], limit
+        if (allocs < want[name] * 0.5)
+            printf "note %s: well under budget — consider ratcheting %s down\n", name, budget
+    }
+}
+END {
+    for (name in want) if (!(name in seen)) {
+        printf "FAIL %s: budgeted benchmark did not run\n", name
+        failed = 1
+    }
+    exit failed
+}
+' "$raw"
+
+echo "allocation sentinel ok"

@@ -1,6 +1,7 @@
 #!/bin/sh
 # Host-performance benchmark harness: runs the event-engine micro-benchmarks
-# (value-typed 4-ary heap vs the boxed container/heap baseline) and the
+# (value-typed 4-ary heap vs the boxed container/heap baseline), the per-cell
+# image-construction comparison (cold build vs snapshot clone), and the
 # end-to-end quick-suite benchmarks (serial vs parallel fleet), then appends
 # one JSONL trajectory line to BENCH_host.json — keyed by git SHA and date —
 # so host performance is a time series across commits, not a single snapshot.
@@ -10,8 +11,12 @@
 #
 # Each line is a self-contained JSON object:
 #   {"git_sha": "...", "date": "YYYY-MM-DD", "host": "...", "cpus": N,
-#    "benchmarks": [{"name": ..., "iters": ..., "ns_per_op": ...,
-#                    "bytes_per_op": ..., "allocs_per_op": ...}, ...]}
+#    "benchmarks": [{"name": ..., "gomaxprocs": ..., "iters": ...,
+#                    "ns_per_op": ..., "bytes_per_op": ...,
+#                    "allocs_per_op": ...}, ...]}
+# On a single-CPU host the parallel fleet benchmark is skipped (the
+# serial-vs-parallel comparison is meaningless there) and the line carries
+# "serial_vs_parallel": "skipped: single-cpu host".
 # Diff two commits with e.g.:
 #   jq -s '.[-2:]' BENCH_host.json
 set -eu
@@ -23,32 +28,52 @@ trap 'rm -f "$raw"' EXIT
 
 sha="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
 date="$(date -u +%Y-%m-%d)"
+ncpu="$(nproc 2>/dev/null || echo 1)"
 
 echo "== engine micro-benchmarks (ns/op, allocs/op)"
 go test -run '^$' -bench 'BenchmarkHostEngine' -benchmem -benchtime=200ms \
     ./internal/sim | tee -a "$raw"
 
-echo "== full experiment suite, serial vs parallel (host wall time)"
-go test -run '^$' -bench 'BenchmarkHostFullSuite' -benchmem -benchtime=1x \
+echo "== per-cell image construction: cold build vs snapshot clone"
+go test -run '^$' -bench 'BenchmarkHostColdBuild|BenchmarkHostSnapshotClone' \
+    -benchmem -benchtime=200ms . | tee -a "$raw"
+
+if [ "$ncpu" -gt 1 ]; then
+    suite='BenchmarkHostFullSuite'
+    par_note=""
+    echo "== full experiment suite, serial vs parallel (host wall time)"
+else
+    suite='BenchmarkHostFullSuiteSerial$'
+    par_note="skipped: single-cpu host"
+    echo "== full experiment suite, serial only (single CPU: parallel comparison skipped)"
+fi
+go test -run '^$' -bench "$suite" -benchmem -benchtime=1x \
     . | tee -a "$raw"
 
-awk -v host="$(uname -sm)" -v ncpu="$(nproc 2>/dev/null || echo 1)" \
-    -v sha="$sha" -v date="$date" '
+awk -v host="$(uname -sm)" -v ncpu="$ncpu" \
+    -v sha="$sha" -v date="$date" -v par_note="$par_note" '
 BEGIN { n = 0 }
 /^Benchmark/ && /ns\/op/ {
-    name = $1; sub(/-[0-9]+$/, "", name)
+    # The -N suffix on a benchmark name is the GOMAXPROCS it ran at.
+    name = $1; gmp = "null"
+    if (match(name, /-[0-9]+$/)) {
+        gmp = substr(name, RSTART + 1, RLENGTH - 1)
+        sub(/-[0-9]+$/, "", name)
+    }
     iters = $2; ns = $3
     bytes = ""; allocs = ""
     for (i = 4; i <= NF; i++) {
         if ($i == "B/op") bytes = $(i - 1)
         if ($i == "allocs/op") allocs = $(i - 1)
     }
-    rows[n++] = sprintf("{\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-                        name, iters, ns, bytes == "" ? "null" : bytes,
+    rows[n++] = sprintf("{\"name\": \"%s\", \"gomaxprocs\": %s, \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                        name, gmp, iters, ns, bytes == "" ? "null" : bytes,
                         allocs == "" ? "null" : allocs)
 }
 END {
-    printf "{\"git_sha\": \"%s\", \"date\": \"%s\", \"host\": \"%s\", \"cpus\": %s, \"benchmarks\": [", sha, date, host, ncpu
+    printf "{\"git_sha\": \"%s\", \"date\": \"%s\", \"host\": \"%s\", \"cpus\": %s, ", sha, date, host, ncpu
+    if (par_note != "") printf "\"serial_vs_parallel\": \"%s\", ", par_note
+    printf "\"benchmarks\": ["
     for (i = 0; i < n; i++) printf "%s%s", rows[i], (i < n - 1 ? ", " : "")
     printf "]}\n"
 }
