@@ -9,6 +9,7 @@
 //	hwgc-bench -only fig15,fig20
 //	hwgc-bench -run 'fig1[0-9]' # regexp over experiment IDs
 //	hwgc-bench -parallel 8      # worker count (default GOMAXPROCS)
+//	hwgc-bench -cluster-workers 2  # distribute over loopback cluster workers
 //	hwgc-bench -snapshot=false  # cold-build every cell (default: CoW clones)
 //	hwgc-bench -cache           # serve repeated cells from the result cache
 //	hwgc-bench -cache-dir DIR   # ... persisted across runs under DIR
@@ -19,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +32,7 @@ import (
 	"time"
 
 	"hwgc"
+	"hwgc/internal/cluster"
 	"hwgc/internal/experiments"
 	"hwgc/internal/ledger"
 	"hwgc/internal/report"
@@ -40,6 +43,8 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
 	runFilter := flag.String("run", "", "regexp over experiment IDs (composes with -only)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation cells (<=1 serial)")
+	clusterWorkers := flag.Int("cluster-workers", 0,
+		"distribute experiments over this many in-process loopback cluster workers (lease dispatch; 0 = off)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	gcs := flag.Int("gcs", 0, "collections per benchmark (0 = default)")
 	seed := flag.Uint64("seed", 42, "workload seed")
@@ -141,7 +146,11 @@ func main() {
 		if tel != nil {
 			cache.AttachTelemetry(tel)
 		}
-		runners = hwgc.CachedExperiments(cache, runners)
+		if *clusterWorkers <= 0 {
+			// Cluster mode wires the cache into the coordinator and the
+			// workers instead; wrapping here too would double-check it.
+			runners = hwgc.CachedExperiments(cache, runners)
+		}
 	}
 
 	var store *ledger.Store
@@ -177,7 +186,42 @@ func main() {
 	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 
-	results := hwgc.RunFleet(runners, opts, *parallel)
+	// Per-experiment cluster attribution for the manifest (empty when not
+	// in cluster mode).
+	workerOf := map[string]string{}
+	cacheHitOf := map[string]bool{}
+
+	var results []hwgc.ExperimentResult
+	if *clusterWorkers > 0 {
+		coord := cluster.NewCoordinator(cluster.Config{
+			Runners: runners,
+			Cache:   cache,
+		})
+		pool, err := cluster.StartLoopbackWorkers(coord, *clusterWorkers, cluster.WorkerConfig{
+			Name:      "bench",
+			Runners:   runners,
+			Cache:     cache,
+			PollEvery: 5 * time.Millisecond,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cres := cluster.RunFleet(context.Background(), coord, runners, opts)
+		if err := pool.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		coord.Close()
+		results = make([]hwgc.ExperimentResult, len(cres))
+		for i, r := range cres {
+			results[i] = r.Result
+			workerOf[r.Runner.ID] = r.Worker
+			cacheHitOf[r.Runner.ID] = r.CacheHit
+		}
+	} else {
+		results = hwgc.RunFleet(runners, opts, *parallel)
+	}
 	failed := 0
 	for _, res := range results {
 		if res.Err != nil {
@@ -199,10 +243,12 @@ func main() {
 		m.Host.Mallocs = memAfter.Mallocs - memBefore.Mallocs
 		for _, res := range results {
 			rec := ledger.Experiment{
-				ID:      res.Runner.ID,
-				Title:   res.Runner.Title,
-				CellKey: experiments.CellKey(res.Runner.ID, opts).String(),
-				WallMS:  wallMS[res.Runner.ID],
+				ID:       res.Runner.ID,
+				Title:    res.Runner.Title,
+				CellKey:  experiments.CellKey(res.Runner.ID, opts).String(),
+				Worker:   workerOf[res.Runner.ID],
+				CacheHit: cacheHitOf[res.Runner.ID],
+				WallMS:   wallMS[res.Runner.ID],
 			}
 			if res.Err != nil {
 				rec.Error = res.Err.Error()

@@ -12,9 +12,19 @@
 //	hwgc-serve -ledger runs/           # append a run manifest per job
 //	hwgc-serve -pprof                  # expose /debug/pprof/
 //
+// Cluster mode turns the daemon into a coordinator: jobs are dispatched to
+// registered workers (cmd/hwgc-worker) through per-job leases instead of
+// running in-process, with the protocol endpoints mounted under
+// /cluster/v1/ on the same listener (see docs/SERVICE.md §5):
+//
+//	hwgc-serve -cluster                          # coordinator; remote workers only
+//	hwgc-serve -cluster -cluster-local-workers 2 # plus 2 in-process loopback workers
+//	hwgc-serve -cluster -lease-ttl 2m            # slow cells need longer leases
+//
 // The daemon drains gracefully on SIGINT/SIGTERM: in-flight jobs finish
-// (bounded by -drain-timeout, then cancelled), new submissions get 503,
-// and the process exits 0.
+// (bounded by -drain-timeout, then cancelled; in cluster mode leased jobs
+// complete or re-queue before the listener closes), new submissions get
+// 503, and the process exits 0.
 //
 //	curl -s localhost:8077/v1/experiments
 //	curl -s -X POST localhost:8077/v1/jobs \
@@ -31,12 +41,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
 	"time"
 
+	"hwgc/internal/cluster"
 	"hwgc/internal/ledger"
 	"hwgc/internal/resultcache"
 	"hwgc/internal/service"
@@ -55,6 +67,14 @@ func main() {
 	sampleEvery := flag.Uint64("sample-every", 1024, "telemetry gauge sampling interval in cycles")
 	ledgerDir := flag.String("ledger", "", "append one run manifest per finished job under this directory")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	clusterOn := flag.Bool("cluster", false,
+		"coordinator mode: dispatch jobs to cluster workers (hwgc-worker) via /cluster/v1/ leases")
+	localWorkers := flag.Int("cluster-local-workers", 0,
+		"with -cluster: also run this many in-process loopback workers")
+	leaseTTL := flag.Duration("lease-ttl", 30*time.Second,
+		"with -cluster: lease validity window; expired leases re-queue the job")
+	retain := flag.Int("retain", 0,
+		"finished jobs kept before eviction (later lookups get 410; 0 = default 4096, negative = unlimited)")
 	flag.Parse()
 
 	cache, err := resultcache.New(*cacheEntries, *cacheDir)
@@ -78,14 +98,43 @@ func main() {
 	hub := telemetry.NewSyncHub(*sampleEvery)
 	telemetry.SetDefault(hub)
 
-	sched := service.New(service.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		JobTimeout: *jobTimeout,
-		Cache:      cache,
-		Hub:        hub,
-		Ledger:     store,
-	})
+	svcCfg := service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		JobTimeout:     *jobTimeout,
+		Cache:          cache,
+		Hub:            hub,
+		Ledger:         store,
+		RetainFinished: *retain,
+	}
+
+	// Cluster mode: a coordinator owns dispatch (the scheduler's worker
+	// pool blocks on remote completion), its protocol endpoints mount on
+	// the same listener, and its per-worker series append to /metrics.
+	var coord *cluster.Coordinator
+	var pool *cluster.LoopbackPool
+	if *clusterOn {
+		coord = cluster.NewCoordinator(cluster.Config{
+			LeaseTTL: *leaseTTL,
+			Cache:    cache,
+			Hub:      hub,
+			Logf:     log.Printf,
+		})
+		svcCfg.Dispatch = coord.Dispatch
+		svcCfg.PromAppend = coord.WritePrometheus
+		if *localWorkers > 0 {
+			pool, err = cluster.StartLoopbackWorkers(coord, *localWorkers, cluster.WorkerConfig{
+				Name: "local",
+				Logf: log.Printf,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	sched := service.New(svcCfg)
 	d := &service.Daemon{
 		Addr:         *addr,
 		Scheduler:    sched,
@@ -93,6 +142,16 @@ func main() {
 		EnablePprof:  *pprofOn,
 		DrainTimeout: *drainTimeout,
 		Logf:         log.Printf,
+	}
+	if coord != nil {
+		d.ExtraMounts = map[string]http.Handler{"/cluster/v1/": cluster.NewHTTPHandler(coord)}
+		d.OnDrain = func(ctx context.Context) {
+			_ = coord.Drain(ctx)
+			if pool != nil {
+				_ = pool.Stop()
+			}
+			coord.Close()
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

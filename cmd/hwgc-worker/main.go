@@ -1,0 +1,90 @@
+// hwgc-worker is the cluster compute daemon: it registers with an
+// hwgc-serve coordinator (-cluster), polls for per-job leases, runs the
+// leased experiment cells locally, and reports results back over the
+// versioned HTTP/JSON wire protocol. See docs/SERVICE.md §5.
+//
+// Usage:
+//
+//	hwgc-worker -coordinator http://coord:8077
+//	hwgc-worker -coordinator http://coord:8077 -slots 4 -name lab-2
+//	hwgc-worker -coordinator http://coord:8077 -cache-dir /var/cache/hwgc
+//
+// The worker heartbeats at the coordinator's advertised interval (carrying
+// live progress for every in-flight lease) and re-registers automatically
+// if the coordinator loses it. SIGINT/SIGTERM shuts down gracefully:
+// in-flight leases finish and complete, then the process exits 0. A
+// protocol or simulator-version mismatch with the coordinator is fatal —
+// mixing builds would poison the shared content-addressed cache.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"hwgc/internal/cluster"
+	"hwgc/internal/resultcache"
+	"hwgc/internal/telemetry"
+)
+
+func main() {
+	coordinator := flag.String("coordinator", "", "coordinator base URL (required), e.g. http://coord:8077")
+	name := flag.String("name", defaultName(), "worker name for ledger attribution and metrics labels")
+	slots := flag.Int("slots", runtime.GOMAXPROCS(0), "concurrent leases to run")
+	cacheEntries := flag.Int("cache-entries", 0, "in-memory result cache entries (0 = default)")
+	cacheDir := flag.String("cache-dir", "", "persist cached results under this directory")
+	poll := flag.Duration("poll", 200*time.Millisecond, "idle lease-poll interval")
+	flag.Parse()
+
+	if *coordinator == "" {
+		fmt.Fprintln(os.Stderr, "hwgc-worker: -coordinator is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cache, err := resultcache.New(*cacheEntries, *cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// A synchronized hub keeps concurrent leased cells at full width (each
+	// forks a private child) exactly as in hwgc-serve.
+	telemetry.SetDefault(telemetry.NewSyncHub(0))
+
+	w, err := cluster.NewWorker(cluster.WorkerConfig{
+		Name:      *name,
+		Client:    &cluster.HTTPClient{Base: *coordinator},
+		Slots:     *slots,
+		Cache:     cache,
+		PollEvery: *poll,
+		Logf:      log.Printf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("hwgc-worker %s: connecting to %s (%d slots)", *name, *coordinator, *slots)
+	if err := w.Run(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	log.Printf("hwgc-worker %s: drained, exiting", *name)
+}
+
+// defaultName is the hostname, or a pid-tagged fallback when unavailable.
+func defaultName() string {
+	if h, err := os.Hostname(); err == nil && h != "" {
+		return h
+	}
+	return fmt.Sprintf("worker-%d", os.Getpid())
+}

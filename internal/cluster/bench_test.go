@@ -1,0 +1,55 @@
+package cluster
+
+// BenchmarkClusterLoopbackDispatch measures the coordinator's per-job
+// protocol overhead — Submit, Lease, Complete, commit — with the runner
+// cost factored out (the completion is hand-fed). This is the loopback
+// fast path every in-process cluster job pays on top of the simulation
+// itself; scripts/allocguard.sh holds its allocs/op to budget.
+
+import (
+	"testing"
+	"time"
+
+	"hwgc/internal/experiments"
+	"hwgc/internal/resultcache"
+)
+
+func BenchmarkClusterLoopbackDispatch(b *testing.B) {
+	c := NewCoordinator(Config{
+		Runners:  []experiments.Runner{fastRunner("a")},
+		LeaseTTL: time.Hour,
+	})
+	defer c.Close()
+	w, err := c.Register(RegisterRequest{
+		Name: "bench", Protocol: ProtocolVersion, ModuleVersion: resultcache.ModuleVersion(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := experiments.EncodeReport(experiments.Report{ID: "a", Rows: []string{"row a"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := experiments.QuickOptions()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		job, err := c.Submit(NewJobSpec("a", opts), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lr, err := c.Lease(LeaseRequest{WorkerID: w.WorkerID})
+		if err != nil || lr.Lease == nil {
+			b.Fatalf("lease: %v %v", lr.Lease, err)
+		}
+		if _, err := c.Complete(CompleteRequest{
+			WorkerID: w.WorkerID, LeaseID: lr.Lease.ID, JobID: lr.Lease.Job.ID, Report: rep,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if res := job.Result(); res.State != JobSucceeded {
+			b.Fatalf("job state = %s", res.State)
+		}
+	}
+}

@@ -1,0 +1,771 @@
+package cluster
+
+// The coordinator: job queue, worker table, lease table, and the dispatch
+// policy. Everything lives behind one mutex; the only background goroutine
+// is the janitor, which expires stale leases and silent workers on a
+// fixed tick.
+//
+// Invariants:
+//
+//   - A job is in exactly one of: the pending queue, the lease table (via
+//     one active lease), or a terminal state.
+//   - A job's result commits at most once. The first valid Complete wins;
+//     every later completion for the same job is dropped with
+//     Committed=false. Because attempts share the job's content-addressed
+//     cache key, a dropped duplicate is guaranteed byte-identical to the
+//     committed result — dropping it loses nothing.
+//   - Expired leases re-queue the job with exponential backoff + jitter
+//     until MaxAttempts grants have been consumed; then the job fails.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"hwgc/internal/experiments"
+	"hwgc/internal/resultcache"
+	"hwgc/internal/telemetry"
+)
+
+// Config parameterizes a Coordinator. The zero value is usable: every
+// runner served, 30s leases, 3s heartbeats, 4 attempts per job.
+type Config struct {
+	// Runners is the experiment table served (nil means experiments.All()).
+	Runners []experiments.Runner
+	// LeaseTTL is how long a lease stays valid without completion
+	// (<= 0 means 30s). Expired leases re-queue their job.
+	LeaseTTL time.Duration
+	// HeartbeatEvery is the heartbeat interval advertised to workers
+	// (<= 0 means 3s).
+	HeartbeatEvery time.Duration
+	// WorkerExpiry is how long a silent worker stays registered
+	// (<= 0 means 3x HeartbeatEvery). An expired worker's leases re-queue
+	// immediately and its affinity claims are released.
+	WorkerExpiry time.Duration
+	// MaxAttempts bounds lease grants per job (<= 0 means 4); past it the
+	// job fails with the last attempt's error.
+	MaxAttempts int
+	// RetryBase is the backoff unit for re-queued jobs (<= 0 means 100ms):
+	// attempt n waits in [base*2^(n-1)/2, base*2^(n-1)], capped at RetryMax.
+	RetryBase time.Duration
+	// RetryMax caps the backoff (<= 0 means 10s).
+	RetryMax time.Duration
+	// Jitter seeds the backoff jitter (0 means 1). It only spreads retry
+	// timing — never results.
+	Jitter uint64
+	// Cache, when set, is consulted at submission (a hit completes the job
+	// without dispatching) and receives every committed result, keyed by
+	// the job's content address.
+	Cache *resultcache.Cache
+	// Hub, when set, receives the coordinator's aggregate metrics on its
+	// registry at construction; per-worker series are exposed through
+	// WritePrometheus (worker names arrive too late to register safely).
+	Hub *telemetry.Hub
+	// Logf, when set, receives coordinator events (registrations, expiries,
+	// retries).
+	Logf func(format string, args ...any)
+}
+
+// JobState is a cluster job's lifecycle position.
+type JobState string
+
+const (
+	JobPending   JobState = "pending"
+	JobLeased    JobState = "leased"
+	JobSucceeded JobState = "succeeded"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// JobResult is a terminal job's immutable outcome, safe to read once Done
+// is closed.
+type JobResult struct {
+	State JobState
+	// Report is the JSON-encoded experiments.Report (succeeded only).
+	Report []byte
+	// Err is the failure or cancellation reason.
+	Err string
+	// Worker names the worker whose result committed ("" for cache hits and
+	// cancellations).
+	Worker string
+	// CacheHit marks a result served without dispatching (coordinator
+	// cache) or from the committing worker's local cache.
+	CacheHit bool
+	// Attempts is the number of lease grants consumed; Retries is how many
+	// times the job was re-queued.
+	Attempts int
+	Retries  int
+}
+
+// Job is one submitted cell. Mutable fields are guarded by the owning
+// coordinator's lock; wait on Done, then read Result.
+type Job struct {
+	spec JobSpec
+	beat *telemetry.Beat // in-process progress mirror; nil when unused
+
+	state     JobState
+	attempt   int
+	retries   int
+	notBefore time.Time
+	worker    string
+	cacheHit  bool
+	report    []byte
+	errMsg    string
+
+	res  JobResult // populated before done closes
+	done chan struct{}
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.spec.ID }
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the terminal outcome; it blocks until the job finishes.
+func (j *Job) Result() JobResult {
+	<-j.done
+	return j.res
+}
+
+// lease is one active grant.
+type lease struct {
+	id       string
+	job      *Job
+	workerID string
+	expires  time.Time
+}
+
+// workerState is the coordinator's view of one registered worker.
+type workerState struct {
+	id       string
+	name     string
+	slots    int
+	caps     map[string]bool
+	lastSeen time.Time
+	leases   map[string]*lease
+
+	completed, failed, expired, stolen uint64 // per-worker attribution
+}
+
+// Coordinator owns the cluster control plane.
+type Coordinator struct {
+	cfg  Config
+	byID map[string]experiments.Runner
+	ids  []string
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	jobs     map[string]*Job
+	pending  []*Job // FIFO by submission; notBefore gates readiness
+	leases   map[string]*lease
+	workers  map[string]*workerState
+	affinity map[string]string // affinity key -> worker ID owning its images
+	draining bool
+
+	seqJob, seqLease, seqWorker int
+
+	// aggregate counters (registered on the hub at construction)
+	submitted, completed, failed, cancelled uint64
+	cacheHits, retriesTotal, duplicateDrop  uint64
+	leasesGranted, leasesExpired            uint64
+	affinityLocal, affinitySteal            uint64
+	workersRegistered, workersExpired       uint64
+
+	closeOnce sync.Once
+	stop      chan struct{}
+	stopped   chan struct{}
+}
+
+// NewCoordinator starts a coordinator (and its janitor goroutine). Stop it
+// with Close; stop accepting work first with Drain.
+func NewCoordinator(cfg Config) *Coordinator {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 30 * time.Second
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = 3 * time.Second
+	}
+	if cfg.WorkerExpiry <= 0 {
+		cfg.WorkerExpiry = 3 * cfg.HeartbeatEvery
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 100 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 10 * time.Second
+	}
+	runners := cfg.Runners
+	if runners == nil {
+		runners = experiments.All()
+	}
+	seed := cfg.Jitter
+	if seed == 0 {
+		seed = 1
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		byID:     make(map[string]experiments.Runner, len(runners)),
+		rng:      rand.New(rand.NewSource(int64(seed))),
+		jobs:     make(map[string]*Job),
+		leases:   make(map[string]*lease),
+		workers:  make(map[string]*workerState),
+		affinity: make(map[string]string),
+		stop:     make(chan struct{}),
+		stopped:  make(chan struct{}),
+	}
+	for _, r := range runners {
+		c.byID[r.ID] = r
+		c.ids = append(c.ids, r.ID)
+	}
+	sort.Strings(c.ids)
+	if cfg.Hub != nil {
+		c.attachTelemetry(cfg.Hub)
+	}
+	go c.janitor()
+	return c
+}
+
+// ExperimentIDs returns the served runner IDs, sorted.
+func (c *Coordinator) ExperimentIDs() []string { return append([]string(nil), c.ids...) }
+
+// Close stops the janitor. Idempotent; call after Drain.
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() { close(c.stop) })
+	<-c.stopped
+}
+
+// Submit enqueues one job. A configured cache is consulted first: a hit
+// completes the job immediately without dispatching. beat, when non-nil,
+// receives the remote worker's heartbeat-reported simulated cycles, so
+// in-process progress probes keep working for distributed cells.
+func (c *Coordinator) Submit(spec JobSpec, beat *telemetry.Beat) (*Job, error) {
+	if _, ok := c.byID[spec.Experiment]; !ok {
+		return nil, fmt.Errorf("%w: %q (valid: %v)", ErrUnknownExperiment, spec.Experiment, c.ids)
+	}
+	// The cache lookup happens outside the coordinator lock (the cache has
+	// its own); a hit never touches the dispatch plane at all.
+	var hit []byte
+	if c.cfg.Cache != nil {
+		if key, ok := parseCacheKey(spec.CacheKey); ok {
+			if b, ok := c.cfg.Cache.Get(key); ok {
+				if _, err := experiments.DecodeReport(b); err == nil {
+					hit = b
+				}
+			}
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.draining {
+		return nil, ErrDraining
+	}
+	if spec.ID == "" {
+		c.seqJob++
+		spec.ID = fmt.Sprintf("cjob-%06d", c.seqJob)
+	}
+	if _, dup := c.jobs[spec.ID]; dup {
+		return nil, fmt.Errorf("cluster: duplicate job ID %q", spec.ID)
+	}
+	job := &Job{spec: spec, beat: beat, state: JobPending, done: make(chan struct{})}
+	c.jobs[spec.ID] = job
+	c.submitted++
+	if hit != nil {
+		job.cacheHit = true
+		job.report = hit
+		c.finishLocked(job, JobSucceeded, "")
+		return job, nil
+	}
+	c.pending = append(c.pending, job)
+	return job, nil
+}
+
+// Register adds a worker after protocol, build, and capability validation.
+func (c *Coordinator) Register(req RegisterRequest) (RegisterResponse, error) {
+	if req.Protocol != ProtocolVersion {
+		return RegisterResponse{}, fmt.Errorf("%w: coordinator %q, worker %q",
+			ErrProtocolMismatch, ProtocolVersion, req.Protocol)
+	}
+	if req.ModuleVersion != resultcache.ModuleVersion() {
+		return RegisterResponse{}, fmt.Errorf("%w: coordinator %q, worker %q",
+			ErrVersionMismatch, resultcache.ModuleVersion(), req.ModuleVersion)
+	}
+	caps := make(map[string]bool)
+	if len(req.Experiments) == 0 {
+		for _, id := range c.ids {
+			caps[id] = true
+		}
+	} else {
+		for _, id := range req.Experiments {
+			if _, ok := c.byID[id]; ok {
+				caps[id] = true
+			}
+		}
+	}
+	slots := req.Slots
+	if slots <= 0 {
+		slots = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Registration is allowed while draining: workers must be able to come
+	// back (e.g. after a network blip) to finish leased work.
+	c.seqWorker++
+	w := &workerState{
+		id:       fmt.Sprintf("w-%06d", c.seqWorker),
+		name:     req.Name,
+		slots:    slots,
+		caps:     caps,
+		lastSeen: time.Now(),
+		leases:   make(map[string]*lease),
+	}
+	if w.name == "" {
+		w.name = w.id
+	}
+	c.workers[w.id] = w
+	c.workersRegistered++
+	c.logf("cluster: worker %s (%s) registered, %d slots, %d capabilities",
+		w.id, w.name, w.slots, len(w.caps))
+	return RegisterResponse{
+		WorkerID:    w.id,
+		LeaseTTLMS:  c.cfg.LeaseTTL.Milliseconds(),
+		HeartbeatMS: c.cfg.HeartbeatEvery.Milliseconds(),
+	}, nil
+}
+
+// Heartbeat stamps the worker alive and mirrors in-flight progress into
+// the jobs' beats.
+func (c *Coordinator) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[req.WorkerID]
+	if !ok {
+		return HeartbeatResponse{Known: false}, nil
+	}
+	w.lastSeen = time.Now()
+	for leaseID, cycles := range req.Progress {
+		if l, ok := c.leases[leaseID]; ok && l.workerID == w.id {
+			l.job.beat.Set(cycles)
+		}
+	}
+	return HeartbeatResponse{Known: true}, nil
+}
+
+// Lease grants the requesting worker one job, preferring cache affinity:
+//
+//  1. a ready job whose affinity images this worker already owns,
+//  2. a ready job with unclaimed (or no) affinity — the worker claims it,
+//  3. any ready job (work conservation beats affinity: an idle worker
+//     steals rather than letting the queue sit).
+//
+// Within each pass the oldest submission wins. Only jobs the worker is
+// capable of (Register.Experiments) are considered.
+func (c *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[req.WorkerID]
+	if !ok {
+		return LeaseResponse{}, fmt.Errorf("%w: %q", ErrUnknownWorker, req.WorkerID)
+	}
+	w.lastSeen = time.Now() // polling for work is proof of life
+	if len(w.leases) >= w.slots {
+		return LeaseResponse{}, nil
+	}
+	now := time.Now()
+	local, unowned, any := -1, -1, -1
+	for i, job := range c.pending {
+		if job.notBefore.After(now) || !w.caps[job.spec.Experiment] {
+			continue
+		}
+		if any < 0 {
+			any = i
+		}
+		owner, claimed := c.affinity[job.spec.Affinity]
+		switch {
+		case job.spec.Affinity != "" && claimed && owner == w.id:
+			if local < 0 {
+				local = i
+			}
+		case job.spec.Affinity == "" || !claimed:
+			if unowned < 0 {
+				unowned = i
+			}
+		}
+		if local >= 0 {
+			break // best class found; older entries were already scanned
+		}
+	}
+	idx := local
+	steal := false
+	if idx < 0 {
+		idx = unowned
+	}
+	if idx < 0 {
+		idx, steal = any, any >= 0
+	}
+	if idx < 0 {
+		return LeaseResponse{}, nil
+	}
+	job := c.pending[idx]
+	c.pending = append(c.pending[:idx], c.pending[idx+1:]...)
+	if job.spec.Affinity != "" {
+		if _, claimed := c.affinity[job.spec.Affinity]; !claimed {
+			c.affinity[job.spec.Affinity] = w.id
+		}
+	}
+	switch {
+	case local >= 0:
+		c.affinityLocal++
+	case steal:
+		c.affinitySteal++
+		w.stolen++
+	}
+	c.seqLease++
+	l := &lease{
+		id:       fmt.Sprintf("lease-%06d", c.seqLease),
+		job:      job,
+		workerID: w.id,
+		expires:  now.Add(c.cfg.LeaseTTL),
+	}
+	c.leases[l.id] = l
+	w.leases[l.id] = l
+	job.state = JobLeased
+	job.attempt++
+	job.worker = w.name
+	c.leasesGranted++
+	return LeaseResponse{Lease: &Lease{
+		ID:      l.id,
+		Job:     job.spec,
+		TTLMS:   c.cfg.LeaseTTL.Milliseconds(),
+		Attempt: job.attempt,
+	}}, nil
+}
+
+// Complete commits a finished lease's result — at most once per job. The
+// first valid completion wins even if its lease already expired (the
+// result is content-addressed, so it is exactly what a retry would have
+// produced); anything arriving after a commit or a cancellation is
+// dropped with Committed=false.
+func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
+	c.mu.Lock()
+	job, ok := c.jobs[req.JobID]
+	if !ok || job.state == JobSucceeded || job.state == JobFailed || job.state == JobCancelled {
+		if ok {
+			c.duplicateDrop++
+		}
+		c.mu.Unlock()
+		return CompleteResponse{Committed: false}, nil
+	}
+	// Detach whichever lease currently covers the job: the completing
+	// worker's own, or — when that one already expired and the job was
+	// re-leased — the successor's (its worker's later completion becomes a
+	// duplicate and is dropped above).
+	if l, held := c.leases[req.LeaseID]; held && l.job == job {
+		c.dropLeaseLocked(l)
+	} else if job.state == JobLeased {
+		for _, other := range c.leases {
+			if other.job == job {
+				c.dropLeaseLocked(other)
+				break
+			}
+		}
+	} else {
+		// Expired lease, job re-queued but not re-leased yet: the early
+		// result still counts — pull the job back out of the queue.
+		c.removePendingLocked(job)
+	}
+	workerName := req.WorkerID
+	if w, known := c.workers[req.WorkerID]; known {
+		workerName = w.name
+	}
+	if req.Error != "" {
+		if w, known := c.workers[req.WorkerID]; known {
+			w.failed++
+		}
+		c.retryLocked(job, fmt.Sprintf("worker %s: %s", workerName, req.Error))
+		c.mu.Unlock()
+		return CompleteResponse{Committed: true}, nil
+	}
+	if _, err := experiments.DecodeReport(req.Report); err != nil {
+		// A payload torn in transit is an attempt failure, not a terminal
+		// one: re-run rather than committing garbage.
+		c.retryLocked(job, fmt.Sprintf("worker %s: undecodable report: %v", workerName, err))
+		c.mu.Unlock()
+		return CompleteResponse{Committed: false}, nil
+	}
+	job.worker = workerName
+	job.cacheHit = req.CacheHit
+	job.report = append([]byte(nil), req.Report...)
+	if w, known := c.workers[req.WorkerID]; known {
+		w.completed++
+	}
+	c.finishLocked(job, JobSucceeded, "")
+	c.mu.Unlock()
+	if c.cfg.Cache != nil {
+		if key, ok := parseCacheKey(job.spec.CacheKey); ok {
+			// Best-effort: a failed cache write only loses reuse.
+			_ = c.cfg.Cache.Put(key, job.report)
+		}
+	}
+	return CompleteResponse{Committed: true}, nil
+}
+
+// retryLocked re-queues a failed or expired attempt with exponential
+// backoff + jitter, or fails the job once MaxAttempts grants are spent.
+// Caller holds c.mu.
+func (c *Coordinator) retryLocked(job *Job, reason string) {
+	if job.attempt >= c.cfg.MaxAttempts {
+		job.errMsg = fmt.Sprintf("%s (attempt %d/%d, giving up)", reason, job.attempt, c.cfg.MaxAttempts)
+		c.finishLocked(job, JobFailed, job.errMsg)
+		return
+	}
+	d := c.backoffLocked(job.attempt)
+	job.state = JobPending
+	job.notBefore = time.Now().Add(d)
+	job.retries++
+	job.errMsg = reason
+	c.pending = append(c.pending, job)
+	c.retriesTotal++
+	c.logf("cluster: job %s attempt %d failed (%s); retrying in %s",
+		job.spec.ID, job.attempt, reason, d)
+}
+
+// backoffLocked returns the wait before re-granting attempt+1: the
+// exponential base*2^(attempt-1) capped at RetryMax, jittered down to
+// half to de-synchronize retry storms. Caller holds c.mu (the RNG).
+func (c *Coordinator) backoffLocked(attempt int) time.Duration {
+	d := c.cfg.RetryBase
+	for i := 1; i < attempt && d < c.cfg.RetryMax; i++ {
+		d *= 2
+	}
+	if d > c.cfg.RetryMax {
+		d = c.cfg.RetryMax
+	}
+	half := d / 2
+	if half > 0 {
+		d = half + time.Duration(c.rng.Int63n(int64(half)+1))
+	}
+	return d
+}
+
+// finishLocked moves a job to a terminal state and publishes its result.
+// Caller holds c.mu.
+func (c *Coordinator) finishLocked(job *Job, st JobState, errMsg string) {
+	job.state = st
+	if errMsg != "" {
+		job.errMsg = errMsg
+	}
+	switch st {
+	case JobSucceeded:
+		c.completed++
+		if job.cacheHit {
+			c.cacheHits++
+		}
+	case JobFailed:
+		c.failed++
+	case JobCancelled:
+		c.cancelled++
+	}
+	job.res = JobResult{
+		State:    st,
+		Report:   job.report,
+		Err:      job.errMsg,
+		Worker:   job.worker,
+		CacheHit: job.cacheHit,
+		Attempts: job.attempt,
+		Retries:  job.retries,
+	}
+	close(job.done)
+}
+
+// dropLeaseLocked removes a lease from the global and per-worker tables.
+// Caller holds c.mu.
+func (c *Coordinator) dropLeaseLocked(l *lease) {
+	delete(c.leases, l.id)
+	if w, ok := c.workers[l.workerID]; ok {
+		delete(w.leases, l.id)
+	}
+}
+
+// removePendingLocked pulls a job out of the pending queue if present.
+// Caller holds c.mu.
+func (c *Coordinator) removePendingLocked(job *Job) {
+	for i, p := range c.pending {
+		if p == job {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// Cancel aborts a job that has not finished: pending jobs terminate
+// immediately; a leased job is cancelled and its eventual completion is
+// dropped. Used when a dispatching client gives up (context cancellation).
+func (c *Coordinator) Cancel(jobID string, reason string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	job, ok := c.jobs[jobID]
+	if !ok || job.state == JobSucceeded || job.state == JobFailed || job.state == JobCancelled {
+		return
+	}
+	c.removePendingLocked(job)
+	for _, l := range c.leases {
+		if l.job == job {
+			c.dropLeaseLocked(l)
+			break
+		}
+	}
+	c.finishLocked(job, JobCancelled, reason)
+}
+
+// janitor expires stale leases (re-queue with backoff) and silent workers
+// (their leases re-queue immediately, their affinity claims release).
+func (c *Coordinator) janitor() {
+	defer close(c.stopped)
+	tick := c.cfg.LeaseTTL / 4
+	if w := c.cfg.WorkerExpiry / 4; w < tick {
+		tick = w
+	}
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	if tick > time.Second {
+		tick = time.Second
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.sweep()
+		}
+	}
+}
+
+// sweep is one janitor pass.
+func (c *Coordinator) sweep() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	for id, w := range c.workers {
+		if now.Sub(w.lastSeen) < c.cfg.WorkerExpiry {
+			continue
+		}
+		delete(c.workers, id)
+		c.workersExpired++
+		for key, owner := range c.affinity {
+			if owner == id {
+				delete(c.affinity, key)
+			}
+		}
+		c.logf("cluster: worker %s (%s) expired after %s silence, releasing %d leases",
+			id, w.name, c.cfg.WorkerExpiry, len(w.leases))
+		for _, l := range w.leases {
+			delete(c.leases, l.id)
+			c.leasesExpired++
+			w.expired++
+			c.retryLocked(l.job, fmt.Sprintf("worker %s expired", w.name))
+		}
+	}
+	for _, l := range c.leases {
+		if l.expires.After(now) {
+			continue
+		}
+		c.dropLeaseLocked(l)
+		c.leasesExpired++
+		if w, ok := c.workers[l.workerID]; ok {
+			w.expired++
+		}
+		c.retryLocked(l.job, fmt.Sprintf("lease %s expired", l.id))
+	}
+}
+
+// Drain stops the coordinator gracefully: new submissions fail with
+// ErrDraining immediately, while leased jobs keep their leases (workers
+// keep completing, expiries keep retrying) and queued jobs keep being
+// dispatched. When ctx expires, every unfinished job is cancelled. Safe to
+// call more than once.
+func (c *Coordinator) Drain(ctx context.Context) error {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+	t := time.NewTicker(5 * time.Millisecond)
+	defer t.Stop()
+	for {
+		c.mu.Lock()
+		open := 0
+		for _, job := range c.jobs {
+			switch job.state {
+			case JobPending, JobLeased:
+				open++
+			}
+		}
+		c.mu.Unlock()
+		if open == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			c.mu.Lock()
+			for _, job := range c.jobs {
+				switch job.state {
+				case JobPending, JobLeased:
+					c.removePendingLocked(job)
+					for _, l := range c.leases {
+						if l.job == job {
+							c.dropLeaseLocked(l)
+							break
+						}
+					}
+					c.finishLocked(job, JobCancelled, "coordinator drain deadline")
+				}
+			}
+			c.mu.Unlock()
+			return nil
+		case <-t.C:
+		}
+	}
+}
+
+// Dispatch submits one cell and waits for its committed result — the
+// signature the service scheduler's Dispatch hook expects. The options'
+// Beat (when set) receives remote progress. On ctx expiry the job is
+// cancelled and ctx.Err() returned.
+func (c *Coordinator) Dispatch(ctx context.Context, experiment string, o experiments.Options) (report []byte, worker string, cacheHit bool, err error) {
+	job, err := c.Submit(NewJobSpec(experiment, o), o.Beat)
+	if err != nil {
+		return nil, "", false, err
+	}
+	select {
+	case <-job.Done():
+	case <-ctx.Done():
+		c.Cancel(job.ID(), "dispatch abandoned: "+ctx.Err().Error())
+		<-job.Done()
+	}
+	res := job.Result()
+	switch res.State {
+	case JobSucceeded:
+		return res.Report, res.Worker, res.CacheHit, nil
+	case JobCancelled:
+		if ctx.Err() != nil {
+			return nil, res.Worker, false, ctx.Err()
+		}
+		return nil, res.Worker, false, fmt.Errorf("cluster: job %s cancelled: %s", job.ID(), res.Err)
+	default:
+		return nil, res.Worker, false, fmt.Errorf("cluster: job %s failed: %s", job.ID(), res.Err)
+	}
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}

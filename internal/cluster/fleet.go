@@ -1,0 +1,85 @@
+package cluster
+
+// Fleet-over-cluster: submit one job per runner, wait for all commits, and
+// reassemble results in canonical runner order — the distributed analogue
+// of experiments.RunFleet, with the same determinism contract (reports are
+// byte-identical to a serial run, whatever the worker topology or how many
+// retries it took to get there).
+
+import (
+	"context"
+
+	"hwgc/internal/experiments"
+)
+
+// FleetResult is one runner's outcome from a cluster fleet run, extending
+// the fleet result with dispatch attribution.
+type FleetResult struct {
+	experiments.Result
+	// Worker names the worker whose result committed ("" for coordinator
+	// cache hits).
+	Worker string
+	// CacheHit marks a result served from a cache (coordinator or worker)
+	// instead of simulated fresh.
+	CacheHit bool
+	// Attempts is the number of lease grants the job consumed; Retries is
+	// how many times it re-queued (lost workers, expired leases, failures).
+	Attempts int
+	Retries  int
+}
+
+// RunFleet distributes runners over the coordinator's workers and returns
+// one result per runner in the given order. Every runner must be served by
+// the coordinator. On ctx expiry the remaining jobs are cancelled and
+// reported as errors.
+func RunFleet(ctx context.Context, c *Coordinator, runners []experiments.Runner, o experiments.Options) []FleetResult {
+	results := make([]FleetResult, len(runners))
+	jobs := make([]*Job, len(runners))
+	for i, r := range runners {
+		results[i].Runner = r
+		job, err := c.Submit(NewJobSpec(r.ID, o), o.Beat)
+		if err != nil {
+			results[i].Err = err
+			continue
+		}
+		jobs[i] = job
+	}
+	for i, job := range jobs {
+		if job == nil {
+			continue
+		}
+		select {
+		case <-job.Done():
+		case <-ctx.Done():
+			c.Cancel(job.ID(), "fleet run abandoned: "+ctx.Err().Error())
+			<-job.Done()
+		}
+		res := job.Result()
+		results[i].Worker = res.Worker
+		results[i].CacheHit = res.CacheHit
+		results[i].Attempts = res.Attempts
+		results[i].Retries = res.Retries
+		if res.State != JobSucceeded {
+			results[i].Err = &JobError{JobID: job.ID(), State: res.State, Reason: res.Err}
+			continue
+		}
+		rep, err := experiments.DecodeReport(res.Report)
+		if err != nil {
+			results[i].Err = err
+			continue
+		}
+		results[i].Report = rep
+	}
+	return results
+}
+
+// JobError is a failed or cancelled cluster job's terminal error.
+type JobError struct {
+	JobID  string
+	State  JobState
+	Reason string
+}
+
+func (e *JobError) Error() string {
+	return "cluster: job " + e.JobID + " " + string(e.State) + ": " + e.Reason
+}

@@ -1,0 +1,145 @@
+package cluster
+
+// Wire-transport tests: the same worker loop end-to-end through an
+// httptest server, and the error-code mapping that keeps errors.Is
+// working across the wire.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hwgc/internal/experiments"
+	"hwgc/internal/resultcache"
+)
+
+// startHTTPCoordinator serves c's protocol endpoints from an httptest
+// server and returns the matching client.
+func startHTTPCoordinator(t *testing.T, c *Coordinator) (*httptest.Server, *HTTPClient) {
+	t.Helper()
+	srv := httptest.NewServer(NewHTTPHandler(c))
+	t.Cleanup(srv.Close)
+	return srv, &HTTPClient{Base: srv.URL}
+}
+
+func TestHTTPWorkerEndToEnd(t *testing.T) {
+	c := testCoordinator(t, Config{LeaseTTL: time.Hour})
+	_, client := startHTTPCoordinator(t, c)
+	w, err := NewWorker(WorkerConfig{
+		Name: "http-w", Client: client,
+		Runners:   c.cfg.Runners,
+		PollEvery: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx) }()
+
+	job, err := c.Submit(NewJobSpec("a", experiments.QuickOptions()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := job.Result()
+	if res.State != JobSucceeded || res.Worker != "http-w" {
+		t.Fatalf("result = %+v, want success committed by http-w", res)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not exit")
+	}
+}
+
+// TestHTTPSentinelRoundTrip pins the error contract: a typed coordinator
+// failure crossing the wire still satisfies errors.Is on the client side.
+func TestHTTPSentinelRoundTrip(t *testing.T) {
+	c := testCoordinator(t, Config{})
+	_, client := startHTTPCoordinator(t, c)
+
+	_, err := client.Register(RegisterRequest{
+		Protocol: "hwgc-cluster-v0", ModuleVersion: resultcache.ModuleVersion(),
+	})
+	if !errors.Is(err, ErrProtocolMismatch) {
+		t.Fatalf("protocol mismatch over HTTP: %v, want ErrProtocolMismatch", err)
+	}
+	_, err = client.Register(RegisterRequest{
+		Protocol: ProtocolVersion, ModuleVersion: "other-build",
+	})
+	if !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("version mismatch over HTTP: %v, want ErrVersionMismatch", err)
+	}
+	_, err = client.Lease(LeaseRequest{WorkerID: "w-999999"})
+	if !errors.Is(err, ErrUnknownWorker) {
+		t.Fatalf("unknown worker over HTTP: %v, want ErrUnknownWorker", err)
+	}
+	if hb, err := client.Heartbeat(HeartbeatRequest{WorkerID: "w-999999"}); err != nil || hb.Known {
+		t.Fatalf("unknown-worker heartbeat = %+v, %v; want Known=false, nil", hb, err)
+	}
+}
+
+func TestHTTPStatusEndpoint(t *testing.T) {
+	c := testCoordinator(t, Config{})
+	srv, _ := startHTTPCoordinator(t, c)
+	register(t, c, "w")
+
+	resp, err := http.Get(srv.URL + "/cluster/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type = %q, want application/json", ct)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Protocol != ProtocolVersion {
+		t.Fatalf("protocol = %q, want %q", st.Protocol, ProtocolVersion)
+	}
+	if len(st.Workers) != 1 || st.Workers[0].Name != "w" {
+		t.Fatalf("workers = %+v, want the one registered worker", st.Workers)
+	}
+}
+
+// TestHTTPErrorBodiesAreJSON verifies error responses carry the JSON
+// content type and the machine-readable code, not a plain-text page.
+func TestHTTPErrorBodiesAreJSON(t *testing.T) {
+	c := testCoordinator(t, Config{})
+	srv, _ := startHTTPCoordinator(t, c)
+
+	resp, err := http.Post(srv.URL+"/cluster/v1/register", "application/json",
+		strings.NewReader("{torn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type = %q, want application/json", ct)
+	}
+	var we wireError
+	if err := json.NewDecoder(resp.Body).Decode(&we); err != nil {
+		t.Fatal(err)
+	}
+	if we.Code != codeInternal || we.Error == "" {
+		t.Fatalf("error body = %+v, want populated internal code", we)
+	}
+}

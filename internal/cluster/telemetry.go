@@ -1,0 +1,182 @@
+package cluster
+
+// Coordinator observability: aggregate metrics on the telemetry hub, a
+// JSON status snapshot for GET /cluster/v1/status, and per-worker
+// Prometheus series.
+//
+// Aggregate counters register on the hub registry at construction time
+// (fixed names, safe). Per-worker series cannot: workers appear and
+// disappear at runtime, and the registry is deliberately not
+// goroutine-safe — registering on heartbeat would race with a concurrent
+// /metrics snapshot. They are instead rendered directly by WritePrometheus
+// under the coordinator lock, as labeled families appended after the
+// registry dump.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"hwgc/internal/telemetry"
+)
+
+// attachTelemetry registers the coordinator's aggregate metrics. All reads
+// take c.mu, so they are safe from any goroutine.
+func (c *Coordinator) attachTelemetry(h *telemetry.Hub) {
+	reg := h.Registry()
+	if reg == nil {
+		return
+	}
+	locked := func(f func() uint64) func() uint64 {
+		return func() uint64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return f()
+		}
+	}
+	gauge := func(f func() float64) func() float64 {
+		return func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return f()
+		}
+	}
+	reg.CounterFunc("cluster.jobs.submitted", locked(func() uint64 { return c.submitted }))
+	reg.CounterFunc("cluster.jobs.completed", locked(func() uint64 { return c.completed }))
+	reg.CounterFunc("cluster.jobs.failed", locked(func() uint64 { return c.failed }))
+	reg.CounterFunc("cluster.jobs.cancelled", locked(func() uint64 { return c.cancelled }))
+	reg.CounterFunc("cluster.jobs.cachehits", locked(func() uint64 { return c.cacheHits }))
+	reg.CounterFunc("cluster.jobs.retries", locked(func() uint64 { return c.retriesTotal }))
+	reg.CounterFunc("cluster.jobs.duplicatedrops", locked(func() uint64 { return c.duplicateDrop }))
+	reg.CounterFunc("cluster.leases.granted", locked(func() uint64 { return c.leasesGranted }))
+	reg.CounterFunc("cluster.leases.expired", locked(func() uint64 { return c.leasesExpired }))
+	reg.CounterFunc("cluster.affinity.local", locked(func() uint64 { return c.affinityLocal }))
+	reg.CounterFunc("cluster.affinity.steals", locked(func() uint64 { return c.affinitySteal }))
+	reg.CounterFunc("cluster.workers.registered", locked(func() uint64 { return c.workersRegistered }))
+	reg.CounterFunc("cluster.workers.expired", locked(func() uint64 { return c.workersExpired }))
+	reg.Gauge("cluster.jobs.pending", gauge(func() float64 { return float64(len(c.pending)) }))
+	reg.Gauge("cluster.leases.active", gauge(func() float64 { return float64(len(c.leases)) }))
+	reg.Gauge("cluster.workers.connected", gauge(func() float64 { return float64(len(c.workers)) }))
+}
+
+// WorkerStatus is one registered worker in a Status snapshot.
+type WorkerStatus struct {
+	ID    string `json:"id"`
+	Name  string `json:"name"`
+	Slots int    `json:"slots"`
+	// Leases is how many leases the worker currently holds.
+	Leases int `json:"leases"`
+	// LastSeenMS is milliseconds since the worker's last heartbeat or poll.
+	LastSeenMS int64 `json:"lastSeenMs"`
+	// Completed/Failed/Expired/Stolen attribute lease outcomes to the
+	// worker (Stolen counts leases it took against another worker's
+	// affinity claim).
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Expired   uint64 `json:"expired"`
+	Stolen    uint64 `json:"stolen"`
+}
+
+// Status is a point-in-time coordinator snapshot (GET /cluster/v1/status).
+type Status struct {
+	Protocol string `json:"protocol"`
+	Draining bool   `json:"draining"`
+
+	Pending      int `json:"pending"`
+	ActiveLeases int `json:"activeLeases"`
+
+	Submitted     uint64 `json:"submitted"`
+	Completed     uint64 `json:"completed"`
+	Failed        uint64 `json:"failed"`
+	Cancelled     uint64 `json:"cancelled"`
+	CacheHits     uint64 `json:"cacheHits"`
+	Retries       uint64 `json:"retries"`
+	DuplicateDrop uint64 `json:"duplicateDrops"`
+	LeasesGranted uint64 `json:"leasesGranted"`
+	LeasesExpired uint64 `json:"leasesExpired"`
+	AffinityLocal uint64 `json:"affinityLocal"`
+	AffinitySteal uint64 `json:"affinitySteals"`
+
+	Workers []WorkerStatus `json:"workers"`
+}
+
+// Status snapshots the coordinator. Workers are sorted by name for stable
+// output.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	st := Status{
+		Protocol:      ProtocolVersion,
+		Draining:      c.draining,
+		Pending:       len(c.pending),
+		ActiveLeases:  len(c.leases),
+		Submitted:     c.submitted,
+		Completed:     c.completed,
+		Failed:        c.failed,
+		Cancelled:     c.cancelled,
+		CacheHits:     c.cacheHits,
+		Retries:       c.retriesTotal,
+		DuplicateDrop: c.duplicateDrop,
+		LeasesGranted: c.leasesGranted,
+		LeasesExpired: c.leasesExpired,
+		AffinityLocal: c.affinityLocal,
+		AffinitySteal: c.affinitySteal,
+		Workers:       make([]WorkerStatus, 0, len(c.workers)),
+	}
+	for _, w := range c.workers {
+		st.Workers = append(st.Workers, WorkerStatus{
+			ID:         w.id,
+			Name:       w.name,
+			Slots:      w.slots,
+			Leases:     len(w.leases),
+			LastSeenMS: now.Sub(w.lastSeen).Milliseconds(),
+			Completed:  w.completed,
+			Failed:     w.failed,
+			Expired:    w.expired,
+			Stolen:     w.stolen,
+		})
+	}
+	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].Name < st.Workers[j].Name })
+	return st
+}
+
+// perWorkerFamilies is the labeled-series catalog WritePrometheus emits.
+var perWorkerFamilies = []struct {
+	name, typ string
+	value     func(WorkerStatus) float64
+}{
+	{"cluster.worker.completed", "counter", func(w WorkerStatus) float64 { return float64(w.Completed) }},
+	{"cluster.worker.failed", "counter", func(w WorkerStatus) float64 { return float64(w.Failed) }},
+	{"cluster.worker.leases.expired", "counter", func(w WorkerStatus) float64 { return float64(w.Expired) }},
+	{"cluster.worker.leases.stolen", "counter", func(w WorkerStatus) float64 { return float64(w.Stolen) }},
+	{"cluster.worker.leases.held", "gauge", func(w WorkerStatus) float64 { return float64(w.Leases) }},
+}
+
+// WritePrometheus renders per-worker series in the Prometheus text
+// exposition format, one labeled sample per registered worker:
+//
+//	hwgc_cluster_worker_completed{worker="lab-2"} 13
+//
+// Output is deterministic (families in catalog order, workers sorted by
+// name). Intended to be appended after the registry exposition — the
+// service's PromAppend hook.
+func (c *Coordinator) WritePrometheus(w io.Writer) error {
+	st := c.Status()
+	for _, fam := range perWorkerFamilies {
+		pn := telemetry.PrometheusName(fam.name)
+		if _, err := fmt.Fprintf(w, "# HELP %s per-worker cluster metric %s\n# TYPE %s %s\n",
+			pn, fam.name, pn, fam.typ); err != nil {
+			return err
+		}
+		for _, ws := range st.Workers {
+			if _, err := fmt.Fprintf(w, "%s{worker=%q} %s\n",
+				pn, ws.Name, strconv.FormatFloat(fam.value(ws), 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

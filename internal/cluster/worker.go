@@ -1,0 +1,359 @@
+package cluster
+
+// The worker loop: register, heartbeat, then poll for leases and execute
+// them. The loop is transport agnostic — it talks to any Client, so the
+// same code runs in-process against a *Coordinator (loopback.go) and
+// across machines through an *HTTPClient (cmd/hwgc-worker).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"hwgc/internal/experiments"
+	"hwgc/internal/resultcache"
+	"hwgc/internal/telemetry"
+)
+
+// WorkerConfig parameterizes a worker loop.
+type WorkerConfig struct {
+	// Name is the worker's stable identity in ledger attribution and logs.
+	Name string
+	// Client reaches the coordinator (a *Coordinator for loopback, an
+	// *HTTPClient across machines). Required.
+	Client Client
+	// Runners is the experiment table this worker executes (nil means
+	// experiments.All()); its IDs are advertised as capabilities.
+	Runners []experiments.Runner
+	// Slots is how many leases run concurrently (<= 0 means 1).
+	Slots int
+	// Cache, when set, serves cells from the worker's local result cache
+	// and stores fresh results back (the completion is flagged CacheHit).
+	Cache *resultcache.Cache
+	// PollEvery is the idle lease-poll interval (<= 0 means 200ms).
+	PollEvery time.Duration
+	// Logf, when set, receives worker events.
+	Logf func(format string, args ...any)
+}
+
+// Worker runs the lease-execute-complete loop against a coordinator.
+type Worker struct {
+	cfg  WorkerConfig
+	byID map[string]experiments.Runner
+	ids  []string
+
+	mu       sync.Mutex
+	workerID string
+	inflight map[string]*telemetry.Beat // lease ID -> live progress
+
+	killOnce sync.Once
+	killed   chan struct{}
+}
+
+// NewWorker builds a worker; drive it with Run.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Client == nil {
+		return nil, errors.New("cluster: WorkerConfig.Client is required")
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 1
+	}
+	if cfg.PollEvery <= 0 {
+		cfg.PollEvery = 200 * time.Millisecond
+	}
+	runners := cfg.Runners
+	if runners == nil {
+		runners = experiments.All()
+	}
+	w := &Worker{
+		cfg:      cfg,
+		byID:     make(map[string]experiments.Runner, len(runners)),
+		inflight: make(map[string]*telemetry.Beat),
+		killed:   make(chan struct{}),
+	}
+	for _, r := range runners {
+		w.byID[r.ID] = r
+		w.ids = append(w.ids, r.ID)
+	}
+	return w, nil
+}
+
+// Kill abandons the worker immediately: in-flight leases are dropped
+// without completion, heartbeats stop, and Run returns. It simulates a
+// crashed machine — the coordinator recovers the work through lease
+// expiry. Safe to call concurrently with Run; idempotent.
+func (w *Worker) Kill() {
+	w.killOnce.Do(func() { close(w.killed) })
+}
+
+// Killed reports whether Kill was called.
+func (w *Worker) Killed() bool {
+	select {
+	case <-w.killed:
+		return true
+	default:
+		return false
+	}
+}
+
+// Run drives the worker until ctx is cancelled (graceful: in-flight leases
+// finish and complete before it returns nil) or Kill is called (abrupt:
+// in-flight work is abandoned). Registration and version errors are fatal;
+// transient transport errors retry.
+func (w *Worker) Run(ctx context.Context) error {
+	reg, err := w.register(ctx)
+	if err != nil {
+		return err
+	}
+	heartbeatEvery := time.Duration(reg.HeartbeatMS) * time.Millisecond
+	if heartbeatEvery <= 0 {
+		heartbeatEvery = 3 * time.Second
+	}
+
+	// The heartbeat goroutine runs until Run returns; stopping heartbeats
+	// on Kill is exactly what lets the coordinator expire us.
+	hbCtx, stopHB := context.WithCancel(context.Background())
+	var hbDone sync.WaitGroup
+	hbDone.Add(1)
+	go func() {
+		defer hbDone.Done()
+		t := time.NewTicker(heartbeatEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-w.killed:
+				return
+			case <-t.C:
+				w.heartbeat(ctx)
+			}
+		}
+	}()
+
+	var slots sync.WaitGroup
+	errc := make(chan error, w.cfg.Slots)
+	for i := 0; i < w.cfg.Slots; i++ {
+		slots.Add(1)
+		go func() {
+			defer slots.Done()
+			errc <- w.slotLoop(ctx)
+		}()
+	}
+	slots.Wait()
+	stopHB()
+	hbDone.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// register announces the worker, retrying transient failures until ctx
+// expires. Protocol and module-version mismatches are permanent and fatal.
+func (w *Worker) register(ctx context.Context) (RegisterResponse, error) {
+	req := RegisterRequest{
+		Name:          w.cfg.Name,
+		Protocol:      ProtocolVersion,
+		ModuleVersion: resultcache.ModuleVersion(),
+		Slots:         w.cfg.Slots,
+		Experiments:   w.ids,
+	}
+	for {
+		resp, err := w.cfg.Client.Register(req)
+		if err == nil {
+			w.mu.Lock()
+			w.workerID = resp.WorkerID
+			w.mu.Unlock()
+			w.logf("cluster worker %s: registered as %s", w.cfg.Name, resp.WorkerID)
+			return resp, nil
+		}
+		if errors.Is(err, ErrProtocolMismatch) || errors.Is(err, ErrVersionMismatch) {
+			return RegisterResponse{}, err
+		}
+		w.logf("cluster worker %s: register failed (%v), retrying", w.cfg.Name, err)
+		select {
+		case <-ctx.Done():
+			return RegisterResponse{}, ctx.Err()
+		case <-w.killed:
+			return RegisterResponse{}, nil
+		case <-time.After(w.cfg.PollEvery):
+		}
+	}
+}
+
+// heartbeat sends one liveness ping with in-flight progress; on Known=false
+// (coordinator lost or restarted) it re-registers.
+func (w *Worker) heartbeat(ctx context.Context) {
+	w.mu.Lock()
+	req := HeartbeatRequest{WorkerID: w.workerID}
+	if len(w.inflight) > 0 {
+		req.Progress = make(map[string]uint64, len(w.inflight))
+		for leaseID, beat := range w.inflight {
+			req.Progress[leaseID] = beat.Cycles()
+		}
+	}
+	w.mu.Unlock()
+	resp, err := w.cfg.Client.Heartbeat(req)
+	if err != nil {
+		w.logf("cluster worker %s: heartbeat failed: %v", w.cfg.Name, err)
+		return
+	}
+	if !resp.Known {
+		w.logf("cluster worker %s: coordinator lost us; re-registering", w.cfg.Name)
+		_, _ = w.register(ctx)
+	}
+}
+
+// slotLoop is one slot's lease-execute-complete cycle.
+func (w *Worker) slotLoop(ctx context.Context) error {
+	for {
+		select {
+		case <-ctx.Done():
+			return nil // graceful: nothing in flight in this slot
+		case <-w.killed:
+			return nil
+		default:
+		}
+		w.mu.Lock()
+		id := w.workerID
+		w.mu.Unlock()
+		resp, err := w.cfg.Client.Lease(LeaseRequest{WorkerID: id})
+		if err != nil {
+			if errors.Is(err, ErrUnknownWorker) {
+				if _, rerr := w.register(ctx); rerr != nil {
+					return rerr
+				}
+				continue
+			}
+			w.logf("cluster worker %s: lease poll failed: %v", w.cfg.Name, err)
+		}
+		if err != nil || resp.Lease == nil {
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-w.killed:
+				return nil
+			case <-time.After(w.cfg.PollEvery):
+			}
+			continue
+		}
+		w.execute(resp.Lease)
+	}
+}
+
+// execute runs one leased job and reports completion. A graceful shutdown
+// (ctx cancellation in slotLoop) never interrupts execution — the lease is
+// seen through to Complete; only Kill abandons it.
+func (w *Worker) execute(l *Lease) {
+	runner, ok := w.byID[l.Job.Experiment]
+	if !ok {
+		// Capability filtering should make this unreachable; report it
+		// rather than stalling the lease to expiry.
+		w.complete(l, CompleteRequest{
+			Error: fmt.Sprintf("worker has no runner %q", l.Job.Experiment),
+		})
+		return
+	}
+
+	beat := &telemetry.Beat{}
+	w.mu.Lock()
+	w.inflight[l.ID] = beat
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		delete(w.inflight, l.ID)
+		w.mu.Unlock()
+	}()
+
+	opts := l.Job.Options
+	opts.Beat = beat
+
+	// Local result cache first: affinity dispatch makes repeat keys land
+	// here, so warm workers answer without simulating.
+	var key resultcache.Key
+	haveKey := false
+	if k, ok := parseCacheKey(l.Job.CacheKey); ok {
+		key = k
+		haveKey = true
+		if w.cfg.Cache != nil {
+			if b, ok := w.cfg.Cache.Get(key); ok {
+				if _, err := experiments.DecodeReport(b); err == nil {
+					w.complete(l, CompleteRequest{Report: b, CacheHit: true})
+					return
+				}
+			}
+		}
+	}
+
+	// Run the cell in a child goroutine so a Kill abandons it mid-flight
+	// like a real crash would: the runner keeps burning its goroutine until
+	// it finishes, but nothing is ever completed for it. Panics inside the
+	// runner are converted to attempt errors (same shielding as the fleet).
+	type outcome struct {
+		rep experiments.Report
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		var out outcome
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					out.err = fmt.Errorf("%s: panic: %v\n%s", runner.ID, p, debug.Stack())
+				}
+			}()
+			out.rep, out.err = runner.Run(opts)
+		}()
+		done <- out
+	}()
+	var out outcome
+	select {
+	case <-w.killed:
+		return
+	case out = <-done:
+	}
+
+	if out.err != nil {
+		w.complete(l, CompleteRequest{Error: out.err.Error()})
+		return
+	}
+	b, err := experiments.EncodeReport(out.rep)
+	if err != nil {
+		w.complete(l, CompleteRequest{Error: "encode report: " + err.Error()})
+		return
+	}
+	if w.cfg.Cache != nil && haveKey {
+		_ = w.cfg.Cache.Put(key, b) // best effort; a miss only loses reuse
+	}
+	w.complete(l, CompleteRequest{Report: b})
+}
+
+// complete fills in the lease identity and sends the completion.
+func (w *Worker) complete(l *Lease, req CompleteRequest) {
+	w.mu.Lock()
+	req.WorkerID = w.workerID
+	w.mu.Unlock()
+	req.LeaseID = l.ID
+	req.JobID = l.Job.ID
+	resp, err := w.cfg.Client.Complete(req)
+	switch {
+	case err != nil:
+		w.logf("cluster worker %s: complete %s failed: %v", w.cfg.Name, l.Job.ID, err)
+	case !resp.Committed && req.Error == "":
+		w.logf("cluster worker %s: job %s result dropped (duplicate or cancelled)",
+			w.cfg.Name, l.Job.ID)
+	}
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}

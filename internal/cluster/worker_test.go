@@ -1,0 +1,270 @@
+package cluster
+
+// Worker-loop tests over the loopback transport, ending in the crash
+// acceptance run: a fleet across two workers with one killed mid-run must
+// produce reports byte-identical to a serial experiments.RunFleet.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"hwgc/internal/experiments"
+	"hwgc/internal/resultcache"
+)
+
+func TestLoopbackPoolRunsJobs(t *testing.T) {
+	c := testCoordinator(t, Config{LeaseTTL: time.Hour})
+	pool, err := StartLoopbackWorkers(c, 2, WorkerConfig{
+		Runners:   c.cfg.Runners,
+		PollEvery: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Stop()
+
+	results := RunFleet(context.Background(), c, c.cfg.Runners, experiments.QuickOptions())
+	if err := pool.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Runner.ID, r.Err)
+		}
+		if r.Worker != "loopback-0" && r.Worker != "loopback-1" {
+			t.Fatalf("%s: committed by %q, want a loopback worker", r.Runner.ID, r.Worker)
+		}
+		if r.Report.ID != r.Runner.ID {
+			t.Fatalf("report ID %q for runner %q", r.Report.ID, r.Runner.ID)
+		}
+	}
+}
+
+// TestGracefulStopCompletesInflight is the worker half of the drain story:
+// cancelling the pool context while a lease is executing must let the
+// runner finish and the completion commit, not abandon the job.
+func TestGracefulStopCompletesInflight(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	slow := experiments.Runner{
+		ID: "slow", Title: "blocks until released",
+		Run: func(o experiments.Options) (experiments.Report, error) {
+			started <- struct{}{}
+			<-release
+			return experiments.Report{ID: "slow", Rows: []string{"done"}}, nil
+		},
+	}
+	c := testCoordinator(t, Config{Runners: []experiments.Runner{slow}, LeaseTTL: time.Hour})
+	pool, err := StartLoopbackWorkers(c, 1, WorkerConfig{
+		Runners:   []experiments.Runner{slow},
+		PollEvery: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.Submit(NewJobSpec("slow", experiments.QuickOptions()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("runner never started")
+	}
+	stopped := make(chan error, 1)
+	go func() { stopped <- pool.Stop() }()
+	select {
+	case err := <-stopped:
+		t.Fatalf("pool stopped with the lease still executing: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case err := <-stopped:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("pool never stopped after the runner finished")
+	}
+	if res := job.Result(); res.State != JobSucceeded {
+		t.Fatalf("job state after graceful stop = %s (%s), want succeeded", res.State, res.Err)
+	}
+}
+
+// TestWorkerLocalCacheHit proves a warm worker answers leases from its own
+// result cache: the runner would fail if invoked, yet the job succeeds with
+// the CacheHit attribution.
+func TestWorkerLocalCacheHit(t *testing.T) {
+	never := experiments.Runner{
+		ID: "a", Title: "must not run",
+		Run: func(o experiments.Options) (experiments.Report, error) {
+			return experiments.Report{}, errors.New("runner invoked despite cached result")
+		},
+	}
+	c := testCoordinator(t, Config{Runners: []experiments.Runner{never}, LeaseTTL: time.Hour})
+	cache, err := resultcache.New(16, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := NewJobSpec("a", experiments.QuickOptions())
+	key, ok := parseCacheKey(spec.CacheKey)
+	if !ok {
+		t.Fatal("spec cache key does not parse")
+	}
+	if err := cache.Put(key, encodedReport(t, "a")); err != nil {
+		t.Fatal(err)
+	}
+	pool, err := StartLoopbackWorkers(c, 1, WorkerConfig{
+		Runners:   []experiments.Runner{never},
+		Cache:     cache,
+		PollEvery: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Stop()
+	job, err := c.Submit(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := job.Result()
+	if res.State != JobSucceeded || !res.CacheHit {
+		t.Fatalf("result = %+v, want cache-hit success", res)
+	}
+}
+
+// TestClusterFleetSurvivesKilledWorker is the acceptance run: real
+// experiment cells over two workers, the first killed while executing a
+// lease. The coordinator recovers through lease expiry and retry, and the
+// final reports are byte-identical to a serial fleet run — the
+// distributed plane preserves the simulator's determinism contract.
+func TestClusterFleetSurvivesKilledWorker(t *testing.T) {
+	ids := []string{"table1", "fig22", "abl-barriers", "abl-layout"}
+	runners := make([]experiments.Runner, 0, len(ids))
+	for _, id := range ids {
+		r, ok := experiments.ByID(id)
+		if !ok {
+			t.Fatalf("unknown experiment %q", id)
+		}
+		runners = append(runners, r)
+	}
+	o := experiments.QuickOptions()
+	o.Shrink = 8
+	o.Parallel = 1
+
+	serial := experiments.RunFleet(runners, o, 1)
+	for _, r := range serial {
+		if r.Err != nil {
+			t.Fatalf("serial %s: %v", r.Runner.ID, r.Err)
+		}
+	}
+
+	c := NewCoordinator(Config{
+		Runners:      runners,
+		LeaseTTL:     100 * time.Millisecond,
+		WorkerExpiry: time.Hour, // recovery must come from lease expiry alone
+		RetryBase:    time.Millisecond,
+	})
+	defer c.Close()
+
+	// The victim's runner table blocks forever: whatever it leases can only
+	// finish via expiry and retry on the survivor.
+	leased := make(chan string, len(runners))
+	release := make(chan struct{})
+	defer close(release)
+	victimRunners := make([]experiments.Runner, len(runners))
+	for i, r := range runners {
+		id := r.ID
+		victimRunners[i] = experiments.Runner{
+			ID: id, Title: r.Title,
+			Run: func(o experiments.Options) (experiments.Report, error) {
+				leased <- id
+				<-release
+				return experiments.Report{}, errors.New("victim was released")
+			},
+		}
+	}
+	victim, err := NewWorker(WorkerConfig{
+		Name: "victim", Client: c, Runners: victimRunners, PollEvery: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivor, err := NewWorker(WorkerConfig{
+		Name: "survivor", Client: c, Runners: runners, PollEvery: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	workerDone := make(chan error, 2)
+	go func() { workerDone <- victim.Run(ctx) }()
+	go func() { workerDone <- survivor.Run(ctx) }()
+
+	resc := make(chan []FleetResult, 1)
+	go func() { resc <- RunFleet(context.Background(), c, runners, o) }()
+
+	select {
+	case id := <-leased:
+		t.Logf("killing victim while it executes %s", id)
+	case <-time.After(60 * time.Second):
+		t.Fatal("victim never leased a job")
+	}
+	victim.Kill()
+
+	var results []FleetResult
+	select {
+	case results = <-resc:
+	case <-time.After(5 * time.Minute):
+		t.Fatalf("fleet never finished after the kill: %+v", c.Status())
+	}
+
+	retried := 0
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Runner.ID, r.Err)
+		}
+		if r.Worker != "survivor" {
+			t.Errorf("%s: committed by %q, want survivor", r.Runner.ID, r.Worker)
+		}
+		if r.Retries > 0 {
+			retried++
+		}
+		got, err := experiments.EncodeReport(r.Report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := experiments.EncodeReport(serial[i].Report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: cluster report differs from serial:\n--- serial ---\n%s\n--- cluster ---\n%s",
+				r.Runner.ID, want, got)
+		}
+	}
+	if retried == 0 {
+		t.Error("no job was retried — the kill did not interrupt a lease")
+	}
+	st := c.Status()
+	if st.LeasesExpired == 0 {
+		t.Errorf("leases expired = 0, want >= 1: %+v", st)
+	}
+
+	cancel()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-workerDone:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("worker did not exit")
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import "hwgc/internal/resultcache"
+
+// affinitySchema participates in every affinity key; bump it when the
+// grouping below changes meaning.
+const affinitySchema = "hwgc-affinity-v1"
+
+// affinityBenchmark names the dominant snapshot-store heap image per
+// single-benchmark runner: the benchmark whose (config, spec, seed) image
+// the runner clones for (almost) every cell it fans out. Runners absent
+// from the table sweep the full DaCapo suite — their image working set is
+// the whole store, so pinning them to one worker buys nothing and only
+// skews load; they get no affinity preference.
+var affinityBenchmark = map[string]string{
+	"fig1b":        "lusearch", // motivation.go: latency CDF under GC
+	"fig16":        "avrora",   // performance.go: bandwidth during last pause
+	"fig18":        "luindex",  // design.go: shared-cache contention sweep
+	"fig19":        "luindex",  // design.go: mark-queue sizing sweep
+	"fig21":        "luindex",  // design.go: mark-bit cache sweep
+	"abl-mas":      "luindex",  // ablations.go: memory scheduler sweep
+	"abl-layout":   "avrora",   // ablations.go: object layout sweep
+	"abl-barriers": "avrora",   // ablations.go: read-barrier sweep
+	"abl-throttle": "avrora",   // ablations.go: throttling sweep
+}
+
+// AffinityKey fingerprints the snapshot-store heap images a runner's cells
+// instantiate, for cache-affine cluster dispatch: jobs sharing a key are
+// preferentially routed to the same worker, so that worker's snapshot
+// store builds each image once and every later cell pays only the O(pages)
+// copy-on-write clone. Empty means no preference (full-suite runners and
+// image-free runners like table1/fig22/fig23).
+//
+// The key covers the benchmark name and the scale options rather than the
+// exact snapshot.KeyFor image key: runners sweep unit/memory configs that
+// leave the image identical, while Options scale (Quick/Shrink/Seed) is
+// exactly what changes the built image.
+func AffinityKey(runnerID string, o Options) string {
+	bench, ok := affinityBenchmark[runnerID]
+	if !ok {
+		return ""
+	}
+	return resultcache.KeyOf(affinitySchema, bench, o).String()
+}

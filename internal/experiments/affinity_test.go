@@ -1,0 +1,44 @@
+package experiments
+
+import "testing"
+
+func TestAffinityKeyGrouping(t *testing.T) {
+	o := QuickOptions()
+	// Runners cloning the same dominant heap image share a key; different
+	// benchmarks get different keys.
+	if a, b := AffinityKey("fig18", o), AffinityKey("fig19", o); a == "" || a != b {
+		t.Fatalf("fig18/fig19 (both luindex) keys = %q vs %q, want equal non-empty", a, b)
+	}
+	if a, b := AffinityKey("fig18", o), AffinityKey("fig16", o); a == b {
+		t.Fatalf("luindex and avrora runners share affinity key %q", a)
+	}
+	// Full-suite and image-free runners have no placement preference.
+	for _, id := range []string{"fig15", "table1", "fig22", "fig23", "nope"} {
+		if k := AffinityKey(id, o); k != "" {
+			t.Errorf("AffinityKey(%s) = %q, want empty", id, k)
+		}
+	}
+}
+
+func TestAffinityKeyScaleSensitive(t *testing.T) {
+	quick := QuickOptions()
+	full := DefaultOptions()
+	if a, b := AffinityKey("fig1b", quick), AffinityKey("fig1b", full); a == b {
+		t.Fatalf("quick and full-scale affinity keys identical: %q", a)
+	}
+	// Stable for identical options — the property dispatch relies on.
+	if a, b := AffinityKey("fig1b", quick), AffinityKey("fig1b", quick); a != b {
+		t.Fatalf("affinity key not stable: %q vs %q", a, b)
+	}
+}
+
+// TestAffinityBenchmarkTableNamesRealRunners guards the grouping table
+// against drift: every entry must name a registered runner, and every
+// single-benchmark runner in the table stays resolvable as the suite grows.
+func TestAffinityBenchmarkTableNamesRealRunners(t *testing.T) {
+	for id := range affinityBenchmark {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("affinityBenchmark names unknown runner %q", id)
+		}
+	}
+}

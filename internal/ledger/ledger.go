@@ -54,10 +54,14 @@ type Experiment struct {
 	Title string `json:"title,omitempty"`
 	// CellKey is the content-addressed result-cache key for this cell
 	// (resultcache.CellKey), tying the manifest row to the cached payload.
-	CellKey  string  `json:"cellKey,omitempty"`
-	CacheHit bool    `json:"cacheHit,omitempty"`
-	Error    string  `json:"error,omitempty"`
-	WallMS   float64 `json:"wallMs"`
+	CellKey  string `json:"cellKey,omitempty"`
+	CacheHit bool   `json:"cacheHit,omitempty"`
+	// Worker names the cluster worker whose result this row records; empty
+	// for local runs and cache hits. Attribution only — two manifests that
+	// differ solely in Worker describe the same (byte-identical) results.
+	Worker string  `json:"worker,omitempty"`
+	Error  string  `json:"error,omitempty"`
+	WallMS float64 `json:"wallMs"`
 	// Metrics are the runner's stable machine-readable headline numbers
 	// (experiments.Report.Metrics) — what the sentinel checks against the
 	// EXPERIMENTS.md tolerance bands.

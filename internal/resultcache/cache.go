@@ -12,7 +12,9 @@
 package resultcache
 
 import (
+	"bytes"
 	"container/list"
+	"crypto/sha256"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -20,6 +22,40 @@ import (
 
 	"hwgc/internal/telemetry"
 )
+
+// diskMagic frames every on-disk entry: magic, then the sha256 of the
+// payload, then the payload. A file that fails any part of that check —
+// truncated write, bit rot, a pre-checksum legacy entry — is deleted and
+// treated as a miss, so corruption costs one recomputation instead of
+// surfacing as a decode error to whoever hit the cache.
+const diskMagic = "hwgcrc2\n"
+
+// diskOverhead is the framing size preceding the payload.
+const diskOverhead = len(diskMagic) + sha256.Size
+
+// encodeDiskEntry frames a payload for the disk tier.
+func encodeDiskEntry(val []byte) []byte {
+	out := make([]byte, 0, diskOverhead+len(val))
+	out = append(out, diskMagic...)
+	sum := sha256.Sum256(val)
+	out = append(out, sum[:]...)
+	return append(out, val...)
+}
+
+// decodeDiskEntry unframes a disk entry, verifying the checksum. ok=false
+// means the file is corrupt, truncated, or pre-checksum.
+func decodeDiskEntry(b []byte) (val []byte, ok bool) {
+	if len(b) < diskOverhead || string(b[:len(diskMagic)]) != diskMagic {
+		return nil, false
+	}
+	want := b[len(diskMagic):diskOverhead]
+	val = b[diskOverhead:]
+	sum := sha256.Sum256(val)
+	if !bytes.Equal(sum[:], want) {
+		return nil, false
+	}
+	return val, true
+}
 
 // DefaultMaxEntries bounds the in-memory LRU when New is given n <= 0.
 const DefaultMaxEntries = 1024
@@ -33,7 +69,7 @@ type Cache struct {
 	bytes      int64
 	dir        string // "" = memory only
 
-	hits, diskHits, misses, puts, evictions uint64
+	hits, diskHits, misses, puts, evictions, corrupt uint64
 }
 
 type entry struct {
@@ -48,6 +84,7 @@ type Stats struct {
 	Misses    uint64
 	Puts      uint64
 	Evictions uint64 // memory-LRU evictions (disk copies survive)
+	Corrupt   uint64 // disk entries that failed the checksum (deleted, counted as misses)
 	Entries   int    // current in-memory entries
 	Bytes     int64  // current in-memory payload bytes
 }
@@ -93,10 +130,16 @@ func (c *Cache) Get(key Key) ([]byte, bool) {
 	}
 	if c.dir != "" {
 		if b, err := os.ReadFile(c.path(key)); err == nil {
-			c.hits++
-			c.diskHits++
-			c.insertLocked(key, b)
-			return clone(b), true
+			if val, ok := decodeDiskEntry(b); ok {
+				c.hits++
+				c.diskHits++
+				c.insertLocked(key, clone(val))
+				return clone(val), true
+			}
+			// Corrupt, truncated, or pre-checksum entry: delete it so the
+			// recomputed result can land cleanly, and report a miss.
+			c.corrupt++
+			_ = os.Remove(c.path(key))
 		}
 	}
 	c.misses++
@@ -123,7 +166,7 @@ func (c *Cache) Put(key Key, val []byte) error {
 	if err != nil {
 		return fmt.Errorf("resultcache: %w", err)
 	}
-	if _, err := tmp.Write(v); err != nil {
+	if _, err := tmp.Write(encodeDiskEntry(v)); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("resultcache: %w", err)
@@ -174,7 +217,7 @@ func (c *Cache) Stats() Stats {
 	defer c.mu.Unlock()
 	return Stats{
 		Hits: c.hits, DiskHits: c.diskHits, Misses: c.misses,
-		Puts: c.puts, Evictions: c.evictions,
+		Puts: c.puts, Evictions: c.evictions, Corrupt: c.corrupt,
 		Entries: c.ll.Len(), Bytes: c.bytes,
 	}
 }
@@ -199,6 +242,7 @@ func (c *Cache) AttachTelemetry(h *telemetry.Hub) {
 	reg.CounterFunc("resultcache.misses", locked(func() uint64 { return c.misses }))
 	reg.CounterFunc("resultcache.puts", locked(func() uint64 { return c.puts }))
 	reg.CounterFunc("resultcache.evictions", locked(func() uint64 { return c.evictions }))
+	reg.CounterFunc("resultcache.corrupt", locked(func() uint64 { return c.corrupt }))
 	reg.Gauge("resultcache.entries", func() float64 {
 		c.mu.Lock()
 		defer c.mu.Unlock()

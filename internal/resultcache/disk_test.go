@@ -1,0 +1,166 @@
+package resultcache_test
+
+// Disk-tier integrity tests: every on-disk entry is framed with a magic
+// header and a payload checksum, and anything that fails the check —
+// corruption, truncation, pre-checksum legacy files — is deleted and
+// served as a miss instead of surfacing garbage.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hwgc/internal/resultcache"
+)
+
+// diskPath mirrors the cache's two-level fan-out layout.
+func diskPath(dir string, k resultcache.Key) string {
+	s := k.String()
+	return filepath.Join(dir, s[:2], s)
+}
+
+func TestDiskEntriesAreFramedAndChecksummed(t *testing.T) {
+	dir := t.TempDir()
+	c, err := resultcache.New(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("framed report payload")
+	if err := c.Put(key(1), payload); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(diskPath(dir, key(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(raw, []byte("hwgcrc2\n")) {
+		t.Fatalf("disk entry does not start with the framing magic: %q", raw[:16])
+	}
+	if len(raw) <= len(payload) {
+		t.Fatalf("disk entry %d bytes carries no checksum framing for %d payload bytes",
+			len(raw), len(payload))
+	}
+	// A fresh process reads the framed entry back intact.
+	c2, err := resultcache.New(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(key(1))
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("fresh-process Get = %q, %v; want %q", got, ok, payload)
+	}
+	if st := c2.Stats(); st.DiskHits != 1 || st.Corrupt != 0 {
+		t.Fatalf("stats = %+v, want one clean disk hit", st)
+	}
+}
+
+func TestDiskEntryCorruptionIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := resultcache.New(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(key(1), []byte("soon to be flipped")); err != nil {
+		t.Fatal(err)
+	}
+	path := diskPath(dir, key(1))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff // flip a payload bit behind the checksum's back
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := resultcache.New(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := c2.Get(key(1)); ok {
+		t.Fatalf("corrupt disk entry served as a hit: %q", b)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry not deleted: %v", err)
+	}
+	st := c2.Stats()
+	if st.Corrupt != 1 || st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("stats = %+v, want corrupt=1 miss=1", st)
+	}
+	// Recompute-and-put lands cleanly where the corrupt file was.
+	if err := c2.Put(key(1), []byte("recomputed")); err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := c2.Get(key(1)); !ok || string(b) != "recomputed" {
+		t.Fatalf("recomputed entry unreadable: %q, %v", b, ok)
+	}
+}
+
+func TestDiskEntryTruncationIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := resultcache.New(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(key(1), []byte("a payload long enough to truncate meaningfully")); err != nil {
+		t.Fatal(err)
+	}
+	path := diskPath(dir, key(1))
+	if err := os.Truncate(path, 10); err != nil { // mid-magic: shorter than any valid frame
+		t.Fatal(err)
+	}
+	c2, err := resultcache.New(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(key(1)); ok {
+		t.Fatal("truncated disk entry served as a hit")
+	}
+	if st := c2.Stats(); st.Corrupt != 1 {
+		t.Fatalf("stats = %+v, want corrupt=1", st)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("truncated entry not deleted: %v", err)
+	}
+}
+
+func TestDiskEntryLegacyUnframedIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := resultcache.New(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pre-checksum entry: raw payload with no magic, written by an older
+	// build straight into the fan-out location.
+	path := diskPath(dir, key(1))
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(`{"ID":"fig15","Rows":["old"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("legacy unframed entry served as a hit")
+	}
+	if st := c.Stats(); st.Corrupt != 1 {
+		t.Fatalf("stats = %+v, want corrupt=1", st)
+	}
+}
+
+func TestParseKeyRoundTrip(t *testing.T) {
+	k := key(7)
+	parsed, err := resultcache.ParseKey(k.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != k {
+		t.Fatalf("ParseKey(%s) = %s", k, parsed)
+	}
+	if _, err := resultcache.ParseKey("not-hex"); err == nil {
+		t.Fatal("ParseKey accepted non-hex input")
+	}
+	if _, err := resultcache.ParseKey("abcd"); err == nil {
+		t.Fatal("ParseKey accepted a short key")
+	}
+}

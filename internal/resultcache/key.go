@@ -3,6 +3,7 @@ package resultcache
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"reflect"
 	"runtime/debug"
 	"sort"
@@ -19,6 +20,22 @@ type Key [sha256.Size]byte
 
 // String returns the key as lowercase hex.
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey decodes a key from its lowercase-hex String form. It rejects
+// any string that does not round-trip to exactly 32 bytes, so malformed
+// wire input can never alias a real cache entry.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return Key{}, err
+	}
+	if len(b) != len(k) {
+		return Key{}, errors.New("resultcache: key must be " + strconv.Itoa(len(k)*2) + " hex chars")
+	}
+	copy(k[:], b)
+	return k, nil
+}
 
 // KeyOf hashes a canonical encoding of parts. The encoding is reflection
 // driven and stable across processes, platforms, and struct-field

@@ -30,6 +30,15 @@ type Daemon struct {
 	// DrainTimeout bounds how long in-flight jobs may keep running after
 	// shutdown begins before being cancelled (<= 0 means 30s).
 	DrainTimeout time.Duration
+	// ExtraMounts adds endpoint groups to the API mux by pattern — how
+	// hwgc-serve -cluster mounts the coordinator's /cluster/v1/ protocol
+	// endpoints on the same listener.
+	ExtraMounts map[string]http.Handler
+	// OnDrain, when set, runs after the scheduler drains but before the
+	// HTTP server shuts down — while protocol endpoints still answer. A
+	// cluster coordinator drains here: leased jobs finish or re-queue and
+	// complete before the listener closes.
+	OnDrain func(ctx context.Context)
 	// Logf, when set, receives progress lines (listen address, drain).
 	Logf func(format string, args ...any)
 
@@ -72,7 +81,11 @@ func (d *Daemon) Run(ctx context.Context) error {
 	}
 	d.logf("hwgc-serve: listening on %s", d.ListenAddr())
 
-	handler := NewHandler(d.Scheduler, d.Hub)
+	mux := NewHandler(d.Scheduler, d.Hub)
+	for pattern, h := range d.ExtraMounts {
+		mux.Handle(pattern, h)
+	}
+	var handler http.Handler = mux
 	if d.EnablePprof {
 		handler = withPprof(handler)
 		d.logf("hwgc-serve: pprof enabled under /debug/pprof/")
@@ -96,6 +109,11 @@ func (d *Daemon) Run(ctx context.Context) error {
 	drainCtx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	_ = d.Scheduler.Drain(drainCtx)
+	if d.OnDrain != nil {
+		// The HTTP server is still up: remote cluster workers can keep
+		// completing leases until the coordinator reports drained.
+		d.OnDrain(drainCtx)
+	}
 
 	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
 	"strings"
@@ -82,7 +83,34 @@ type Config struct {
 	// Runners is the experiment table served (nil means experiments.All()).
 	// Tests inject synthetic runners here.
 	Runners []experiments.Runner
+	// Dispatch, when set, routes job execution to a cluster coordinator
+	// instead of running cells in-process (hwgc-serve -cluster). The
+	// worker pool still drains the queue — it just blocks on remote
+	// completion instead of a local simulation. The scheduler's own cache
+	// check is skipped in this mode: the dispatcher owns cache policy, so
+	// one lookup happens, in one place.
+	Dispatch DispatchFunc
+	// RetainFinished bounds how many finished (succeeded, failed, or
+	// cancelled) jobs stay in the job table; the oldest-finished beyond the
+	// bound are evicted and their endpoints answer 410 Gone. 0 means the
+	// default 4096; negative means unlimited.
+	RetainFinished int
+	// PromAppend, when set, is invoked after the registry dump on
+	// GET /metrics — the hook cluster coordinators use to append
+	// per-worker labeled series that cannot live in the (fixed-name)
+	// registry.
+	PromAppend func(w io.Writer) error
 }
+
+// DispatchFunc executes one cell somewhere else — a cluster coordinator's
+// Dispatch method matches it — returning the encoded report, the name of
+// the worker that produced it ("" for cache hits), and whether the result
+// came from a cache.
+type DispatchFunc func(ctx context.Context, experiment string, o experiments.Options) (report []byte, worker string, cacheHit bool, err error)
+
+// DefaultRetainFinished is the finished-job table bound when
+// Config.RetainFinished is 0.
+const DefaultRetainFinished = 4096
 
 // Job is one submitted simulation cell. Inputs are immutable; progress
 // fields are guarded by the owning scheduler's lock — read them through
@@ -99,6 +127,7 @@ type Job struct {
 
 	state     State
 	cacheHit  bool
+	worker    string // cluster worker attribution ("" for local runs)
 	report    []byte // encoded report, exactly the cached payload bytes
 	errMsg    string
 	submitted time.Time
@@ -124,6 +153,7 @@ type View struct {
 	State      State               `json:"state"`
 	CacheKey   string              `json:"cacheKey"`
 	CacheHit   bool                `json:"cacheHit"`
+	Worker     string              `json:"worker,omitempty"`
 	Report     json.RawMessage     `json:"report,omitempty"`
 	Error      string              `json:"error,omitempty"`
 	Submitted  time.Time           `json:"submittedAt"`
@@ -147,6 +177,9 @@ type Scheduler struct {
 	jobs     map[string]*Job
 	order    []string
 	running  map[*Job]struct{}
+	finished []string            // finished job IDs, oldest first (eviction order)
+	evicted  map[string]struct{} // IDs evicted from the table (410 Gone)
+	retain   int
 	seq      int
 	draining bool
 
@@ -169,6 +202,10 @@ func New(cfg Config) *Scheduler {
 	if runners == nil {
 		runners = experiments.All()
 	}
+	retain := cfg.RetainFinished
+	if retain == 0 {
+		retain = DefaultRetainFinished
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Scheduler{
 		cfg:     cfg,
@@ -178,6 +215,8 @@ func New(cfg Config) *Scheduler {
 		cancel:  cancel,
 		jobs:    make(map[string]*Job),
 		running: make(map[*Job]struct{}),
+		evicted: make(map[string]struct{}),
+		retain:  retain,
 	}
 	for _, r := range runners {
 		s.byID[r.ID] = r
@@ -269,9 +308,21 @@ func (s *Scheduler) Views() []View {
 	defer s.mu.Unlock()
 	out := make([]View, 0, len(s.order))
 	for _, id := range s.order {
-		out = append(out, s.viewLocked(s.jobs[id]))
+		if job, ok := s.jobs[id]; ok { // evicted IDs stay in order but have no job
+			out = append(out, s.viewLocked(job))
+		}
 	}
 	return out
+}
+
+// Evicted reports whether id named a finished job that has since been
+// evicted from the table (RetainFinished). The HTTP layer maps this to
+// 410 Gone, distinct from 404 for IDs that never existed.
+func (s *Scheduler) Evicted(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, gone := s.evicted[id]
+	return gone
 }
 
 func (s *Scheduler) viewLocked(j *Job) View {
@@ -282,6 +333,7 @@ func (s *Scheduler) viewLocked(j *Job) View {
 		State:      j.state,
 		CacheKey:   j.key.String(),
 		CacheHit:   j.cacheHit,
+		Worker:     j.worker,
 		Error:      j.errMsg,
 		Submitted:  j.submitted,
 	}
@@ -317,18 +369,8 @@ func (s *Scheduler) run(job *Job) {
 	// Drain deadline already passed: don't start work that will be thrown
 	// away.
 	if err := s.baseCtx.Err(); err != nil {
-		s.finish(job, StateCancelled, nil, err.Error(), false)
+		s.finish(job, StateCancelled, nil, err.Error(), false, "")
 		return
-	}
-
-	if s.cfg.Cache != nil {
-		if b, ok := s.cfg.Cache.Get(job.key); ok {
-			if _, err := experiments.DecodeReport(b); err == nil {
-				s.finish(job, StateSucceeded, b, "", true)
-				return
-			}
-			// Corrupt entry: fall through and recompute.
-		}
 	}
 
 	ctx := s.baseCtx
@@ -336,6 +378,31 @@ func (s *Scheduler) run(job *Job) {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
 		defer cancel()
+	}
+
+	if s.cfg.Dispatch != nil {
+		// Cluster mode: the coordinator owns cache lookup, execution
+		// placement, and retries; the worker-pool goroutine just waits.
+		b, workerName, hit, err := s.cfg.Dispatch(ctx, job.experiment, job.opts)
+		switch {
+		case err == nil:
+			s.finish(job, StateSucceeded, b, "", hit, workerName)
+		case ctx.Err() != nil:
+			s.finish(job, StateCancelled, nil, ctx.Err().Error(), false, workerName)
+		default:
+			s.finish(job, StateFailed, nil, err.Error(), false, workerName)
+		}
+		return
+	}
+
+	if s.cfg.Cache != nil {
+		if b, ok := s.cfg.Cache.Get(job.key); ok {
+			if _, err := experiments.DecodeReport(b); err == nil {
+				s.finish(job, StateSucceeded, b, "", true, "")
+				return
+			}
+			// Corrupt entry: fall through and recompute.
+		}
 	}
 
 	type result struct {
@@ -350,32 +417,33 @@ func (s *Scheduler) run(job *Job) {
 	select {
 	case res := <-ch:
 		if res.err != nil {
-			s.finish(job, StateFailed, nil, res.err.Error(), false)
+			s.finish(job, StateFailed, nil, res.err.Error(), false, "")
 			return
 		}
 		b, err := experiments.EncodeReport(res.rep)
 		if err != nil {
-			s.finish(job, StateFailed, nil, err.Error(), false)
+			s.finish(job, StateFailed, nil, err.Error(), false, "")
 			return
 		}
 		if s.cfg.Cache != nil {
 			// A failed disk write only loses reuse, never the result.
 			_ = s.cfg.Cache.Put(job.key, b)
 		}
-		s.finish(job, StateSucceeded, b, "", false)
+		s.finish(job, StateSucceeded, b, "", false, "")
 	case <-ctx.Done():
 		// Runner.Run takes no context; the simulation goroutine finishes
 		// detached and its result is discarded.
-		s.finish(job, StateCancelled, nil, ctx.Err().Error(), false)
+		s.finish(job, StateCancelled, nil, ctx.Err().Error(), false, "")
 	}
 }
 
-func (s *Scheduler) finish(job *Job, st State, report []byte, errMsg string, hit bool) {
+func (s *Scheduler) finish(job *Job, st State, report []byte, errMsg string, hit bool, worker string) {
 	s.mu.Lock()
 	job.state = st
 	job.report = report
 	job.errMsg = errMsg
 	job.cacheHit = hit
+	job.worker = worker
 	job.finished = time.Now()
 	delete(s.running, job)
 	switch st {
@@ -394,12 +462,36 @@ func (s *Scheduler) finish(job *Job, st State, report []byte, errMsg string, hit
 		us = 0
 	}
 	s.latency.Observe(uint64(us))
+	s.finished = append(s.finished, job.id)
+	if s.retain > 0 {
+		for len(s.finished) > s.retain {
+			s.evictOldestLocked()
+		}
+	}
 	s.mu.Unlock()
 	close(job.done)
 	if s.cfg.Ledger != nil {
 		// Manifest writes happen outside the lock — a slow disk never
 		// stalls the job table. A failed append only loses the record.
 		_, _ = s.cfg.Ledger.Append(jobManifest(job))
+	}
+}
+
+// evictOldestLocked drops the oldest finished job from the table and
+// remembers its ID so later lookups answer "gone" rather than "never
+// existed". Caller holds s.mu and has checked len(s.finished) > 0.
+func (s *Scheduler) evictOldestLocked() {
+	id := s.finished[0]
+	s.finished = s.finished[1:]
+	delete(s.jobs, id)
+	s.evicted[id] = struct{}{}
+	// Evictions are oldest-first, so the ID sits near the front of the
+	// submission order; the scan is short in practice.
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
 	}
 }
 
@@ -431,6 +523,7 @@ func jobManifest(job *Job) *ledger.Manifest {
 		ID:       job.experiment,
 		CellKey:  job.key.String(),
 		CacheHit: job.cacheHit,
+		Worker:   job.worker,
 		Error:    job.errMsg,
 	}
 	if !job.started.IsZero() {

@@ -46,8 +46,9 @@ type errorResponse struct {
 
 // NewHandler returns the service API over s. hub may be nil; the metrics
 // endpoints then fall back to the scheduler's own always-on hub, so they
-// never 404.
-func NewHandler(s *Scheduler, hub *telemetry.Hub) http.Handler {
+// never 404. The returned mux is concrete so callers (hwgc-serve -cluster)
+// can mount additional endpoint groups on it.
+func NewHandler(s *Scheduler, hub *telemetry.Hub) *http.ServeMux {
 	if hub == nil {
 		hub = s.Hub()
 	}
@@ -61,7 +62,7 @@ func NewHandler(s *Scheduler, hub *telemetry.Hub) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		v, ok := s.View(r.PathValue("id"))
 		if !ok {
-			writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job " + r.PathValue("id")})
+			writeJobMiss(s, w, r.PathValue("id"))
 			return
 		}
 		writeJSON(w, http.StatusOK, v)
@@ -80,7 +81,7 @@ func NewHandler(s *Scheduler, hub *telemetry.Hub) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/progress", func(w http.ResponseWriter, r *http.Request) {
 		p, ok := s.Progress(r.PathValue("id"))
 		if !ok {
-			writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job " + r.PathValue("id")})
+			writeJobMiss(s, w, r.PathValue("id"))
 			return
 		}
 		writeJSON(w, http.StatusOK, p)
@@ -89,7 +90,7 @@ func NewHandler(s *Scheduler, hub *telemetry.Hub) http.Handler {
 		id := r.PathValue("id")
 		m, ok := s.JobManifest(id)
 		if !ok {
-			writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job " + id})
+			writeJobMiss(s, w, id)
 			return
 		}
 		if m == nil {
@@ -106,8 +107,25 @@ func NewHandler(s *Scheduler, hub *telemetry.Hub) http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = hub.WritePrometheus(w)
+		if s.cfg.PromAppend != nil {
+			// Extra labeled families (per-cluster-worker series) that
+			// cannot live in the fixed-name registry.
+			_ = s.cfg.PromAppend(w)
+		}
 	})
 	return mux
+}
+
+// writeJobMiss answers a job lookup that found nothing: 410 Gone when the
+// ID belonged to a finished job since evicted from the bounded table, 404
+// when it never existed. Both bodies are JSON, like every other error on
+// the API.
+func writeJobMiss(s *Scheduler, w http.ResponseWriter, id string) {
+	if s.Evicted(id) {
+		writeJSON(w, http.StatusGone, errorResponse{Error: "job " + id + " evicted from the finished-job table"})
+		return
+	}
+	writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job " + id})
 }
 
 // withPprof overlays net/http/pprof's handlers on h under /debug/pprof/.

@@ -21,6 +21,16 @@ func (b *Beat) Add(n uint64) {
 	}
 }
 
+// Set overwrites the counter with an absolute cycle count. It exists for
+// mirrors — a cluster coordinator reflecting a remote worker's
+// heartbeat-reported progress into a local beat — where the authoritative
+// count lives elsewhere. Nil-safe.
+func (b *Beat) Set(n uint64) {
+	if b != nil {
+		b.v.Store(n)
+	}
+}
+
 // Cycles returns the cycles simulated so far (0 on nil).
 func (b *Beat) Cycles() uint64 {
 	if b == nil {

@@ -22,8 +22,8 @@ echo "== go test -race -short ./..."
 # simulation cells below.
 go test -race -short ./...
 
-echo "== go test -race ./internal/experiments ./internal/telemetry ./internal/resultcache ./internal/service"
+echo "== go test -race ./internal/experiments ./internal/telemetry ./internal/resultcache ./internal/service ./internal/cluster"
 go test -race -short -count=1 ./internal/experiments/ ./internal/telemetry/ \
-    ./internal/resultcache/ ./internal/service/
+    ./internal/resultcache/ ./internal/service/ ./internal/cluster/
 
 echo "ok"
