@@ -10,6 +10,7 @@
 //	hwgc-bench -run 'fig1[0-9]' # regexp over experiment IDs
 //	hwgc-bench -parallel 8      # worker count (default GOMAXPROCS)
 //	hwgc-bench -cluster-workers 2  # distribute over loopback cluster workers
+//	hwgc-bench -cluster-workers 2 -fleet-trace trace.json  # + span/flight export
 //	hwgc-bench -snapshot=false  # cold-build every cell (default: CoW clones)
 //	hwgc-bench -cache           # serve repeated cells from the result cache
 //	hwgc-bench -cache-dir DIR   # ... persisted across runs under DIR
@@ -21,6 +22,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -36,6 +38,7 @@ import (
 	"hwgc/internal/experiments"
 	"hwgc/internal/ledger"
 	"hwgc/internal/report"
+	"hwgc/internal/telemetry"
 )
 
 func main() {
@@ -45,6 +48,8 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation cells (<=1 serial)")
 	clusterWorkers := flag.Int("cluster-workers", 0,
 		"distribute experiments over this many in-process loopback cluster workers (lease dispatch; 0 = off)")
+	fleetTrace := flag.String("fleet-trace", "",
+		"with -cluster-workers: write the fleet's trace export (span trees + control-plane flight recorder, the /cluster/v1/trace document) to this JSON file")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	gcs := flag.Int("gcs", 0, "collections per benchmark (0 = default)")
 	seed := flag.Uint64("seed", 42, "workload seed")
@@ -186,16 +191,24 @@ func main() {
 	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 
-	// Per-experiment cluster attribution for the manifest (empty when not
-	// in cluster mode).
+	// Per-experiment cluster attribution and trace for the manifest (empty
+	// when not in cluster mode).
 	workerOf := map[string]string{}
 	cacheHitOf := map[string]bool{}
+	attemptsOf := map[string]int{}
+	retriesOf := map[string]int{}
+	traceOf := map[string]string{}
+	spansOf := map[string][]telemetry.Span{}
 
 	var results []hwgc.ExperimentResult
 	if *clusterWorkers > 0 {
+		// Span recording is on for every cluster run: spans are wall-clock
+		// observability riding outside the results, so the simulated cycle
+		// counts and report bytes are identical either way.
 		coord := cluster.NewCoordinator(cluster.Config{
 			Runners: runners,
 			Cache:   cache,
+			Spans:   telemetry.NewWallSpans(),
 		})
 		pool, err := cluster.StartLoopbackWorkers(coord, *clusterWorkers, cluster.WorkerConfig{
 			Name:      "bench",
@@ -212,12 +225,29 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		if *fleetTrace != "" {
+			exp := coord.TraceExport()
+			data, err := json.MarshalIndent(exp, "", "  ")
+			if err == nil {
+				err = os.WriteFile(*fleetTrace, data, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote fleet trace to %s (%d spans, %d flight events)\n",
+				*fleetTrace, len(exp.Spans), len(exp.Events))
+		}
 		coord.Close()
 		results = make([]hwgc.ExperimentResult, len(cres))
 		for i, r := range cres {
 			results[i] = r.Result
 			workerOf[r.Runner.ID] = r.Worker
 			cacheHitOf[r.Runner.ID] = r.CacheHit
+			attemptsOf[r.Runner.ID] = r.Attempts
+			retriesOf[r.Runner.ID] = r.Retries
+			traceOf[r.Runner.ID] = r.TraceID
+			spansOf[r.Runner.ID] = r.Spans
 		}
 	} else {
 		results = hwgc.RunFleet(runners, opts, *parallel)
@@ -248,6 +278,10 @@ func main() {
 				CellKey:  experiments.CellKey(res.Runner.ID, opts).String(),
 				Worker:   workerOf[res.Runner.ID],
 				CacheHit: cacheHitOf[res.Runner.ID],
+				Attempts: attemptsOf[res.Runner.ID],
+				Retries:  retriesOf[res.Runner.ID],
+				TraceID:  traceOf[res.Runner.ID],
+				Spans:    spansOf[res.Runner.ID],
 				WallMS:   wallMS[res.Runner.ID],
 			}
 			if res.Err != nil {

@@ -18,6 +18,7 @@
 //	hwgc-report -html report.html -manifest run.json   # self-contained HTML report
 //	hwgc-report -html run.json               # ... or directly from a manifest path
 //	hwgc-report -html dash.html -trajectory BENCH_host.json
+//	hwgc-report -html fleet.html -trace trace.json    # /cluster/v1/trace export
 //
 // -check exits non-zero when any band is drifted, broken, or missing,
 // naming each offending experiment/metric. -baseline exits non-zero when
@@ -44,14 +45,15 @@ func main() {
 	diff := flag.Bool("diff", false, "diff two manifest files (args: FROM TO)")
 	baseline := flag.String("baseline", "", "diff the manifest against this baseline and fail on moves past -tolerance")
 	tolerance := flag.Float64("tolerance", 0.25, "relative-change threshold for -baseline / noise floor for -diff")
-	htmlOut := flag.String("html", "", "write a self-contained HTML report to FILE (from -manifest/-ledger, a positional manifest path, or -trajectory; a .json FILE is treated as the input manifest and the report lands beside it)")
+	htmlOut := flag.String("html", "", "write a self-contained HTML report to FILE (from -manifest/-ledger, a positional manifest path, or -trajectory/-trace; a .json FILE is treated as the input manifest and the report lands beside it)")
 	trajectory := flag.String("trajectory", "", "render the BENCH_host.json host-benchmark dashboard instead of a run manifest")
+	tracePath := flag.String("trace", "", "render a /cluster/v1/trace export (JSON) as an HTML fleet report instead of a run manifest")
 	format := flag.String("format", "text", "-check output format: text or json")
 	flag.Parse()
 
 	switch {
 	case *htmlOut != "":
-		renderHTML(*htmlOut, *trajectory, *ledgerDir, *manifestPath)
+		renderHTML(*htmlOut, *trajectory, *tracePath, *ledgerDir, *manifestPath)
 
 	case *list:
 		if *ledgerDir == "" {
@@ -145,10 +147,11 @@ func main() {
 }
 
 // renderHTML writes a self-contained HTML report: the BENCH_host.json
-// trajectory dashboard when -trajectory is given, otherwise a run report
-// from the chosen manifest. As a convenience, `hwgc-report -html run.json`
-// (the flag value itself a manifest) writes run.html next to the input.
-func renderHTML(out, trajPath, dir, manifestPath string) {
+// trajectory dashboard when -trajectory is given, the cluster fleet trace
+// when -trace is given, otherwise a run report from the chosen manifest. As
+// a convenience, `hwgc-report -html run.json` (the flag value itself a
+// manifest) writes run.html next to the input.
+func renderHTML(out, trajPath, tracePath, dir, manifestPath string) {
 	var data []byte
 	var err error
 	switch {
@@ -158,6 +161,15 @@ func renderHTML(out, trajPath, dir, manifestPath string) {
 			fatal(rerr)
 		}
 		data, err = report.RenderTrajectory(raw, trajPath)
+		if err != nil {
+			fatal(err)
+		}
+	case tracePath != "":
+		raw, rerr := os.ReadFile(tracePath)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		data, err = report.RenderTrace(raw, tracePath)
 		if err != nil {
 			fatal(err)
 		}

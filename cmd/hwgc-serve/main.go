@@ -20,6 +20,14 @@
 //	hwgc-serve -cluster                          # coordinator; remote workers only
 //	hwgc-serve -cluster -cluster-local-workers 2 # plus 2 in-process loopback workers
 //	hwgc-serve -cluster -lease-ttl 2m            # slow cells need longer leases
+//	hwgc-serve -cluster -trace-spans 0           # disable distributed span recording
+//
+// In cluster mode every job carries a wall-clock trace: GET /cluster/v1/trace
+// exports the span buffer plus the control-plane flight recorder, and
+// GET /cluster/v1/metrics serves federated cluster-wide Prometheus series
+// (see docs/OBSERVABILITY.md "Distributed tracing"). GET /healthz and
+// GET /readyz are liveness/readiness probes (-log-format {text,json} picks
+// the structured log encoding).
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: in-flight jobs finish
 // (bounded by -drain-timeout, then cancelled; in cluster mode leased jobs
@@ -40,7 +48,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -49,6 +56,7 @@ import (
 	"time"
 
 	"hwgc/internal/cluster"
+	"hwgc/internal/experiments"
 	"hwgc/internal/ledger"
 	"hwgc/internal/resultcache"
 	"hwgc/internal/service"
@@ -75,7 +83,16 @@ func main() {
 		"with -cluster: lease validity window; expired leases re-queue the job")
 	retain := flag.Int("retain", 0,
 		"finished jobs kept before eviction (later lookups get 410; 0 = default 4096, negative = unlimited)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	traceSpans := flag.Int("trace-spans", telemetry.DefaultMaxSpans,
+		"with -cluster: wall-span recorder capacity for distributed tracing (0 disables span recording)")
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(*logFormat, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hwgc-serve:", err)
+		os.Exit(2)
+	}
 
 	cache, err := resultcache.New(*cacheEntries, *cacheDir)
 	if err != nil {
@@ -114,18 +131,29 @@ func main() {
 	var coord *cluster.Coordinator
 	var pool *cluster.LoopbackPool
 	if *clusterOn {
+		var spans *telemetry.WallSpans
+		if *traceSpans > 0 {
+			spans = &telemetry.WallSpans{MaxSpans: *traceSpans}
+		}
 		coord = cluster.NewCoordinator(cluster.Config{
 			LeaseTTL: *leaseTTL,
 			Cache:    cache,
 			Hub:      hub,
-			Logf:     log.Printf,
+			Spans:    spans,
+			Log:      logger,
 		})
-		svcCfg.Dispatch = coord.Dispatch
+		// The service deliberately does not import the cluster package; the
+		// two outcome structs are field-identical, so the adapter is a
+		// conversion.
+		svcCfg.Dispatch = func(ctx context.Context, experiment string, o experiments.Options) (service.DispatchResult, error) {
+			out, err := coord.Dispatch(ctx, experiment, o)
+			return service.DispatchResult(out), err
+		}
 		svcCfg.PromAppend = coord.WritePrometheus
 		if *localWorkers > 0 {
 			pool, err = cluster.StartLoopbackWorkers(coord, *localWorkers, cluster.WorkerConfig{
 				Name: "local",
-				Logf: log.Printf,
+				Log:  logger,
 			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -141,7 +169,9 @@ func main() {
 		Hub:          hub,
 		EnablePprof:  *pprofOn,
 		DrainTimeout: *drainTimeout,
-		Logf:         log.Printf,
+		Logf: func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		},
 	}
 	if coord != nil {
 		d.ExtraMounts = map[string]http.Handler{"/cluster/v1/": cluster.NewHTTPHandler(coord)}

@@ -8,6 +8,12 @@
 //	hwgc-worker -coordinator http://coord:8077
 //	hwgc-worker -coordinator http://coord:8077 -slots 4 -name lab-2
 //	hwgc-worker -coordinator http://coord:8077 -cache-dir /var/cache/hwgc
+//	hwgc-worker -coordinator http://coord:8077 -health-addr :8078
+//
+// -health-addr serves GET /healthz (liveness) and GET /readyz (200 once
+// registered with a free lease slot) so fleets can probe workers without
+// speaking the cluster protocol; -log-format {text,json} picks the
+// structured log encoding.
 //
 // The worker heartbeats at the coordinator's advertised interval (carrying
 // live progress for every in-flight lease) and re-registers automatically
@@ -21,7 +27,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -40,7 +47,15 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 0, "in-memory result cache entries (0 = default)")
 	cacheDir := flag.String("cache-dir", "", "persist cached results under this directory")
 	poll := flag.Duration("poll", 200*time.Millisecond, "idle lease-poll interval")
+	healthAddr := flag.String("health-addr", "", "serve GET /healthz and /readyz probes on this address (empty = off)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(*logFormat, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hwgc-worker:", err)
+		os.Exit(2)
+	}
 
 	if *coordinator == "" {
 		fmt.Fprintln(os.Stderr, "hwgc-worker: -coordinator is required")
@@ -64,21 +79,32 @@ func main() {
 		Slots:     *slots,
 		Cache:     cache,
 		PollEvery: *poll,
-		Logf:      log.Printf,
+		Log:       logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
+	if *healthAddr != "" {
+		ln, err := net.Listen("tcp", *healthAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hwgc-worker: health listener:", err)
+			os.Exit(1)
+		}
+		logger.Info("health probes listening", "worker", *name, "addr", ln.Addr().String())
+		// Probe traffic only; shuts down with the process.
+		go func() { _ = http.Serve(ln, w.HealthHandler()) }()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("hwgc-worker %s: connecting to %s (%d slots)", *name, *coordinator, *slots)
+	logger.Info("connecting", "worker", *name, "coordinator", *coordinator, "slots", *slots)
 	if err := w.Run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	log.Printf("hwgc-worker %s: drained, exiting", *name)
+	logger.Info("drained, exiting", "worker", *name)
 }
 
 // defaultName is the hostname, or a pid-tagged fallback when unavailable.

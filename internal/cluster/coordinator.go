@@ -20,8 +20,10 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -64,9 +66,19 @@ type Config struct {
 	// registry at construction; per-worker series are exposed through
 	// WritePrometheus (worker names arrive too late to register safely).
 	Hub *telemetry.Hub
-	// Logf, when set, receives coordinator events (registrations, expiries,
-	// retries).
-	Logf func(format string, args ...any)
+	// Spans, when set, turns on distributed tracing: every submitted job is
+	// assigned a trace ID, its lifecycle phases (queue wait, attempts,
+	// backoff) are recorded as wall-clock spans, and the trace context rides
+	// the wire so worker-side spans join the same tree. Nil disables tracing
+	// entirely — no IDs are minted, nothing extra travels on the wire.
+	Spans *telemetry.WallSpans
+	// FlightEvents sizes the control-plane flight-recorder ring (<= 0 means
+	// DefaultFlightEvents). The recorder is always on: it is bounded,
+	// wall-clock only, and never influences dispatch or results.
+	FlightEvents int
+	// Log, when set, receives structured coordinator events (registrations,
+	// expiries, retries) with job/worker/attempt fields.
+	Log *slog.Logger
 }
 
 // JobState is a cluster job's lifecycle position.
@@ -98,6 +110,11 @@ type JobResult struct {
 	// times the job was re-queued.
 	Attempts int
 	Retries  int
+	// TraceID is the job's distributed trace ("" when tracing is off) and
+	// Spans its completed span tree: coordinator lifecycle spans plus any
+	// worker-side spans shipped back with completions.
+	TraceID string
+	Spans   []telemetry.Span
 }
 
 // Job is one submitted cell. Mutable fields are guarded by the owning
@@ -114,6 +131,18 @@ type Job struct {
 	cacheHit  bool
 	report    []byte
 	errMsg    string
+
+	// Trace bookkeeping (zero values when tracing is off). submitAt anchors
+	// the root span; queueStart the current queue-wait segment; attemptSpan
+	// and attemptStart the open attempt span, closed on completion, expiry,
+	// or cancellation.
+	traceID      string
+	rootSpan     string
+	submitAt     time.Time
+	queueStart   time.Time
+	attemptSpan  string
+	attemptStart time.Time
+	spans        []telemetry.Span
 
 	res  JobResult // populated before done closes
 	done chan struct{}
@@ -153,9 +182,10 @@ type workerState struct {
 
 // Coordinator owns the cluster control plane.
 type Coordinator struct {
-	cfg  Config
-	byID map[string]experiments.Runner
-	ids  []string
+	cfg    Config
+	byID   map[string]experiments.Runner
+	ids    []string
+	flight *FlightRecorder
 
 	mu       sync.Mutex
 	rng      *rand.Rand
@@ -212,6 +242,7 @@ func NewCoordinator(cfg Config) *Coordinator {
 	c := &Coordinator{
 		cfg:      cfg,
 		byID:     make(map[string]experiments.Runner, len(runners)),
+		flight:   NewFlightRecorder(cfg.FlightEvents),
 		rng:      rand.New(rand.NewSource(int64(seed))),
 		jobs:     make(map[string]*Job),
 		leases:   make(map[string]*lease),
@@ -274,11 +305,25 @@ func (c *Coordinator) Submit(spec JobSpec, beat *telemetry.Beat) (*Job, error) {
 		return nil, fmt.Errorf("cluster: duplicate job ID %q", spec.ID)
 	}
 	job := &Job{spec: spec, beat: beat, state: JobPending, done: make(chan struct{})}
+	if c.cfg.Spans != nil {
+		now := time.Now()
+		job.traceID = c.cfg.Spans.NewTraceID()
+		job.rootSpan = c.cfg.Spans.NewSpanID()
+		job.submitAt = now
+		job.queueStart = now
+		// The context rides the wire inside the spec so worker-side spans
+		// join the same trace.
+		job.spec.TraceID = job.traceID
+		job.spec.SpanID = job.rootSpan
+	}
 	c.jobs[spec.ID] = job
 	c.submitted++
+	c.flight.Record(FlightEvent{Kind: "submit", JobID: spec.ID, TraceID: job.traceID,
+		Detail: spec.Experiment})
 	if hit != nil {
 		job.cacheHit = true
 		job.report = hit
+		c.flight.Record(FlightEvent{Kind: "cache.hit", JobID: spec.ID, TraceID: job.traceID})
 		c.finishLocked(job, JobSucceeded, "")
 		return job, nil
 	}
@@ -330,8 +375,9 @@ func (c *Coordinator) Register(req RegisterRequest) (RegisterResponse, error) {
 	}
 	c.workers[w.id] = w
 	c.workersRegistered++
-	c.logf("cluster: worker %s (%s) registered, %d slots, %d capabilities",
-		w.id, w.name, w.slots, len(w.caps))
+	c.flight.Record(FlightEvent{Kind: "worker.register", WorkerID: w.id, Detail: w.name})
+	c.logw("worker registered", "worker", w.id, "name", w.name,
+		"slots", w.slots, "capabilities", len(w.caps))
 	return RegisterResponse{
 		WorkerID:    w.id,
 		LeaseTTLMS:  c.cfg.LeaseTTL.Milliseconds(),
@@ -439,11 +485,26 @@ func (c *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
 	job.attempt++
 	job.worker = w.name
 	c.leasesGranted++
+	if job.traceID != "" {
+		// Close the queue-wait segment and open this attempt's span; the
+		// attempt span ID travels in the lease so worker spans parent to it.
+		c.spanLocked(job, c.cfg.Spans.NewSpanID(), job.rootSpan, "queue.wait",
+			job.queueStart, now, map[string]string{"attempt": strconv.Itoa(job.attempt)})
+		job.attemptSpan = c.cfg.Spans.NewSpanID()
+		job.attemptStart = now
+	}
+	if steal {
+		c.flight.Record(FlightEvent{Kind: "steal", JobID: job.spec.ID, TraceID: job.traceID,
+			WorkerID: w.id, LeaseID: l.id, Attempt: job.attempt, Detail: job.spec.Affinity})
+	}
+	c.flight.Record(FlightEvent{Kind: "lease.grant", JobID: job.spec.ID, TraceID: job.traceID,
+		WorkerID: w.id, LeaseID: l.id, Attempt: job.attempt})
 	return LeaseResponse{Lease: &Lease{
 		ID:      l.id,
 		Job:     job.spec,
 		TTLMS:   c.cfg.LeaseTTL.Milliseconds(),
 		Attempt: job.attempt,
+		SpanID:  job.attemptSpan,
 	}}, nil
 }
 
@@ -458,9 +519,23 @@ func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 	if !ok || job.state == JobSucceeded || job.state == JobFailed || job.state == JobCancelled {
 		if ok {
 			c.duplicateDrop++
+			c.flight.Record(FlightEvent{Kind: "duplicate.drop", JobID: req.JobID,
+				TraceID: job.traceID, WorkerID: req.WorkerID, LeaseID: req.LeaseID,
+				Detail: string(job.state)})
 		}
 		c.mu.Unlock()
 		return CompleteResponse{Committed: false}, nil
+	}
+	// Fold worker-side spans into the job's tree before deciding the
+	// outcome: failed attempts carry spans worth keeping too.
+	if job.traceID != "" {
+		for _, s := range req.Spans {
+			if s.TraceID != job.traceID {
+				continue // defensive: never mix traces
+			}
+			c.cfg.Spans.Add(s)
+			job.spans = append(job.spans, s)
+		}
 	}
 	// Detach whichever lease currently covers the job: the completing
 	// worker's own, or — when that one already expired and the job was
@@ -488,6 +563,7 @@ func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 		if w, known := c.workers[req.WorkerID]; known {
 			w.failed++
 		}
+		c.endAttemptLocked(job, workerName, "error")
 		c.retryLocked(job, fmt.Sprintf("worker %s: %s", workerName, req.Error))
 		c.mu.Unlock()
 		return CompleteResponse{Committed: true}, nil
@@ -495,6 +571,7 @@ func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 	if _, err := experiments.DecodeReport(req.Report); err != nil {
 		// A payload torn in transit is an attempt failure, not a terminal
 		// one: re-run rather than committing garbage.
+		c.endAttemptLocked(job, workerName, "undecodable")
 		c.retryLocked(job, fmt.Sprintf("worker %s: undecodable report: %v", workerName, err))
 		c.mu.Unlock()
 		return CompleteResponse{Committed: false}, nil
@@ -505,6 +582,10 @@ func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 	if w, known := c.workers[req.WorkerID]; known {
 		w.completed++
 	}
+	c.endAttemptLocked(job, workerName, "commit")
+	c.flight.Record(FlightEvent{Kind: "commit", JobID: job.spec.ID, TraceID: job.traceID,
+		WorkerID: req.WorkerID, LeaseID: req.LeaseID, Attempt: job.attempt,
+		Detail: workerName})
 	c.finishLocked(job, JobSucceeded, "")
 	c.mu.Unlock()
 	if c.cfg.Cache != nil {
@@ -522,18 +603,34 @@ func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 func (c *Coordinator) retryLocked(job *Job, reason string) {
 	if job.attempt >= c.cfg.MaxAttempts {
 		job.errMsg = fmt.Sprintf("%s (attempt %d/%d, giving up)", reason, job.attempt, c.cfg.MaxAttempts)
+		c.flight.Record(FlightEvent{Kind: "fail", JobID: job.spec.ID, TraceID: job.traceID,
+			Attempt: job.attempt, Detail: job.errMsg})
 		c.finishLocked(job, JobFailed, job.errMsg)
 		return
 	}
 	d := c.backoffLocked(job.attempt)
+	now := time.Now()
 	job.state = JobPending
-	job.notBefore = time.Now().Add(d)
+	job.notBefore = now.Add(d)
 	job.retries++
 	job.errMsg = reason
 	c.pending = append(c.pending, job)
 	c.retriesTotal++
-	c.logf("cluster: job %s attempt %d failed (%s); retrying in %s",
-		job.spec.ID, job.attempt, reason, d)
+	if job.traceID != "" {
+		// The backoff sleep is a first-class span: in the waterfall it
+		// separates "waiting by policy" from "waiting for a free worker"
+		// (the queue.wait segment that follows).
+		c.spanLocked(job, c.cfg.Spans.NewSpanID(), job.rootSpan, "backoff",
+			now, job.notBefore, map[string]string{
+				"attempt": strconv.Itoa(job.attempt),
+				"reason":  reason,
+			})
+		job.queueStart = job.notBefore
+	}
+	c.flight.Record(FlightEvent{Kind: "backoff", JobID: job.spec.ID, TraceID: job.traceID,
+		Attempt: job.attempt, Detail: fmt.Sprintf("%s; retrying in %s", reason, d)})
+	c.logw("attempt failed; retrying", "job", job.spec.ID, "attempt", job.attempt,
+		"reason", reason, "backoff", d.String())
 }
 
 // backoffLocked returns the wait before re-granting attempt+1: the
@@ -572,6 +669,17 @@ func (c *Coordinator) finishLocked(job *Job, st JobState, errMsg string) {
 	case JobCancelled:
 		c.cancelled++
 	}
+	if job.traceID != "" {
+		attrs := map[string]string{
+			"state":    string(st),
+			"attempts": strconv.Itoa(job.attempt),
+			"retries":  strconv.Itoa(job.retries),
+		}
+		if job.cacheHit {
+			attrs["cacheHit"] = "true"
+		}
+		c.spanLocked(job, job.rootSpan, "", "job", job.submitAt, time.Now(), attrs)
+	}
 	job.res = JobResult{
 		State:    st,
 		Report:   job.report,
@@ -580,8 +688,38 @@ func (c *Coordinator) finishLocked(job *Job, st JobState, errMsg string) {
 		CacheHit: job.cacheHit,
 		Attempts: job.attempt,
 		Retries:  job.retries,
+		TraceID:  job.traceID,
+		Spans:    job.spans,
 	}
 	close(job.done)
+}
+
+// spanLocked records one completed coordinator-side span into both the
+// global recorder and the job's own tree. Caller holds c.mu; only called
+// for jobs carrying trace context (cfg.Spans is non-nil then).
+func (c *Coordinator) spanLocked(job *Job, spanID, parent, name string, start, end time.Time, attrs map[string]string) {
+	s := telemetry.SpanBetween(job.traceID, spanID, parent, "coordinator", name, start, end)
+	s.Attrs = attrs
+	c.cfg.Spans.Add(s)
+	job.spans = append(job.spans, s)
+}
+
+// endAttemptLocked closes the job's open attempt span with an outcome
+// ("commit", "error", "undecodable", "expired", "cancelled"). Caller holds
+// c.mu; no-op when no attempt span is open.
+func (c *Coordinator) endAttemptLocked(job *Job, worker, outcome string) {
+	if job.attemptSpan == "" {
+		return
+	}
+	attrs := map[string]string{
+		"attempt": strconv.Itoa(job.attempt),
+		"outcome": outcome,
+	}
+	if worker != "" {
+		attrs["worker"] = worker
+	}
+	c.spanLocked(job, job.attemptSpan, job.rootSpan, "attempt", job.attemptStart, time.Now(), attrs)
+	job.attemptSpan = ""
 }
 
 // dropLeaseLocked removes a lease from the global and per-worker tables.
@@ -621,6 +759,9 @@ func (c *Coordinator) Cancel(jobID string, reason string) {
 			break
 		}
 	}
+	c.endAttemptLocked(job, job.worker, "cancelled")
+	c.flight.Record(FlightEvent{Kind: "cancel", JobID: job.spec.ID, TraceID: job.traceID,
+		Attempt: job.attempt, Detail: reason})
 	c.finishLocked(job, JobCancelled, reason)
 }
 
@@ -666,12 +807,18 @@ func (c *Coordinator) sweep() {
 				delete(c.affinity, key)
 			}
 		}
-		c.logf("cluster: worker %s (%s) expired after %s silence, releasing %d leases",
-			id, w.name, c.cfg.WorkerExpiry, len(w.leases))
+		c.flight.Record(FlightEvent{Kind: "worker.expire", WorkerID: id,
+			Detail: fmt.Sprintf("%s silent %s, releasing %d leases", w.name, c.cfg.WorkerExpiry, len(w.leases))})
+		c.logw("worker expired", "worker", id, "name", w.name,
+			"silence", c.cfg.WorkerExpiry.String(), "leases", len(w.leases))
 		for _, l := range w.leases {
 			delete(c.leases, l.id)
 			c.leasesExpired++
 			w.expired++
+			c.flight.Record(FlightEvent{Kind: "lease.expire", JobID: l.job.spec.ID,
+				TraceID: l.job.traceID, WorkerID: l.workerID, LeaseID: l.id,
+				Attempt: l.job.attempt, Detail: "worker expired"})
+			c.endAttemptLocked(l.job, w.name, "expired")
 			c.retryLocked(l.job, fmt.Sprintf("worker %s expired", w.name))
 		}
 	}
@@ -681,9 +828,15 @@ func (c *Coordinator) sweep() {
 		}
 		c.dropLeaseLocked(l)
 		c.leasesExpired++
+		worker := ""
 		if w, ok := c.workers[l.workerID]; ok {
 			w.expired++
+			worker = w.name
 		}
+		c.flight.Record(FlightEvent{Kind: "lease.expire", JobID: l.job.spec.ID,
+			TraceID: l.job.traceID, WorkerID: l.workerID, LeaseID: l.id,
+			Attempt: l.job.attempt, Detail: "lease TTL elapsed"})
+		c.endAttemptLocked(l.job, worker, "expired")
 		c.retryLocked(l.job, fmt.Sprintf("lease %s expired", l.id))
 	}
 }
@@ -725,6 +878,9 @@ func (c *Coordinator) Drain(ctx context.Context) error {
 							break
 						}
 					}
+					c.endAttemptLocked(job, job.worker, "cancelled")
+					c.flight.Record(FlightEvent{Kind: "cancel", JobID: job.spec.ID,
+						TraceID: job.traceID, Attempt: job.attempt, Detail: "coordinator drain deadline"})
 					c.finishLocked(job, JobCancelled, "coordinator drain deadline")
 				}
 			}
@@ -735,14 +891,33 @@ func (c *Coordinator) Drain(ctx context.Context) error {
 	}
 }
 
+// DispatchOutcome is one dispatched cell's committed result with its
+// attribution and trace context.
+type DispatchOutcome struct {
+	// Report is the JSON-encoded experiments.Report.
+	Report []byte
+	// Worker names the worker whose result committed ("" for coordinator
+	// cache hits); CacheHit marks a result served from a cache.
+	Worker   string
+	CacheHit bool
+	// Attempts is the number of lease grants consumed; Retries how many
+	// times the job re-queued.
+	Attempts int
+	Retries  int
+	// TraceID and Spans are the job's distributed trace ("" / nil when
+	// tracing is off).
+	TraceID string
+	Spans   []telemetry.Span
+}
+
 // Dispatch submits one cell and waits for its committed result — the
-// signature the service scheduler's Dispatch hook expects. The options'
-// Beat (when set) receives remote progress. On ctx expiry the job is
-// cancelled and ctx.Err() returned.
-func (c *Coordinator) Dispatch(ctx context.Context, experiment string, o experiments.Options) (report []byte, worker string, cacheHit bool, err error) {
+// shape the service scheduler's Dispatch hook expects (cmd/hwgc-serve
+// adapts it). The options' Beat (when set) receives remote progress. On
+// ctx expiry the job is cancelled and ctx.Err() returned.
+func (c *Coordinator) Dispatch(ctx context.Context, experiment string, o experiments.Options) (DispatchOutcome, error) {
 	job, err := c.Submit(NewJobSpec(experiment, o), o.Beat)
 	if err != nil {
-		return nil, "", false, err
+		return DispatchOutcome{}, err
 	}
 	select {
 	case <-job.Done():
@@ -751,21 +926,30 @@ func (c *Coordinator) Dispatch(ctx context.Context, experiment string, o experim
 		<-job.Done()
 	}
 	res := job.Result()
+	out := DispatchOutcome{
+		Worker:   res.Worker,
+		Attempts: res.Attempts,
+		Retries:  res.Retries,
+		TraceID:  res.TraceID,
+		Spans:    res.Spans,
+	}
 	switch res.State {
 	case JobSucceeded:
-		return res.Report, res.Worker, res.CacheHit, nil
+		out.Report = res.Report
+		out.CacheHit = res.CacheHit
+		return out, nil
 	case JobCancelled:
 		if ctx.Err() != nil {
-			return nil, res.Worker, false, ctx.Err()
+			return out, ctx.Err()
 		}
-		return nil, res.Worker, false, fmt.Errorf("cluster: job %s cancelled: %s", job.ID(), res.Err)
+		return out, fmt.Errorf("cluster: job %s cancelled: %s", job.ID(), res.Err)
 	default:
-		return nil, res.Worker, false, fmt.Errorf("cluster: job %s failed: %s", job.ID(), res.Err)
+		return out, fmt.Errorf("cluster: job %s failed: %s", job.ID(), res.Err)
 	}
 }
 
-func (c *Coordinator) logf(format string, args ...any) {
-	if c.cfg.Logf != nil {
-		c.cfg.Logf(format, args...)
+func (c *Coordinator) logw(msg string, args ...any) {
+	if c.cfg.Log != nil {
+		c.cfg.Log.Info(msg, args...)
 	}
 }

@@ -608,7 +608,7 @@ func TestDispatchCancelledContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		_, _, _, err := c.Dispatch(ctx, "a", experiments.QuickOptions())
+		_, err := c.Dispatch(ctx, "a", experiments.QuickOptions())
 		done <- err
 	}()
 	time.Sleep(5 * time.Millisecond)

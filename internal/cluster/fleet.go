@@ -10,6 +10,7 @@ import (
 	"context"
 
 	"hwgc/internal/experiments"
+	"hwgc/internal/telemetry"
 )
 
 // FleetResult is one runner's outcome from a cluster fleet run, extending
@@ -26,6 +27,10 @@ type FleetResult struct {
 	// how many times it re-queued (lost workers, expired leases, failures).
 	Attempts int
 	Retries  int
+	// TraceID and Spans are the job's distributed trace ("" / nil when the
+	// coordinator runs without span recording).
+	TraceID string
+	Spans   []telemetry.Span
 }
 
 // RunFleet distributes runners over the coordinator's workers and returns
@@ -59,6 +64,8 @@ func RunFleet(ctx context.Context, c *Coordinator, runners []experiments.Runner,
 		results[i].CacheHit = res.CacheHit
 		results[i].Attempts = res.Attempts
 		results[i].Retries = res.Retries
+		results[i].TraceID = res.TraceID
+		results[i].Spans = res.Spans
 		if res.State != JobSucceeded {
 			results[i].Err = &JobError{JobID: job.ID(), State: res.State, Reason: res.Err}
 			continue

@@ -11,6 +11,8 @@ package cluster
 //	POST /cluster/v1/lease       LeaseRequest     -> LeaseResponse
 //	POST /cluster/v1/complete    CompleteRequest  -> CompleteResponse
 //	GET  /cluster/v1/status      coordinator Status snapshot
+//	GET  /cluster/v1/trace       TraceExport (spans + flight recorder)
+//	GET  /cluster/v1/metrics     federated cluster-wide Prometheus text
 
 import (
 	"bytes"
@@ -92,6 +94,13 @@ func NewHTTPHandler(c *Coordinator) *http.ServeMux {
 	})
 	mux.HandleFunc("GET /cluster/v1/status", func(w http.ResponseWriter, r *http.Request) {
 		writeProtoJSON(w, http.StatusOK, c.Status())
+	})
+	mux.HandleFunc("GET /cluster/v1/trace", func(w http.ResponseWriter, r *http.Request) {
+		writeProtoJSON(w, http.StatusOK, c.TraceExport())
+	})
+	mux.HandleFunc("GET /cluster/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = c.WriteClusterPrometheus(w)
 	})
 	return mux
 }

@@ -20,6 +20,7 @@ import (
 
 	"hwgc/internal/experiments"
 	"hwgc/internal/resultcache"
+	"hwgc/internal/telemetry"
 )
 
 // ProtocolVersion names the wire protocol. Register rejects a mismatch, so
@@ -69,6 +70,12 @@ type JobSpec struct {
 	// the same worker so copy-on-write image clones keep paying off across
 	// the wire; empty means no affinity preference.
 	Affinity string `json:"affinity,omitempty"`
+	// TraceID is the job's distributed trace context and SpanID its root
+	// span. Both are assigned by the coordinator when span recording is on
+	// and ride the wire so worker-side spans join the same trace; empty
+	// means tracing is disabled and workers record nothing.
+	TraceID string `json:"traceId,omitempty"`
+	SpanID  string `json:"spanId,omitempty"`
 }
 
 // NewJobSpec builds the spec for one experiment cell, deriving the cache
@@ -144,6 +151,9 @@ type Lease struct {
 	TTLMS int64 `json:"ttlMs"`
 	// Attempt is 1 for the first grant and increments on every retry.
 	Attempt int `json:"attempt"`
+	// SpanID is the coordinator-side span for this attempt; worker-side
+	// spans parent under it. Empty when tracing is disabled.
+	SpanID string `json:"spanId,omitempty"`
 }
 
 // LeaseResponse carries the granted lease; a nil Lease means no work is
@@ -163,6 +173,10 @@ type CompleteRequest struct {
 	Error string `json:"error,omitempty"`
 	// CacheHit marks a result served from the worker's local result cache.
 	CacheHit bool `json:"cacheHit,omitempty"`
+	// Spans carries the worker-side wall spans for this attempt (execution,
+	// local cache hit), already stamped with the job's trace context. The
+	// coordinator folds them into the job's span tree.
+	Spans []telemetry.Span `json:"spans,omitempty"`
 }
 
 // CompleteResponse acknowledges a completion. Committed=false means the

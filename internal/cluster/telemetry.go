@@ -100,6 +100,14 @@ type Status struct {
 	AffinitySteal uint64 `json:"affinitySteals"`
 
 	Workers []WorkerStatus `json:"workers"`
+
+	// Trace introspection: whether span recording is on, how much the span
+	// recorder and flight ring currently hold, and how much each dropped.
+	TraceEnabled  bool   `json:"traceEnabled"`
+	Spans         int    `json:"spans"`
+	SpansDropped  uint64 `json:"spansDropped"`
+	FlightEvents  int    `json:"flightEvents"`
+	FlightDropped uint64 `json:"flightDropped"`
 }
 
 // Status snapshots the coordinator. Workers are sorted by name for stable
@@ -140,6 +148,13 @@ func (c *Coordinator) Status() Status {
 		})
 	}
 	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].Name < st.Workers[j].Name })
+	// The recorders have their own locks and never take c.mu, so reading
+	// them under it cannot deadlock.
+	st.TraceEnabled = c.cfg.Spans != nil
+	st.Spans = c.cfg.Spans.Len()
+	st.SpansDropped = c.cfg.Spans.Dropped()
+	st.FlightEvents = c.flight.Len()
+	st.FlightDropped = c.flight.Dropped()
 	return st
 }
 
@@ -164,7 +179,10 @@ var perWorkerFamilies = []struct {
 // name). Intended to be appended after the registry exposition — the
 // service's PromAppend hook.
 func (c *Coordinator) WritePrometheus(w io.Writer) error {
-	st := c.Status()
+	return c.writeWorkerFamilies(w, c.Status())
+}
+
+func (c *Coordinator) writeWorkerFamilies(w io.Writer, st Status) error {
 	for _, fam := range perWorkerFamilies {
 		pn := telemetry.PrometheusName(fam.name)
 		if _, err := fmt.Fprintf(w, "# HELP %s per-worker cluster metric %s\n# TYPE %s %s\n",
@@ -179,4 +197,86 @@ func (c *Coordinator) WritePrometheus(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// WriteClusterPrometheus renders the federated cluster-wide exposition for
+// GET /cluster/v1/metrics: the coordinator aggregates (self-contained — no
+// telemetry hub required), fleet-wide sums of the per-worker attribution
+// counters, and the per-worker labeled series. Output is deterministic.
+func (c *Coordinator) WriteClusterPrometheus(w io.Writer) error {
+	st := c.Status()
+	var sumCompleted, sumFailed, sumExpired, sumStolen, sumHeld float64
+	for _, ws := range st.Workers {
+		sumCompleted += float64(ws.Completed)
+		sumFailed += float64(ws.Failed)
+		sumExpired += float64(ws.Expired)
+		sumStolen += float64(ws.Stolen)
+		sumHeld += float64(ws.Leases)
+	}
+	agg := []struct {
+		name, typ string
+		v         float64
+	}{
+		{"cluster.jobs.submitted", "counter", float64(st.Submitted)},
+		{"cluster.jobs.completed", "counter", float64(st.Completed)},
+		{"cluster.jobs.failed", "counter", float64(st.Failed)},
+		{"cluster.jobs.cancelled", "counter", float64(st.Cancelled)},
+		{"cluster.jobs.cachehits", "counter", float64(st.CacheHits)},
+		{"cluster.jobs.retries", "counter", float64(st.Retries)},
+		{"cluster.jobs.duplicatedrops", "counter", float64(st.DuplicateDrop)},
+		{"cluster.leases.granted", "counter", float64(st.LeasesGranted)},
+		{"cluster.leases.expired", "counter", float64(st.LeasesExpired)},
+		{"cluster.affinity.local", "counter", float64(st.AffinityLocal)},
+		{"cluster.affinity.steals", "counter", float64(st.AffinitySteal)},
+		{"cluster.jobs.pending", "gauge", float64(st.Pending)},
+		{"cluster.leases.active", "gauge", float64(st.ActiveLeases)},
+		{"cluster.workers.connected", "gauge", float64(len(st.Workers))},
+		{"cluster.fleet.completed", "counter", sumCompleted},
+		{"cluster.fleet.failed", "counter", sumFailed},
+		{"cluster.fleet.leases.expired", "counter", sumExpired},
+		{"cluster.fleet.leases.stolen", "counter", sumStolen},
+		{"cluster.fleet.leases.held", "gauge", sumHeld},
+		{"cluster.trace.spans", "gauge", float64(st.Spans)},
+		{"cluster.trace.spans.dropped", "counter", float64(st.SpansDropped)},
+		{"cluster.flight.events", "gauge", float64(st.FlightEvents)},
+		{"cluster.flight.events.dropped", "counter", float64(st.FlightDropped)},
+	}
+	for _, a := range agg {
+		pn := telemetry.PrometheusName(a.name)
+		if _, err := fmt.Fprintf(w, "# HELP %s cluster-wide metric %s\n# TYPE %s %s\n%s %s\n",
+			pn, a.name, pn, a.typ, pn, strconv.FormatFloat(a.v, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return c.writeWorkerFamilies(w, st)
+}
+
+// TraceExport is the flight-recorder + span dump served by
+// GET /cluster/v1/trace: everything needed to reconstruct job waterfalls
+// offline (hwgc-report renders it into the fleet view).
+type TraceExport struct {
+	Protocol string `json:"protocol"`
+	// Enabled reports whether span recording is on (the flight events are
+	// always recorded).
+	Enabled bool `json:"enabled"`
+	// Spans is the wall-span buffer in insertion order; SpansDropped counts
+	// spans discarded after it filled.
+	Spans        []telemetry.Span `json:"spans"`
+	SpansDropped uint64           `json:"spansDropped"`
+	// Events is the flight-recorder ring oldest-first; EventsDropped counts
+	// overwritten events (consumers can also detect gaps via Seq).
+	Events        []FlightEvent `json:"events"`
+	EventsDropped uint64        `json:"eventsDropped"`
+}
+
+// TraceExport snapshots the coordinator's trace state.
+func (c *Coordinator) TraceExport() TraceExport {
+	return TraceExport{
+		Protocol:      ProtocolVersion,
+		Enabled:       c.cfg.Spans != nil,
+		Spans:         c.cfg.Spans.Snapshot(),
+		SpansDropped:  c.cfg.Spans.Dropped(),
+		Events:        c.flight.Events(),
+		EventsDropped: c.flight.Dropped(),
+	}
 }

@@ -1,0 +1,419 @@
+package cluster
+
+// Distributed-tracing tests: span context propagating across a lease
+// retry (the killed-worker lifecycle), the flight recorder's drop-oldest
+// ring, the wire carrying trace context, and report-byte parity between
+// traced and untraced fleet runs.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hwgc/internal/experiments"
+	"hwgc/internal/resultcache"
+	"hwgc/internal/telemetry"
+)
+
+// spanNames collects span names in insertion order.
+func spanNames(spans []telemetry.Span) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// countSpans tallies spans by name, optionally filtering on an attr value.
+func countSpans(spans []telemetry.Span, name, attrKey, attrVal string) int {
+	n := 0
+	for _, s := range spans {
+		if s.Name != name {
+			continue
+		}
+		if attrKey != "" && s.Attrs[attrKey] != attrVal {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// TestTraceRetrySharesTraceID drives the retry lifecycle by hand: worker 1
+// takes the lease and goes silent, the lease expires, worker 2 retries and
+// commits. The second attempt must share the first's trace ID but carry a
+// fresh attempt span, and the assembled tree must show the full
+// queue → lease → expiry → backoff → retry → commit story.
+func TestTraceRetrySharesTraceID(t *testing.T) {
+	c := testCoordinator(t, Config{
+		Runners:      []experiments.Runner{fastRunner("a")},
+		LeaseTTL:     30 * time.Millisecond,
+		WorkerExpiry: time.Hour, // recovery must come from lease expiry alone
+		RetryBase:    time.Millisecond,
+		Spans:        telemetry.NewWallSpans(),
+	})
+	w1 := register(t, c, "w1")
+	w2 := register(t, c, "w2")
+	job, err := c.Submit(NewJobSpec("a", experiments.QuickOptions()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l1 := mustLease(t, c, w1.WorkerID)
+	if l1.Job.TraceID == "" || l1.Job.SpanID == "" {
+		t.Fatalf("lease 1 carries no trace context: %+v", l1.Job)
+	}
+	if l1.SpanID == "" {
+		t.Fatal("lease 1 has no attempt span ID")
+	}
+
+	// w1 never completes; the janitor expires the lease and the job
+	// re-queues with backoff. Poll as w2 until the retry is granted.
+	var l2 *Lease
+	deadline := time.Now().Add(10 * time.Second)
+	for l2 == nil && time.Now().Before(deadline) {
+		resp, err := c.Lease(LeaseRequest{WorkerID: w2.WorkerID})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Lease != nil {
+			l2 = resp.Lease
+		} else {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if l2 == nil {
+		t.Fatalf("retry was never granted: %+v", c.Status())
+	}
+	if l2.Job.TraceID != l1.Job.TraceID {
+		t.Fatalf("retry trace = %q, first attempt = %q; one job, one trace",
+			l2.Job.TraceID, l1.Job.TraceID)
+	}
+	if l2.SpanID == l1.SpanID {
+		t.Fatalf("retry reused attempt span %q; each attempt needs its own", l2.SpanID)
+	}
+	if l2.Attempt != 2 {
+		t.Fatalf("retry attempt = %d, want 2", l2.Attempt)
+	}
+
+	// w2 commits, shipping a worker-side span stamped with the lease's
+	// trace context (what a real worker loop does).
+	ws := telemetry.SpanBetween(l2.Job.TraceID, l2.ID+".w", l2.SpanID,
+		"worker:w2", "worker.run", time.Now(), time.Now())
+	if _, err := c.Complete(CompleteRequest{
+		WorkerID: w2.WorkerID, LeaseID: l2.ID, JobID: job.ID(),
+		Report: encodedReport(t, "a"), Spans: []telemetry.Span{ws},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	res := job.Result()
+	if res.State != JobSucceeded {
+		t.Fatalf("job state = %s (%s)", res.State, res.Err)
+	}
+	if res.TraceID != l1.Job.TraceID {
+		t.Fatalf("result trace = %q, want %q", res.TraceID, l1.Job.TraceID)
+	}
+	for _, s := range res.Spans {
+		if s.TraceID != res.TraceID {
+			t.Fatalf("span %s/%s leaked into the trace: %+v", s.Unit, s.Name, s)
+		}
+	}
+	if n := countSpans(res.Spans, "queue.wait", "", ""); n != 2 {
+		t.Errorf("queue.wait spans = %d, want 2 (initial + post-backoff): %v", n, spanNames(res.Spans))
+	}
+	if n := countSpans(res.Spans, "attempt", "outcome", "expired"); n != 1 {
+		t.Errorf("expired attempt spans = %d, want 1", n)
+	}
+	if n := countSpans(res.Spans, "attempt", "outcome", "commit"); n != 1 {
+		t.Errorf("committed attempt spans = %d, want 1", n)
+	}
+	if n := countSpans(res.Spans, "backoff", "", ""); n != 1 {
+		t.Errorf("backoff spans = %d, want 1", n)
+	}
+	if n := countSpans(res.Spans, "worker.run", "", ""); n != 1 {
+		t.Errorf("worker.run spans = %d, want 1", n)
+	}
+	roots := 0
+	for _, s := range res.Spans {
+		if s.Name == "job" && s.Parent == "" {
+			roots++
+			if s.Attrs["state"] != string(JobSucceeded) || s.Attrs["retries"] != "1" {
+				t.Errorf("root span attrs = %v, want succeeded with 1 retry", s.Attrs)
+			}
+		}
+	}
+	if roots != 1 {
+		t.Errorf("root job spans = %d, want 1", roots)
+	}
+
+	// The flight recorder tells the same story, in order, under the trace.
+	var kinds []string
+	for _, ev := range c.flight.Events() {
+		if ev.TraceID == res.TraceID {
+			kinds = append(kinds, ev.Kind)
+		}
+	}
+	wantSeq := []string{"submit", "lease.grant", "lease.expire", "backoff", "lease.grant", "commit"}
+	got := kinds
+	for _, want := range wantSeq {
+		i := -1
+		for j, k := range got {
+			if k == want {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
+			t.Fatalf("flight events missing %q in order; got %v", want, kinds)
+		}
+		got = got[i+1:]
+	}
+}
+
+// TestFlightRecorderDropsOldest pins the ring policy: a full recorder
+// overwrites the OLDEST events (keeping the newest) and counts the
+// overwrites — the opposite retention of the span recorder, which keeps
+// the earliest.
+func TestFlightRecorderDropsOldest(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		f.Record(FlightEvent{Kind: "k", JobID: "job"})
+	}
+	if f.Len() != 4 {
+		t.Fatalf("len = %d, want 4", f.Len())
+	}
+	if f.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", f.Dropped())
+	}
+	evs := f.Events()
+	for i, ev := range evs {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Errorf("event[%d].Seq = %d, want %d (newest retained, oldest-first order)", i, ev.Seq, want)
+		}
+	}
+	var nilRec *FlightRecorder
+	nilRec.Record(FlightEvent{Kind: "x"})
+	if nilRec.Events() != nil || nilRec.Dropped() != 0 || nilRec.Len() != 0 {
+		t.Error("nil recorder reported state")
+	}
+}
+
+// TestTraceOverWireAndExports runs the lease protocol through the real
+// HTTP transport and checks the two new read endpoints: /cluster/v1/trace
+// returns the span + flight dump, /cluster/v1/metrics the federated
+// Prometheus exposition.
+func TestTraceOverWireAndExports(t *testing.T) {
+	c := testCoordinator(t, Config{
+		Runners: []experiments.Runner{fastRunner("a")},
+		Spans:   telemetry.NewWallSpans(),
+	})
+	srv := httptest.NewServer(NewHTTPHandler(c))
+	defer srv.Close()
+	hc := &HTTPClient{Base: srv.URL}
+
+	reg, err := hc.Register(RegisterRequest{
+		Name: "wire-w", Protocol: ProtocolVersion, ModuleVersion: resultcache.ModuleVersion(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.Submit(NewJobSpec("a", experiments.QuickOptions()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := hc.Lease(LeaseRequest{WorkerID: reg.WorkerID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Lease == nil {
+		t.Fatal("no lease over the wire")
+	}
+	if lr.Lease.Job.TraceID == "" || lr.Lease.SpanID == "" {
+		t.Fatalf("trace context lost on the wire: %+v", lr.Lease)
+	}
+	ws := telemetry.SpanBetween(lr.Lease.Job.TraceID, lr.Lease.ID+".w", lr.Lease.SpanID,
+		"worker:wire-w", "worker.run", time.Now(), time.Now())
+	if _, err := hc.Complete(CompleteRequest{
+		WorkerID: reg.WorkerID, LeaseID: lr.Lease.ID, JobID: job.ID(),
+		Report: encodedReport(t, "a"), Spans: []telemetry.Span{ws},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if res := job.Result(); res.State != JobSucceeded {
+		t.Fatalf("job = %s (%s)", res.State, res.Err)
+	}
+
+	resp, err := http.Get(srv.URL + "/cluster/v1/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var exp TraceExport
+	if err := json.NewDecoder(resp.Body).Decode(&exp); err != nil {
+		t.Fatal(err)
+	}
+	if !exp.Enabled || exp.Protocol != ProtocolVersion {
+		t.Fatalf("trace export header = %+v", exp)
+	}
+	if countSpans(exp.Spans, "worker.run", "", "") != 1 {
+		t.Errorf("worker span missing from export: %v", spanNames(exp.Spans))
+	}
+	for _, s := range exp.Spans {
+		if s.Name == "worker.run" && s.Unit != "worker:wire-w" {
+			t.Errorf("worker span unit = %q, want worker:wire-w", s.Unit)
+		}
+	}
+	if len(exp.Events) == 0 {
+		t.Error("flight events missing from export")
+	}
+
+	mresp, err := http.Get(srv.URL + "/cluster/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"hwgc_cluster_jobs_submitted 1",
+		"hwgc_cluster_jobs_completed 1",
+		"hwgc_cluster_fleet_completed 1",
+		`hwgc_cluster_worker_completed{worker="wire-w"} 1`,
+		"hwgc_cluster_trace_spans ",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("federated metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestFleetTraceParityWithTracingOff is the determinism half of the
+// acceptance criterion: the same fleet, once with tracing on (and a worker
+// killed mid-job) and once with tracing off, must produce byte-identical
+// reports — spans ride entirely outside the results.
+func TestFleetTraceParityWithTracingOff(t *testing.T) {
+	ids := []string{"c1", "c2", "c3", "c4"}
+	runners := make([]experiments.Runner, 0, len(ids))
+	for _, id := range ids {
+		runners = append(runners, fastRunner(id))
+	}
+	o := experiments.QuickOptions()
+
+	runFleet := func(spans *telemetry.WallSpans, withKill bool) []FleetResult {
+		t.Helper()
+		c := NewCoordinator(Config{
+			Runners:      runners,
+			LeaseTTL:     50 * time.Millisecond,
+			WorkerExpiry: time.Hour,
+			RetryBase:    time.Millisecond,
+			Spans:        spans,
+		})
+		defer c.Close()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+
+		resc := make(chan []FleetResult, 1)
+		go func() { resc <- RunFleet(context.Background(), c, runners, o) }()
+
+		if withKill {
+			// The victim runs alone first so it is guaranteed a lease; its
+			// runners block forever, so that job can only finish via lease
+			// expiry and retry on the survivor started after the kill.
+			leased := make(chan struct{}, len(runners))
+			release := make(chan struct{})
+			defer close(release)
+			victimRunners := make([]experiments.Runner, len(runners))
+			for i, r := range runners {
+				victimRunners[i] = experiments.Runner{
+					ID: r.ID, Title: r.Title,
+					Run: func(o experiments.Options) (experiments.Report, error) {
+						leased <- struct{}{}
+						<-release
+						return experiments.Report{}, errors.New("victim released")
+					},
+				}
+			}
+			victim, err := NewWorker(WorkerConfig{
+				Name: "victim", Client: c, Runners: victimRunners, PollEvery: time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			go func() { _ = victim.Run(ctx) }()
+			select {
+			case <-leased:
+			case <-time.After(30 * time.Second):
+				t.Fatalf("victim never leased a job: %+v", c.Status())
+			}
+			victim.Kill()
+		}
+		survivor, err := NewWorker(WorkerConfig{
+			Name: "survivor", Client: c, Runners: runners, PollEvery: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = survivor.Run(ctx) }()
+
+		select {
+		case res := <-resc:
+			return res
+		case <-time.After(2 * time.Minute):
+			t.Fatalf("fleet never finished: %+v", c.Status())
+			return nil
+		}
+	}
+
+	traced := runFleet(telemetry.NewWallSpans(), true)
+	plain := runFleet(nil, false)
+
+	sawTrace := false
+	for i := range runners {
+		if traced[i].Err != nil || plain[i].Err != nil {
+			t.Fatalf("%s: traced err %v, plain err %v", runners[i].ID, traced[i].Err, plain[i].Err)
+		}
+		tb, err := experiments.EncodeReport(traced[i].Report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := experiments.EncodeReport(plain[i].Report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(tb, pb) {
+			t.Errorf("%s: traced report differs from untraced:\n%s\nvs\n%s", runners[i].ID, tb, pb)
+		}
+		if traced[i].TraceID == "" || len(traced[i].Spans) == 0 {
+			t.Errorf("%s: traced run carries no trace (%q, %d spans)",
+				runners[i].ID, traced[i].TraceID, len(traced[i].Spans))
+		}
+		if plain[i].TraceID != "" || plain[i].Spans != nil {
+			t.Errorf("%s: untraced run leaked trace data (%q, %d spans)",
+				runners[i].ID, plain[i].TraceID, len(plain[i].Spans))
+		}
+		if traced[i].Retries > 0 {
+			sawTrace = true
+			// The retried job's tree must show the whole lifecycle under
+			// one trace ID.
+			for _, name := range []string{"queue.wait", "backoff", "attempt", "worker.run", "job"} {
+				if countSpans(traced[i].Spans, name, "", "") == 0 {
+					t.Errorf("%s: retried job missing %q span: %v",
+						runners[i].ID, name, spanNames(traced[i].Spans))
+				}
+			}
+		}
+	}
+	if !sawTrace {
+		t.Error("no job was retried — the kill did not interrupt a lease")
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"net/http"
 	"runtime/debug"
 	"sync"
 	"time"
@@ -35,8 +37,9 @@ type WorkerConfig struct {
 	Cache *resultcache.Cache
 	// PollEvery is the idle lease-poll interval (<= 0 means 200ms).
 	PollEvery time.Duration
-	// Logf, when set, receives worker events.
-	Logf func(format string, args ...any)
+	// Log, when set, receives structured worker events (registration,
+	// lease/completion failures) with worker/job fields.
+	Log *slog.Logger
 }
 
 // Worker runs the lease-execute-complete loop against a coordinator.
@@ -171,13 +174,13 @@ func (w *Worker) register(ctx context.Context) (RegisterResponse, error) {
 			w.mu.Lock()
 			w.workerID = resp.WorkerID
 			w.mu.Unlock()
-			w.logf("cluster worker %s: registered as %s", w.cfg.Name, resp.WorkerID)
+			w.logw("registered", "worker", w.cfg.Name, "workerId", resp.WorkerID)
 			return resp, nil
 		}
 		if errors.Is(err, ErrProtocolMismatch) || errors.Is(err, ErrVersionMismatch) {
 			return RegisterResponse{}, err
 		}
-		w.logf("cluster worker %s: register failed (%v), retrying", w.cfg.Name, err)
+		w.logw("register failed; retrying", "worker", w.cfg.Name, "err", err)
 		select {
 		case <-ctx.Done():
 			return RegisterResponse{}, ctx.Err()
@@ -202,11 +205,11 @@ func (w *Worker) heartbeat(ctx context.Context) {
 	w.mu.Unlock()
 	resp, err := w.cfg.Client.Heartbeat(req)
 	if err != nil {
-		w.logf("cluster worker %s: heartbeat failed: %v", w.cfg.Name, err)
+		w.logw("heartbeat failed", "worker", w.cfg.Name, "err", err)
 		return
 	}
 	if !resp.Known {
-		w.logf("cluster worker %s: coordinator lost us; re-registering", w.cfg.Name)
+		w.logw("coordinator lost us; re-registering", "worker", w.cfg.Name)
 		_, _ = w.register(ctx)
 	}
 }
@@ -232,7 +235,7 @@ func (w *Worker) slotLoop(ctx context.Context) error {
 				}
 				continue
 			}
-			w.logf("cluster worker %s: lease poll failed: %v", w.cfg.Name, err)
+			w.logw("lease poll failed", "worker", w.cfg.Name, "err", err)
 		}
 		if err != nil || resp.Lease == nil {
 			select {
@@ -274,6 +277,7 @@ func (w *Worker) execute(l *Lease) {
 
 	opts := l.Job.Options
 	opts.Beat = beat
+	started := time.Now()
 
 	// Local result cache first: affinity dispatch makes repeat keys land
 	// here, so warm workers answer without simulating.
@@ -285,7 +289,8 @@ func (w *Worker) execute(l *Lease) {
 		if w.cfg.Cache != nil {
 			if b, ok := w.cfg.Cache.Get(key); ok {
 				if _, err := experiments.DecodeReport(b); err == nil {
-					w.complete(l, CompleteRequest{Report: b, CacheHit: true})
+					w.complete(l, CompleteRequest{Report: b, CacheHit: true,
+						Spans: w.leaseSpans(l, "worker.cache.hit", started)})
 					return
 				}
 			}
@@ -321,18 +326,36 @@ func (w *Worker) execute(l *Lease) {
 	}
 
 	if out.err != nil {
-		w.complete(l, CompleteRequest{Error: out.err.Error()})
+		w.complete(l, CompleteRequest{Error: out.err.Error(),
+			Spans: w.leaseSpans(l, "worker.run", started)})
 		return
 	}
 	b, err := experiments.EncodeReport(out.rep)
 	if err != nil {
-		w.complete(l, CompleteRequest{Error: "encode report: " + err.Error()})
+		w.complete(l, CompleteRequest{Error: "encode report: " + err.Error(),
+			Spans: w.leaseSpans(l, "worker.run", started)})
 		return
 	}
 	if w.cfg.Cache != nil && haveKey {
 		_ = w.cfg.Cache.Put(key, b) // best effort; a miss only loses reuse
 	}
-	w.complete(l, CompleteRequest{Report: b})
+	w.complete(l, CompleteRequest{Report: b,
+		Spans: w.leaseSpans(l, "worker.run", started)})
+}
+
+// leaseSpans builds the worker-side span for one lease execution — nil
+// when the lease carries no trace context (tracing disabled). The span ID
+// derives from the lease ID (coordinator-unique) and parents under the
+// coordinator's attempt span, so the tree assembles without a shared ID
+// authority.
+func (w *Worker) leaseSpans(l *Lease, name string, start time.Time) []telemetry.Span {
+	if l.Job.TraceID == "" {
+		return nil
+	}
+	s := telemetry.SpanBetween(l.Job.TraceID, l.ID+".w", l.SpanID,
+		"worker:"+w.cfg.Name, name, start, time.Now())
+	s.Attrs = map[string]string{"worker": w.cfg.Name, "job": l.Job.ID}
+	return []telemetry.Span{s}
 }
 
 // complete fills in the lease identity and sends the completion.
@@ -345,15 +368,69 @@ func (w *Worker) complete(l *Lease, req CompleteRequest) {
 	resp, err := w.cfg.Client.Complete(req)
 	switch {
 	case err != nil:
-		w.logf("cluster worker %s: complete %s failed: %v", w.cfg.Name, l.Job.ID, err)
+		w.logw("complete failed", "worker", w.cfg.Name, "job", l.Job.ID,
+			"attempt", l.Attempt, "err", err)
 	case !resp.Committed && req.Error == "":
-		w.logf("cluster worker %s: job %s result dropped (duplicate or cancelled)",
-			w.cfg.Name, l.Job.ID)
+		w.logw("result dropped (duplicate or cancelled)", "worker", w.cfg.Name,
+			"job", l.Job.ID, "attempt", l.Attempt)
 	}
 }
 
-func (w *Worker) logf(format string, args ...any) {
-	if w.cfg.Logf != nil {
-		w.cfg.Logf(format, args...)
+func (w *Worker) logw(msg string, args ...any) {
+	if w.cfg.Log != nil {
+		w.cfg.Log.Info(msg, args...)
 	}
+}
+
+// Registered reports whether the worker currently holds a coordinator
+// identity.
+func (w *Worker) Registered() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.workerID != ""
+}
+
+// InFlight returns how many leases the worker is executing right now.
+func (w *Worker) InFlight() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.inflight)
+}
+
+// Slots returns the worker's concurrency capacity.
+func (w *Worker) Slots() int { return w.cfg.Slots }
+
+// HealthHandler serves fleet probe endpoints for the worker:
+//
+//	GET /healthz  200 while the process is up (liveness)
+//	GET /readyz   200 once registered with a free lease slot, 503 otherwise
+//
+// cmd/hwgc-worker mounts it on -health-addr so orchestrators can probe
+// workers without speaking the cluster protocol.
+func (w *Worker) HealthHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(rw, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !w.Registered() {
+			rw.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(rw, "not registered")
+			return
+		}
+		if w.Killed() {
+			rw.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(rw, "killed")
+			return
+		}
+		if w.InFlight() >= w.Slots() {
+			rw.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(rw, "at lease capacity")
+			return
+		}
+		fmt.Fprintln(rw, "ready")
+	})
+	return mux
 }

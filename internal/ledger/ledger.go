@@ -59,9 +59,19 @@ type Experiment struct {
 	// Worker names the cluster worker whose result this row records; empty
 	// for local runs and cache hits. Attribution only — two manifests that
 	// differ solely in Worker describe the same (byte-identical) results.
-	Worker string  `json:"worker,omitempty"`
-	Error  string  `json:"error,omitempty"`
-	WallMS float64 `json:"wallMs"`
+	Worker string `json:"worker,omitempty"`
+	// Attempts counts dispatcher lease grants (0 for local runs); Retries
+	// counts re-queues. Like Worker, pure attribution.
+	Attempts int `json:"attempts,omitempty"`
+	Retries  int `json:"retries,omitempty"`
+	// TraceID and Spans embed the cell's distributed trace when the
+	// dispatching coordinator recorded one: the job's full wall-clock span
+	// tree (queue wait, attempts, backoff, worker execution). Wall-clock
+	// observability only — never part of the result's identity.
+	TraceID string           `json:"traceId,omitempty"`
+	Spans   []telemetry.Span `json:"spans,omitempty"`
+	Error   string           `json:"error,omitempty"`
+	WallMS  float64          `json:"wallMs"`
 	// Metrics are the runner's stable machine-readable headline numbers
 	// (experiments.Report.Metrics) — what the sentinel checks against the
 	// EXPERIMENTS.md tolerance bands.

@@ -132,6 +132,12 @@ func Render(m *ledger.Manifest, source string) []byte {
 		writeChart(&b, c)
 	}
 
+	// Fleet view: the distributed job waterfall, when the run's experiment
+	// rows carry span trees (cluster dispatch with tracing on).
+	if fc, ok := FleetChart(m); ok {
+		writeChart(&b, fc)
+	}
+
 	// Experiment headline metrics.
 	if len(m.Experiments) > 0 {
 		b.WriteString("<h2>Experiment metrics</h2>\n")

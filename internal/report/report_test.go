@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hwgc/internal/ledger"
+	"hwgc/internal/telemetry"
 )
 
 // syntheticManifest builds a manifest whose timeseries section exercises
@@ -168,5 +169,120 @@ not json at all
 
 	if _, err := RenderTrajectory([]byte("garbage\n"), "x"); err == nil {
 		t.Error("all-garbage input should error, not render an empty dashboard")
+	}
+}
+
+// fleetSpans builds the span tree of one retried job: queue wait, an
+// expired attempt, backoff, a second queue wait, the committing attempt
+// with its nested worker strip, and the root job span.
+func fleetSpans(trace string, base int64) []telemetry.Span {
+	sp := func(id, parent, name string, start, dur int64, attrs map[string]string) telemetry.Span {
+		return telemetry.Span{TraceID: trace, SpanID: id, Parent: parent, Name: name,
+			Unit: "coordinator", StartUS: base + start, DurUS: dur, Attrs: attrs}
+	}
+	return []telemetry.Span{
+		sp("s1", "root", "queue.wait", 0, 500, map[string]string{"attempt": "1"}),
+		sp("s2", "root", "attempt", 500, 2000, map[string]string{"attempt": "1", "outcome": "expired", "worker": "victim"}),
+		sp("s3", "root", "backoff", 2500, 300, map[string]string{"attempt": "1", "reason": "lease expired"}),
+		sp("s4", "root", "queue.wait", 2800, 100, map[string]string{"attempt": "2"}),
+		sp("s5", "root", "attempt", 2900, 1500, map[string]string{"attempt": "2", "outcome": "commit", "worker": "survivor"}),
+		sp("l5.w", "s5", "worker.run", 2950, 1400, map[string]string{"worker": "survivor", "job": "job-000001"}),
+		sp("root", "", "job", 0, 4400, map[string]string{"state": "succeeded", "attempts": "2", "retries": "1"}),
+	}
+}
+
+// TestFleetChartWaterfall: manifests whose experiment rows carry span trees
+// grow the fleet waterfall — one lane per job, a bar per lifecycle phase,
+// the worker strip nested under the attempt, and per-phase totals in the
+// table view.
+func TestFleetChartWaterfall(t *testing.T) {
+	m := syntheticManifest()
+	if _, ok := FleetChart(m); ok {
+		t.Fatal("manifest without spans produced a fleet chart")
+	}
+	m.Experiments[0].TraceID = "t-000001"
+	m.Experiments[0].Spans = fleetSpans("t-000001", 1_700_000_000_000_000)
+	c, ok := FleetChart(m)
+	if !ok {
+		t.Fatal("manifest with spans produced no fleet chart")
+	}
+	if c.ID != "fleet-waterfall" || c.SVG == "" || c.Table == "" {
+		t.Fatalf("incomplete chart: %+v", c)
+	}
+	for _, want := range []string{
+		"queue wait", "retry backoff", "attempt (committed)", "attempt (expired/failed)",
+		"worker execution", // legend buckets
+		"fig16",            // lane label
+		"outcome=commit",   // tooltip attrs
+	} {
+		if !strings.Contains(c.SVG, want) {
+			t.Errorf("waterfall SVG missing %q", want)
+		}
+	}
+	for _, want := range []string{"t-000001", "survivor", "queue ms", "backoff ms"} {
+		if !strings.Contains(c.Table, want) {
+			t.Errorf("waterfall table missing %q", want)
+		}
+	}
+
+	// The chart lands in the full report, and rendering stays deterministic.
+	doc := string(Render(m, ""))
+	if !strings.Contains(doc, "fleet-waterfall") {
+		t.Error("Render did not include the fleet waterfall")
+	}
+	if !bytes.Equal(Render(m, "x"), Render(m, "x")) {
+		t.Error("Render with spans is not deterministic")
+	}
+}
+
+// TestRenderTrace renders a /cluster/v1/trace export into the fleet HTML:
+// waterfall lanes labeled by job ID (via the flight events) plus the
+// flight-recorder timeline table.
+func TestRenderTrace(t *testing.T) {
+	export := `{
+	  "protocol": "hwgc-cluster-v1",
+	  "enabled": true,
+	  "spans": [
+	    {"traceId":"t-000001","spanId":"s1","parent":"r1","name":"queue.wait","startUs":1000,"durUs":500},
+	    {"traceId":"t-000001","spanId":"s2","parent":"r1","name":"attempt","startUs":1500,"durUs":900,"attrs":{"outcome":"commit","worker":"w1"}},
+	    {"traceId":"t-000001","spanId":"r1","name":"job","startUs":1000,"durUs":1400,"attrs":{"state":"succeeded"}}
+	  ],
+	  "spansDropped": 3,
+	  "events": [
+	    {"seq":5,"atUs":1000,"kind":"submit","jobId":"job-000001","traceId":"t-000001"},
+	    {"seq":6,"atUs":1500,"kind":"lease.grant","jobId":"job-000001","traceId":"t-000001","workerId":"w-000001","attempt":1},
+	    {"seq":7,"atUs":2400,"kind":"commit","jobId":"job-000001","traceId":"t-000001","workerId":"w-000001","attempt":1}
+	  ],
+	  "eventsDropped": 4
+	}`
+	data, err := RenderTrace([]byte(export), "trace.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+	for _, want := range []string{
+		"fleet-waterfall", "job-000001", // lane labeled via flight events
+		"lease.grant", "commit", // flight timeline rows
+		"3 spans (3 dropped)", "3 events (4 dropped)", // export header
+		"trace.json",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("fleet trace report missing %q", want)
+		}
+	}
+	if strings.Contains(doc, "<script") {
+		t.Error("fleet trace report must be script-free")
+	}
+	if _, err := RenderTrace([]byte("not json"), "x"); err == nil {
+		t.Error("garbage export should error")
+	}
+
+	// Spanless exports still render (flight recorder only) with a notice.
+	spanless, err := RenderTrace([]byte(`{"protocol":"hwgc-cluster-v1","events":[{"seq":1,"atUs":1,"kind":"submit"}]}`), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(spanless), "-trace-spans") {
+		t.Error("spanless export should point at the -trace-spans flag")
 	}
 }

@@ -33,12 +33,12 @@ func TestSchedulerDispatchMode(t *testing.T) {
 	s := New(Config{
 		Workers: 1,
 		Runners: []experiments.Runner{fast},
-		Dispatch: func(ctx context.Context, experiment string, o experiments.Options) ([]byte, string, bool, error) {
+		Dispatch: func(ctx context.Context, experiment string, o experiments.Options) (DispatchResult, error) {
 			dispatched++
 			if experiment != "fast" {
-				return nil, "", false, errors.New("wrong experiment " + experiment)
+				return DispatchResult{}, errors.New("wrong experiment " + experiment)
 			}
-			return rep, "remote-1", true, nil
+			return DispatchResult{Report: rep, Worker: "remote-1", CacheHit: true, Attempts: 1}, nil
 		},
 	})
 	defer drain(t, s)
@@ -63,8 +63,8 @@ func TestSchedulerDispatchFailureAndTimeout(t *testing.T) {
 	s := New(Config{
 		Workers: 1,
 		Runners: []experiments.Runner{noop},
-		Dispatch: func(ctx context.Context, experiment string, o experiments.Options) ([]byte, string, bool, error) {
-			return nil, "w", false, errors.New("remote attempt exhausted")
+		Dispatch: func(ctx context.Context, experiment string, o experiments.Options) (DispatchResult, error) {
+			return DispatchResult{Worker: "w"}, errors.New("remote attempt exhausted")
 		},
 	})
 	job, err := s.Submit("x", experiments.QuickOptions())
@@ -82,9 +82,9 @@ func TestSchedulerDispatchFailureAndTimeout(t *testing.T) {
 		Workers:    1,
 		JobTimeout: 20 * time.Millisecond,
 		Runners:    []experiments.Runner{noop},
-		Dispatch: func(ctx context.Context, experiment string, o experiments.Options) ([]byte, string, bool, error) {
+		Dispatch: func(ctx context.Context, experiment string, o experiments.Options) (DispatchResult, error) {
 			<-ctx.Done()
-			return nil, "", false, ctx.Err()
+			return DispatchResult{}, ctx.Err()
 		},
 	})
 	defer drain(t, s2)
@@ -196,10 +196,13 @@ func TestDaemonDrainWithClusterJobs(t *testing.T) {
 	}
 
 	s := New(Config{
-		Workers:    1,
-		Runners:    runners,
-		Hub:        hub,
-		Dispatch:   coord.Dispatch,
+		Workers: 1,
+		Runners: runners,
+		Hub:     hub,
+		Dispatch: func(ctx context.Context, experiment string, o experiments.Options) (DispatchResult, error) {
+			out, err := coord.Dispatch(ctx, experiment, o)
+			return DispatchResult(out), err
+		},
 		PromAppend: coord.WritePrometheus,
 	})
 	d := &Daemon{

@@ -102,11 +102,32 @@ type Config struct {
 	PromAppend func(w io.Writer) error
 }
 
-// DispatchFunc executes one cell somewhere else — a cluster coordinator's
-// Dispatch method matches it — returning the encoded report, the name of
-// the worker that produced it ("" for cache hits), and whether the result
-// came from a cache.
-type DispatchFunc func(ctx context.Context, experiment string, o experiments.Options) (report []byte, worker string, cacheHit bool, err error)
+// DispatchFunc executes one cell somewhere else — cmd/hwgc-serve adapts a
+// cluster coordinator's Dispatch method onto it. On error the result's
+// attribution fields (Worker, Attempts, TraceID, ...) may still be
+// populated and are recorded.
+type DispatchFunc func(ctx context.Context, experiment string, o experiments.Options) (DispatchResult, error)
+
+// DispatchResult is a dispatched cell's outcome: the encoded report plus
+// the attribution and trace context the dispatcher collected. The service
+// deliberately mirrors (rather than imports) the cluster package's
+// outcome type so the dependency keeps pointing one way.
+type DispatchResult struct {
+	// Report is the JSON-encoded experiments.Report.
+	Report []byte
+	// Worker names the worker that produced the result ("" for cache
+	// hits); CacheHit marks a result served from a cache.
+	Worker   string
+	CacheHit bool
+	// Attempts and Retries attribute how hard the dispatcher worked.
+	Attempts int
+	Retries  int
+	// TraceID and Spans carry the job's distributed trace when the
+	// dispatcher records one ("" / nil otherwise); they flow into job
+	// manifests.
+	TraceID string
+	Spans   []telemetry.Span
+}
 
 // DefaultRetainFinished is the finished-job table bound when
 // Config.RetainFinished is 0.
@@ -130,6 +151,10 @@ type Job struct {
 	worker    string // cluster worker attribution ("" for local runs)
 	report    []byte // encoded report, exactly the cached payload bytes
 	errMsg    string
+	attempts  int    // dispatcher lease grants (0 for local runs)
+	retries   int    // dispatcher re-queues
+	traceID   string // distributed trace ("" when tracing is off)
+	spans     []telemetry.Span
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -154,6 +179,9 @@ type View struct {
 	CacheKey   string              `json:"cacheKey"`
 	CacheHit   bool                `json:"cacheHit"`
 	Worker     string              `json:"worker,omitempty"`
+	Attempts   int                 `json:"attempts,omitempty"`
+	Retries    int                 `json:"retries,omitempty"`
+	TraceID    string              `json:"traceId,omitempty"`
 	Report     json.RawMessage     `json:"report,omitempty"`
 	Error      string              `json:"error,omitempty"`
 	Submitted  time.Time           `json:"submittedAt"`
@@ -334,6 +362,9 @@ func (s *Scheduler) viewLocked(j *Job) View {
 		CacheKey:   j.key.String(),
 		CacheHit:   j.cacheHit,
 		Worker:     j.worker,
+		Attempts:   j.attempts,
+		Retries:    j.retries,
+		TraceID:    j.traceID,
 		Error:      j.errMsg,
 		Submitted:  j.submitted,
 	}
@@ -369,7 +400,7 @@ func (s *Scheduler) run(job *Job) {
 	// Drain deadline already passed: don't start work that will be thrown
 	// away.
 	if err := s.baseCtx.Err(); err != nil {
-		s.finish(job, StateCancelled, nil, err.Error(), false, "")
+		s.finish(job, StateCancelled, err.Error(), DispatchResult{})
 		return
 	}
 
@@ -383,14 +414,17 @@ func (s *Scheduler) run(job *Job) {
 	if s.cfg.Dispatch != nil {
 		// Cluster mode: the coordinator owns cache lookup, execution
 		// placement, and retries; the worker-pool goroutine just waits.
-		b, workerName, hit, err := s.cfg.Dispatch(ctx, job.experiment, job.opts)
+		// Attribution and trace context are recorded even for failures.
+		res, err := s.cfg.Dispatch(ctx, job.experiment, job.opts)
 		switch {
 		case err == nil:
-			s.finish(job, StateSucceeded, b, "", hit, workerName)
+			s.finish(job, StateSucceeded, "", res)
 		case ctx.Err() != nil:
-			s.finish(job, StateCancelled, nil, ctx.Err().Error(), false, workerName)
+			res.Report = nil
+			s.finish(job, StateCancelled, ctx.Err().Error(), res)
 		default:
-			s.finish(job, StateFailed, nil, err.Error(), false, workerName)
+			res.Report = nil
+			s.finish(job, StateFailed, err.Error(), res)
 		}
 		return
 	}
@@ -398,7 +432,7 @@ func (s *Scheduler) run(job *Job) {
 	if s.cfg.Cache != nil {
 		if b, ok := s.cfg.Cache.Get(job.key); ok {
 			if _, err := experiments.DecodeReport(b); err == nil {
-				s.finish(job, StateSucceeded, b, "", true, "")
+				s.finish(job, StateSucceeded, "", DispatchResult{Report: b, CacheHit: true})
 				return
 			}
 			// Corrupt entry: fall through and recompute.
@@ -417,39 +451,43 @@ func (s *Scheduler) run(job *Job) {
 	select {
 	case res := <-ch:
 		if res.err != nil {
-			s.finish(job, StateFailed, nil, res.err.Error(), false, "")
+			s.finish(job, StateFailed, res.err.Error(), DispatchResult{})
 			return
 		}
 		b, err := experiments.EncodeReport(res.rep)
 		if err != nil {
-			s.finish(job, StateFailed, nil, err.Error(), false, "")
+			s.finish(job, StateFailed, err.Error(), DispatchResult{})
 			return
 		}
 		if s.cfg.Cache != nil {
 			// A failed disk write only loses reuse, never the result.
 			_ = s.cfg.Cache.Put(job.key, b)
 		}
-		s.finish(job, StateSucceeded, b, "", false, "")
+		s.finish(job, StateSucceeded, "", DispatchResult{Report: b})
 	case <-ctx.Done():
 		// Runner.Run takes no context; the simulation goroutine finishes
 		// detached and its result is discarded.
-		s.finish(job, StateCancelled, nil, ctx.Err().Error(), false, "")
+		s.finish(job, StateCancelled, ctx.Err().Error(), DispatchResult{})
 	}
 }
 
-func (s *Scheduler) finish(job *Job, st State, report []byte, errMsg string, hit bool, worker string) {
+func (s *Scheduler) finish(job *Job, st State, errMsg string, res DispatchResult) {
 	s.mu.Lock()
 	job.state = st
-	job.report = report
+	job.report = res.Report
 	job.errMsg = errMsg
-	job.cacheHit = hit
-	job.worker = worker
+	job.cacheHit = res.CacheHit
+	job.worker = res.Worker
+	job.attempts = res.Attempts
+	job.retries = res.Retries
+	job.traceID = res.TraceID
+	job.spans = res.Spans
 	job.finished = time.Now()
 	delete(s.running, job)
 	switch st {
 	case StateSucceeded:
 		s.completed++
-		if hit {
+		if res.CacheHit {
 			s.cacheHits++
 		}
 	case StateFailed:
@@ -524,6 +562,10 @@ func jobManifest(job *Job) *ledger.Manifest {
 		CellKey:  job.key.String(),
 		CacheHit: job.cacheHit,
 		Worker:   job.worker,
+		Attempts: job.attempts,
+		Retries:  job.retries,
+		TraceID:  job.traceID,
+		Spans:    job.spans,
 		Error:    job.errMsg,
 	}
 	if !job.started.IsZero() {
@@ -586,6 +628,14 @@ func (s *Scheduler) Progress(id string) (Progress, bool) {
 	// simulation never contends with the job table.
 	p.CyclesSimulated = beat.Cycles()
 	return p, true
+}
+
+// Draining reports whether a drain has begun — GET /readyz answers 503
+// once it has, so load balancers stop routing new submissions here.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // Drain stops the scheduler gracefully: new submissions fail with

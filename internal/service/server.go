@@ -10,6 +10,8 @@ package service
 //	GET  /v1/experiments          valid experiment IDs and titles
 //	GET  /v1/metrics              telemetry registry snapshot (JSON)
 //	GET  /metrics                 the same registry in Prometheus text format
+//	GET  /healthz                 liveness probe (200 while the process is up)
+//	GET  /readyz                  readiness probe (503 once draining)
 //
 // The metrics endpoints are always on: the scheduler owns a fallback hub,
 // so they serve the service's own counters even when no simulation
@@ -112,6 +114,22 @@ func NewHandler(s *Scheduler, hub *telemetry.Hub) *http.ServeMux {
 			// cannot live in the fixed-name registry.
 			_ = s.cfg.PromAppend(w)
 		}
+	})
+	// Probe endpoints, plain text by convention: liveness is unconditional
+	// (the process answering is the signal); readiness flips to 503 the
+	// moment a drain begins so fleets stop routing new submissions here.
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte("draining\n"))
+			return
+		}
+		_, _ = w.Write([]byte("ready\n"))
 	})
 	return mux
 }

@@ -1,0 +1,24 @@
+package telemetry
+
+// Structured logging setup shared by the daemons (hwgc-serve, hwgc-worker).
+// Both expose a -log-format flag; this is the one place that maps its value
+// onto a slog handler so the two binaries cannot drift.
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds a slog.Logger writing to w in the given format: "text"
+// (the default human-readable key=value handler) or "json" (one JSON
+// object per line, for log aggregators). Any other value is an error.
+func NewLogger(format string, w io.Writer) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	}
+	return nil, fmt.Errorf("unknown log format %q (valid: text, json)", format)
+}

@@ -15,10 +15,10 @@ budget="scripts/alloc_budget.txt"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-echo "== allocation sentinel: quick suite + image and cluster micro-benchmarks (1 iteration)"
+echo "== allocation sentinel: quick suite + image, cluster, and telemetry micro-benchmarks (1 iteration)"
 go test -run '^$' \
-    -bench 'BenchmarkHostFullSuiteSerial$|BenchmarkHostColdBuild$|BenchmarkHostSnapshotClone$|BenchmarkClusterLoopbackDispatch$' \
-    -benchmem -benchtime=1x . ./internal/cluster/ | tee "$raw"
+    -bench 'BenchmarkHostFullSuiteSerial$|BenchmarkHostColdBuild$|BenchmarkHostSnapshotClone$|BenchmarkClusterLoopbackDispatch$|BenchmarkWallSpanOff$' \
+    -benchmem -benchtime=1x . ./internal/cluster/ ./internal/telemetry/ | tee "$raw"
 
 if [ "${1:-}" = "-update" ]; then
     {
