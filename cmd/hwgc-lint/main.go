@@ -1,0 +1,148 @@
+// Command hwgc-lint is the repo-native static analyzer: it type-checks the
+// module's packages and enforces the determinism, map-order, hot-path, and
+// wire-protocol contracts (see docs/LINTING.md).
+//
+//	hwgc-lint ./...                      # whole module
+//	hwgc-lint ./internal/sim ./internal/cluster
+//	hwgc-lint -rules determinism ./...   # one rule suite
+//	hwgc-lint -json ./...                # machine-readable diagnostics
+//	hwgc-lint -suggest ./...             # print sorted-keys rewrites
+//	hwgc-lint -fix ./...                 # apply the mechanical rewrites
+//
+// Exit codes: 0 clean, 1 diagnostics reported, 2 driver failure (package
+// does not build, go list unavailable, bad flags). CI treats 1 as a merge
+// blocker, same as hwgc-report -check and allocguard.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/format"
+	"os"
+	"strings"
+
+	"hwgc/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	rules := flag.String("rules", "", "comma-separated rule subset (default: all): "+strings.Join(analysis.RuleNames(), ","))
+	suggest := flag.Bool("suggest", false, "print ready-to-paste sorted-keys rewrites for fixable maporder findings")
+	fix := flag.Bool("fix", false, "apply the mechanical sorted-keys rewrites in place, then re-report what remains")
+	dir := flag.String("C", ".", "directory to resolve package patterns from")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	checkers, err := selectCheckers(*rules)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hwgc-lint:", err)
+		return 2
+	}
+
+	cfg := analysis.DefaultConfig()
+	prog, err := analysis.Load(*dir, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hwgc-lint:", err)
+		return 2
+	}
+	diags := analysis.Run(prog, cfg, checkers)
+
+	if *fix {
+		applied, err := analysis.ApplyFixes(diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hwgc-lint:", err)
+			return 2
+		}
+		if applied > 0 {
+			fmt.Fprintf(os.Stderr, "hwgc-lint: applied %d fix(es); re-checking\n", applied)
+			prog, err = analysis.Load(*dir, patterns)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hwgc-lint:", err)
+				return 2
+			}
+			diags = analysis.Run(prog, cfg, checkers)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "hwgc-lint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+			if *suggest && d.Fix != nil {
+				fmt.Println("  suggested rewrite:")
+				for _, line := range strings.Split(formatSnippet(d.Fix.NewText), "\n") {
+					fmt.Println("    " + line)
+				}
+				if d.Fix.NeedImport != "" {
+					fmt.Printf("    (needs import %q)\n", d.Fix.NeedImport)
+				}
+			}
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "hwgc-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// selectCheckers resolves the -rules flag to checker instances.
+func selectCheckers(ruleList string) ([]analysis.Checker, error) {
+	all := analysis.AllCheckers()
+	if ruleList == "" {
+		return all, nil
+	}
+	byName := map[string]analysis.Checker{}
+	for _, c := range all {
+		byName[c.Name()] = c
+	}
+	var out []analysis.Checker
+	for _, name := range strings.Split(ruleList, ",") {
+		name = strings.TrimSpace(name)
+		c, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (have: %s)", name, strings.Join(analysis.RuleNames(), ", "))
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// formatSnippet best-effort gofmt-s a statement-level snippet for display.
+func formatSnippet(s string) string {
+	wrapped := "package p\nfunc _() {\n" + s + "\n}"
+	formatted, err := format.Source([]byte(wrapped))
+	if err != nil {
+		return s
+	}
+	text := string(formatted)
+	open := strings.Index(text, "{\n")
+	close := strings.LastIndex(text, "\n}")
+	if open < 0 || close < 0 || open+2 > close {
+		return s
+	}
+	body := text[open+2 : close]
+	var lines []string
+	for _, line := range strings.Split(body, "\n") {
+		lines = append(lines, strings.TrimPrefix(line, "\t"))
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,270 @@
+// Package analysis is the repo-native static analyzer behind cmd/hwgc-lint.
+// It type-checks the module's packages with nothing but the standard
+// library (go/parser + go/types + gc export data) and runs a suite of
+// checkers that machine-enforce the simulator's contracts:
+//
+//   - determinism: no wall-clock, global RNG, or process-identity reads
+//     inside the deterministic core (the packages whose state feeds
+//     byte-identical experiment reports).
+//   - maporder: no map iteration that feeds slices, builders, encoders, or
+//     hashes in deterministic or serialization packages unless the keys are
+//     sorted first.
+//   - hotpath: functions annotated //hwgc:hotpath (and everything they call
+//     in the same package) must not capture closures, box values into
+//     interfaces, call fmt, concatenate strings, or append to slices
+//     declared without capacity.
+//   - wire: the hwgc-cluster-v1 error sentinels must round-trip the
+//     error<->code mapping, and every flight-recorder event kind and
+//     wall-span name/outcome must be covered by its documented contract and
+//     the report-side switches.
+//
+// Audited exceptions are granted one site and one rule at a time with
+//
+//	//hwgc:allow <rule> <justification>
+//
+// placed on the offending line or the line directly above it. A directive
+// with no justification, or one that suppresses nothing, is itself a
+// diagnostic — stale exceptions rot the audit.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned for editors and CI logs.
+type Diagnostic struct {
+	Rule string         `json:"rule"`
+	Pos  token.Position `json:"pos"`
+	Msg  string         `json:"msg"`
+	// Fix, when non-nil, is a mechanical replacement for the flagged code
+	// (today: the sorted-keys rewrite for maporder findings).
+	Fix *Fix `json:"fix,omitempty"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Rule, d.Msg)
+}
+
+// Fix is a ready-to-apply replacement of one source region.
+type Fix struct {
+	Path  string `json:"path"`
+	Start int    `json:"start"` // byte offset of the replaced region
+	End   int    `json:"end"`   // byte offset one past the region
+	// NewText replaces [Start, End). It is not gofmt-clean on its own;
+	// appliers format the whole file afterwards.
+	NewText string `json:"newText"`
+	// NeedImport names a package the replacement requires ("" if none).
+	NeedImport string `json:"needImport,omitempty"`
+}
+
+// Package is one type-checked module package.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	// Src holds each file's source bytes keyed by filename, for fix
+	// construction.
+	Src   map[string][]byte
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is the unit a checker runs over: every requested package under
+// one file set.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+}
+
+// Pkg returns the loaded package with the given import path, or nil.
+func (p *Program) Pkg(path string) *Package {
+	for _, pkg := range p.Pkgs {
+		if pkg.Path == path {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// Checker is one rule suite.
+type Checker interface {
+	Name() string
+	Check(prog *Program, cfg *Config) []Diagnostic
+}
+
+// AllCheckers returns the full rule suite in stable order.
+func AllCheckers() []Checker {
+	return []Checker{detChecker{}, mapOrderChecker{}, hotPathChecker{}, wireChecker{}}
+}
+
+// RuleNames lists every rule AllCheckers enforces.
+func RuleNames() []string {
+	var names []string
+	for _, c := range AllCheckers() {
+		names = append(names, c.Name())
+	}
+	return names
+}
+
+// DirectivePrefix introduces every analyzer directive comment.
+const DirectivePrefix = "hwgc:"
+
+// allowDirective is one parsed //hwgc:allow comment.
+type allowDirective struct {
+	rule   string
+	reason string
+	pos    token.Position
+	used   bool
+}
+
+// parseAllows collects the //hwgc:allow directives of every file in prog,
+// keyed by filename then by the source line the directive governs. A
+// directive on line N governs findings on line N (end-of-line form) and
+// line N+1 (line-above form); the maps hold one entry per governed line.
+func parseAllows(prog *Program) map[string]map[int][]*allowDirective {
+	out := map[string]map[int][]*allowDirective{}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					if !strings.HasPrefix(text, "hwgc:allow") {
+						continue
+					}
+					fields := strings.Fields(strings.TrimPrefix(text, "hwgc:allow"))
+					pos := prog.Fset.Position(c.Pos())
+					d := &allowDirective{pos: pos}
+					if len(fields) > 0 {
+						d.rule = fields[0]
+						d.reason = strings.Join(fields[1:], " ")
+					}
+					byLine := out[pos.Filename]
+					if byLine == nil {
+						byLine = map[int][]*allowDirective{}
+						out[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = append(byLine[pos.Line], d)
+					byLine[pos.Line+1] = append(byLine[pos.Line+1], d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the checkers over prog, applies //hwgc:allow suppression,
+// and appends directive-hygiene findings (missing justification, unused
+// directive). Diagnostics come back sorted by position.
+func Run(prog *Program, cfg *Config, checkers []Checker) []Diagnostic {
+	allows := parseAllows(prog)
+	var diags []Diagnostic
+	for _, c := range checkers {
+		for _, d := range c.Check(prog, cfg) {
+			if suppress(allows, d) {
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+
+	// Directive hygiene. Each directive appears under two lines; dedup
+	// through the pointer.
+	seen := map[*allowDirective]bool{}
+	for _, byLine := range allows {
+		for _, ds := range byLine {
+			for _, d := range ds {
+				if seen[d] {
+					continue
+				}
+				seen[d] = true
+				switch {
+				case d.rule == "":
+					diags = append(diags, Diagnostic{
+						Rule: "directive", Pos: d.pos,
+						Msg: "hwgc:allow needs a rule name: //hwgc:allow <rule> <justification>",
+					})
+				case d.reason == "":
+					diags = append(diags, Diagnostic{
+						Rule: "directive", Pos: d.pos,
+						Msg: fmt.Sprintf("hwgc:allow %s has no justification — explain why this site cannot affect the invariant", d.rule),
+					})
+				case !d.used:
+					diags = append(diags, Diagnostic{
+						Rule: "directive", Pos: d.pos,
+						Msg: fmt.Sprintf("unused hwgc:allow %s directive — nothing on this or the next line trips the rule; delete it", d.rule),
+					})
+				}
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Rule < diags[j].Rule
+	})
+	return diags
+}
+
+// suppress reports whether an allow directive governs d, marking the
+// directive used. One directive suppresses exactly one rule; a line
+// carrying findings from two rules needs two directives.
+func suppress(allows map[string]map[int][]*allowDirective, d Diagnostic) bool {
+	for _, dir := range allows[d.Pos.Filename][d.Pos.Line] {
+		if dir.rule == d.Rule && dir.reason != "" {
+			dir.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// hasHotPathDirective reports whether the function declaration carries a
+// //hwgc:hotpath annotation in its doc comment.
+func hasHotPathDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimPrefix(c.Text, "//"), "hwgc:hotpath") {
+			return true
+		}
+	}
+	return false
+}
+
+// funcFor resolves a call expression to the *types.Func it invokes, or nil
+// for dynamic calls (function values, method values through fields).
+func funcFor(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// pkgPathOf returns the import path of the package an object belongs to
+// ("" for builtins and universe-scope objects).
+func pkgPathOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}

@@ -1,0 +1,85 @@
+package analysis
+
+// The determinism rule. Experiment reports must be byte-identical across
+// serial, parallel, cluster, and snapshot-cloned runs; that holds only if
+// nothing inside the deterministic core reads a clock, the global RNG, or
+// process identity. The seeded sim.Rand is the one sanctioned entropy
+// source.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// detForbiddenFuncs maps package path -> function names whose mere call is
+// nondeterministic.
+var detForbiddenFuncs = map[string]map[string]bool{
+	"time": {
+		"Now": true, "Since": true, "Until": true, "Sleep": true,
+		"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+		"AfterFunc": true,
+	},
+	"os": {
+		"Getpid": true, "Getppid": true, "Getenv": true, "LookupEnv": true,
+		"Environ": true, "Hostname": true, "Getuid": true, "Geteuid": true,
+	},
+	"runtime": {
+		"NumGoroutine": true,
+	},
+}
+
+// detForbiddenImports are packages the deterministic core may not import at
+// all: every entry point they expose is entropy.
+var detForbiddenImports = map[string]string{
+	"math/rand":    "use the seeded sim.Rand instead",
+	"math/rand/v2": "use the seeded sim.Rand instead",
+	"crypto/rand":  "use the seeded sim.Rand instead",
+}
+
+type detChecker struct{}
+
+func (detChecker) Name() string { return "determinism" }
+
+func (detChecker) Check(prog *Program, cfg *Config) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		if !cfg.DetPackages[pkg.Path] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, imp := range f.Imports {
+				path, _ := strconv.Unquote(imp.Path.Value)
+				if why, bad := detForbiddenImports[path]; bad {
+					diags = append(diags, Diagnostic{
+						Rule: "determinism",
+						Pos:  prog.Fset.Position(imp.Pos()),
+						Msg:  fmt.Sprintf("deterministic package %s imports %s — %s", pkg.Path, path, why),
+					})
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := pkg.Info.Uses[sel.Sel]
+				fn, ok := obj.(*types.Func)
+				if !ok {
+					return true
+				}
+				if names := detForbiddenFuncs[pkgPathOf(fn)]; names[fn.Name()] {
+					diags = append(diags, Diagnostic{
+						Rule: "determinism",
+						Pos:  prog.Fset.Position(sel.Pos()),
+						Msg: fmt.Sprintf("%s.%s in deterministic package %s — wall-clock/process state must not reach report bytes",
+							pkgPathOf(fn), fn.Name(), pkg.Path),
+					})
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}

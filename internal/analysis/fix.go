@@ -1,0 +1,100 @@
+package analysis
+
+// Fix application: splice the synthesized replacements into their files,
+// add any imports they need, and gofmt the result. Exposed as a package API
+// so both `hwgc-lint -fix` and the fixture tests drive the same code.
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"sort"
+	"strings"
+)
+
+// ApplyFixes rewrites every file referenced by a diagnostic fix and returns
+// how many fixes were applied. Offsets in later diagnostics stay valid
+// because each file is patched from the bottom up.
+func ApplyFixes(diags []Diagnostic) (int, error) {
+	byFile := map[string][]*Fix{}
+	for i := range diags {
+		if f := diags[i].Fix; f != nil {
+			byFile[f.Path] = append(byFile[f.Path], f)
+		}
+	}
+	applied := 0
+	for path, fixes := range byFile {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return applied, err
+		}
+		out, n, err := ApplyFixesToSource(src, fixes)
+		if err != nil {
+			return applied, fmt.Errorf("%s: %v", path, err)
+		}
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			return applied, err
+		}
+		applied += n
+	}
+	return applied, nil
+}
+
+// ApplyFixesToSource splices fixes into src (all fixes must target the same
+// file src was read from), adds required imports, and formats the result.
+func ApplyFixesToSource(src []byte, fixes []*Fix) ([]byte, int, error) {
+	sorted := append([]*Fix(nil), fixes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start > sorted[j].Start })
+	needImports := map[string]bool{}
+	applied := 0
+	prevEnd := len(src) + 1
+	for _, f := range sorted {
+		if f.End > len(src) || f.Start >= f.End || f.End > prevEnd {
+			return nil, applied, fmt.Errorf("stale or overlapping fix offsets")
+		}
+		src = append(src[:f.Start], append([]byte(f.NewText), src[f.End:]...)...)
+		prevEnd = f.Start
+		if f.NeedImport != "" {
+			needImports[f.NeedImport] = true
+		}
+		applied++
+	}
+	for imp := range needImports {
+		src = addImport(src, imp)
+	}
+	formatted, err := format.Source(src)
+	if err != nil {
+		return nil, applied, fmt.Errorf("fixed source does not parse: %v", err)
+	}
+	return formatted, applied, nil
+}
+
+// addImport inserts an import declaration after the package clause unless
+// the file already imports the package. gofmt renders the extra declaration
+// in canonical form.
+func addImport(src []byte, path string) []byte {
+	if strings.Contains(string(src), fmt.Sprintf("%q", path)) {
+		return src
+	}
+	text := string(src)
+	idx := strings.Index(text, "\npackage ")
+	var nl int
+	if idx < 0 {
+		nl = strings.IndexByte(text, '\n')
+	} else {
+		rest := strings.IndexByte(text[idx+1:], '\n')
+		if rest < 0 {
+			return src
+		}
+		nl = idx + 1 + rest
+	}
+	if nl < 0 {
+		return src
+	}
+	ins := fmt.Sprintf("\nimport %q\n", path)
+	out := make([]byte, 0, len(src)+len(ins))
+	out = append(out, src[:nl+1]...)
+	out = append(out, ins...)
+	out = append(out, src[nl+1:]...)
+	return out
+}

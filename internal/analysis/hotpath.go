@@ -1,0 +1,349 @@
+package analysis
+
+// The hotpath rule. Functions annotated //hwgc:hotpath are the per-cycle
+// operations the allocation sentinel (scripts/allocguard.sh) measures
+// dynamically: queue pushes, ticker wakes, event scheduling, completion
+// rings. This rule turns the same discipline into compile-time
+// diagnostics with precise positions:
+//
+//   - no closure captures (each capture is a heap allocation per call)
+//   - no fmt.* calls (interface boxing plus formatting state)
+//   - no runtime string concatenation
+//   - no interface boxing at call sites (non-pointer-shaped concrete
+//     argument passed to an interface parameter)
+//   - no append to a slice declared in-function without capacity
+//
+// The annotation is transitive within a package: everything a hotpath
+// function calls statically in its own package is held to the same bar.
+// Cross-package callees are out of reach of a single-package pass — they
+// get their own annotations (sim.Queue.Push is annotated even though
+// trace.MarkQueue.Push calls it).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+type hotPathChecker struct{}
+
+func (hotPathChecker) Name() string { return "hotpath" }
+
+func (hotPathChecker) Check(prog *Program, cfg *Config) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		diags = append(diags, checkPkgHotPaths(prog, pkg)...)
+	}
+	return diags
+}
+
+// checkPkgHotPaths finds the annotated roots, closes over same-package
+// static calls, and inspects every reached function body.
+func checkPkgHotPaths(prog *Program, pkg *Package) []Diagnostic {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var roots []*types.Func
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[obj] = fd
+			if hasHotPathDirective(fd) {
+				roots = append(roots, obj)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+
+	// BFS over same-package static calls; via records the annotated root
+	// each function was reached from (first reach wins — the chain exists
+	// either way).
+	via := map[*types.Func]*types.Func{}
+	queue := []*types.Func{}
+	for _, r := range roots {
+		via[r] = r
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		fd := decls[fn]
+		if fd == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := funcFor(pkg.Info, call)
+			if callee == nil || callee.Pkg() != pkg.Types {
+				return true
+			}
+			if _, seen := via[callee]; !seen {
+				if _, hasBody := decls[callee]; hasBody {
+					via[callee] = via[fn]
+					queue = append(queue, callee)
+				}
+			}
+			return true
+		})
+	}
+
+	var diags []Diagnostic
+	for fn, root := range via {
+		fd := decls[fn]
+		if fd == nil {
+			continue
+		}
+		suffix := ""
+		if root != fn {
+			suffix = fmt.Sprintf(" (reached from //hwgc:hotpath %s)", root.Name())
+		} else {
+			suffix = fmt.Sprintf(" (in //hwgc:hotpath %s)", fn.Name())
+		}
+		diags = append(diags, inspectHotBody(prog, pkg, fd, suffix)...)
+	}
+	return diags
+}
+
+// inspectHotBody applies the five allocation checks to one function body.
+func inspectHotBody(prog *Program, pkg *Package, fd *ast.FuncDecl, suffix string) []Diagnostic {
+	info := pkg.Info
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Rule: "hotpath",
+			Pos:  prog.Fset.Position(pos),
+			Msg:  fmt.Sprintf(format, args...) + suffix,
+		})
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if capt := capturedVar(info, pkg, fd, x); capt != "" {
+				report(x.Pos(), "closure captures %s — a fresh closure allocates on every call; pre-bind it once", capt)
+			}
+			return false // the literal runs on its own schedule
+
+		case *ast.CallExpr:
+			if fn := funcFor(info, x); fn != nil && pkgPathOf(fn) == "fmt" {
+				report(x.Pos(), "fmt.%s in hot path — formatting allocates; use constants or pre-rendered strings", fn.Name())
+			}
+			diags = append(diags, checkBoxing(prog, pkg, x, suffix)...)
+			if isAppendCall(info, x) {
+				if name, bad := appendWithoutPrealloc(info, fd, x); bad {
+					report(x.Pos(), "append to %s, declared in this function without capacity — preallocate with make(..., 0, n)", name)
+				}
+			}
+
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isRuntimeString(info, x) {
+				report(x.Pos(), "string concatenation in hot path — allocates a new string per call")
+			}
+
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isStringType(info.TypeOf(x.Lhs[0])) {
+				report(x.Pos(), "string += in hot path — allocates a new string per call")
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// capturedVar returns the name of a function-local variable the literal
+// captures from its enclosing function ("" if it captures nothing that
+// forces a heap allocation). Package-level variables do not count.
+func capturedVar(info *types.Info, pkg *Package, fd *ast.FuncDecl, lit *ast.FuncLit) string {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captured != "" {
+			return captured == ""
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() == nil || v.Parent() == pkg.Types.Scope() || v.Parent() == types.Universe {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true // the literal's own params/locals
+		}
+		if v.Pos() < fd.Pos() || v.Pos() > fd.End() {
+			return true // declared outside the enclosing function entirely
+		}
+		captured = v.Name()
+		return false
+	})
+	return captured
+}
+
+// checkBoxing flags call arguments that convert a non-pointer-shaped
+// concrete value to an interface parameter. Pointer-shaped values (pointers,
+// maps, chans, funcs) convert without allocating, and constants are staged
+// in read-only data by the compiler, so neither is flagged.
+func checkBoxing(prog *Program, pkg *Package, call *ast.CallExpr, suffix string) []Diagnostic {
+	info := pkg.Info
+	fn := funcFor(info, call)
+	if fn == nil {
+		return nil
+	}
+	if pkgPathOf(fn) == "fmt" {
+		return nil // already reported as a fmt call; one diagnostic per sin
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var diags []Diagnostic
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i < params.Len() && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && params.Len() > 0:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type()
+			} else if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		tv, ok := info.Types[arg]
+		if !ok || tv.Value != nil { // constants convert without allocating
+			continue
+		}
+		at := tv.Type
+		if at == nil || types.IsInterface(at) || isPointerShaped(at) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Rule: "hotpath",
+			Pos:  prog.Fset.Position(arg.Pos()),
+			Msg: fmt.Sprintf("argument %s boxes %s into interface %s — allocates per call%s",
+				renderExpr(prog.Fset, arg), types.TypeString(at, types.RelativeTo(pkg.Types)),
+				types.TypeString(pt, types.RelativeTo(pkg.Types)), suffix),
+		})
+	}
+	return diags
+}
+
+// isPointerShaped reports whether values of t fit an interface word
+// without a heap allocation.
+func isPointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// appendWithoutPrealloc reports whether the append target is a slice
+// declared inside fd with no capacity: `var x []T`, `x := []T{}`, or
+// `x := make([]T, 0)`. Fields, parameters, and package variables are
+// assumed sized by their owners.
+func appendWithoutPrealloc(info *types.Info, fd *ast.FuncDecl, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pos() < fd.Pos() || v.Pos() > fd.End() {
+		return "", false
+	}
+	bad := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.AssignStmt:
+			if d.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range d.Lhs {
+				lid, ok := lhs.(*ast.Ident)
+				if !ok || info.Defs[lid] != v || i >= len(d.Rhs) {
+					continue
+				}
+				bad = emptyNoCapacity(info, d.Rhs[i])
+			}
+		case *ast.ValueSpec:
+			for i, name := range d.Names {
+				if info.Defs[name] != v {
+					continue
+				}
+				if d.Values == nil {
+					bad = true // var x []T
+				} else if i < len(d.Values) {
+					bad = emptyNoCapacity(info, d.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return v.Name(), bad
+}
+
+// emptyNoCapacity reports whether e is an empty slice value with no
+// capacity hint: `[]T{}` or `make([]T, 0)`.
+func emptyNoCapacity(info *types.Info, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		_, isSlice := info.TypeOf(x).Underlying().(*types.Slice)
+		return isSlice && len(x.Elts) == 0
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(x.Fun).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+			return false
+		}
+		return len(x.Args) == 2 && isZeroLiteral(x.Args[1])
+	}
+	return false
+}
+
+func isZeroLiteral(e ast.Expr) bool {
+	bl, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && bl.Value == "0"
+}
+
+// isRuntimeString reports whether the expression is a string concatenation
+// evaluated at run time (not constant-folded).
+func isRuntimeString(info *types.Info, e *ast.BinaryExpr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	return isStringType(tv.Type)
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,134 @@
+package analysis
+
+// Package loading without golang.org/x/tools: `go list -export -deps`
+// supplies gc export data for every dependency (stdlib included), and the
+// requested packages themselves are parsed and type-checked from source so
+// the checkers get syntax trees with positions and comments.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// goList invokes `go list` in dir with the given arguments and decodes the
+// JSON package stream.
+func goList(dir string, args ...string) ([]listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load type-checks the packages matched by patterns (relative to dir) and
+// returns them as a Program. Test files are not loaded: the analyzer's
+// contracts govern the code that produces report bytes, not the tests that
+// observe them.
+func Load(dir string, patterns []string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := goList(dir, append([]string{"-json=ImportPath,Dir,GoFiles"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	// One -deps walk gathers export data for every dependency; -e keeps
+	// going past packages (like testdata fixtures) whose export data the
+	// targets never need.
+	deps, err := goList(dir, append([]string{"-e", "-export", "-deps",
+		"-json=ImportPath,Export,Standard"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range deps {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	prog := &Program{Fset: fset}
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", t.ImportPath, t.Error.Err)
+		}
+		pkg := &Package{
+			Path: t.ImportPath,
+			Dir:  t.Dir,
+			Src:  map[string][]byte{},
+			Info: &types.Info{
+				Types:      map[ast.Expr]types.TypeAndValue{},
+				Uses:       map[*ast.Ident]types.Object{},
+				Defs:       map[*ast.Ident]types.Object{},
+				Selections: map[*ast.SelectorExpr]*types.Selection{},
+			},
+		}
+		for _, name := range t.GoFiles {
+			fn := filepath.Join(t.Dir, name)
+			src, err := os.ReadFile(fn)
+			if err != nil {
+				return nil, err
+			}
+			f, err := parser.ParseFile(fset, fn, src, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			pkg.Src[fn] = src
+			pkg.Files = append(pkg.Files, f)
+		}
+		conf := types.Config{Importer: imp}
+		tp, err := conf.Check(t.ImportPath, fset, pkg.Files, pkg.Info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
+		}
+		pkg.Types = tp
+		prog.Pkgs = append(prog.Pkgs, pkg)
+	}
+	return prog, nil
+}

@@ -1,0 +1,331 @@
+package analysis
+
+// The maporder rule. Go randomizes map iteration order, so a `for range`
+// over a map that feeds anything order-sensitive — a slice, a string
+// builder, an io.Writer, an encoder, a hash — produces different bytes on
+// every run. In the deterministic core and the serialization packages
+// (manifests, Prometheus exposition, HTML reports) that is a correctness
+// bug, not a style nit.
+//
+// The safe idiom is collect-sort-iterate:
+//
+//	keys := make([]K, 0, len(m))
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Strings(keys)
+//	for _, k := range keys { ... }
+//
+// The checker recognizes it: an append inside a map range is fine when the
+// appended-to slice is passed to a sort.* / slices.Sort* call later in the
+// same block. For flagged sites the checker also synthesizes that rewrite
+// as a Fix when it can prove the rewrite safe (pure map expression, named
+// key of an ordered type).
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+type mapOrderChecker struct{}
+
+func (mapOrderChecker) Name() string { return "maporder" }
+
+func (mapOrderChecker) Check(prog *Program, cfg *Config) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		if !cfg.DetPackages[pkg.Path] && !cfg.SerializationPackages[pkg.Path] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			diags = append(diags, checkFileMapOrder(prog, pkg, f)...)
+		}
+	}
+	return diags
+}
+
+// checkFileMapOrder walks every block so each map-range statement can be
+// inspected together with the statements that follow it (sort-after-append
+// detection needs the rest of the block).
+func checkFileMapOrder(prog *Program, pkg *Package, f *ast.File) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(f, func(n ast.Node) bool {
+		var stmts []ast.Stmt
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			stmts = b.List
+		case *ast.CaseClause:
+			stmts = b.Body
+		case *ast.CommClause:
+			stmts = b.Body
+		default:
+			return true
+		}
+		for i, st := range stmts {
+			rs, ok := st.(*ast.RangeStmt)
+			if !ok {
+				continue
+			}
+			if d, bad := checkMapRange(prog, pkg, rs, stmts[i+1:]); bad {
+				diags = append(diags, d)
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// checkMapRange inspects one range statement; rest is the tail of the
+// enclosing block after it.
+func checkMapRange(prog *Program, pkg *Package, rs *ast.RangeStmt, rest []ast.Stmt) (Diagnostic, bool) {
+	t := pkg.Info.TypeOf(rs.X)
+	if t == nil {
+		return Diagnostic{}, false
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return Diagnostic{}, false
+	}
+
+	// Sinks the body writes into, and slices it appends to.
+	var sinkDesc string
+	appendTargets := map[string]bool{} // rendered target expression -> true
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isAppendCall(pkg.Info, call) {
+			if len(call.Args) > 0 {
+				appendTargets[renderExpr(prog.Fset, call.Args[0])] = true
+			}
+			return true
+		}
+		if desc := sinkCallDesc(prog.Fset, pkg.Info, call); desc != "" && sinkDesc == "" {
+			sinkDesc = desc
+		}
+		return true
+	})
+
+	if sinkDesc != "" {
+		d := Diagnostic{
+			Rule: "maporder",
+			Pos:  prog.Fset.Position(rs.Pos()),
+			Msg: fmt.Sprintf("map iteration feeds %s — iteration order is randomized; sort the keys first",
+				sinkDesc),
+		}
+		d.Fix = buildSortedKeysFix(prog, pkg, rs)
+		return d, true
+	}
+
+	if len(appendTargets) > 0 {
+		// The collect-sort idiom: every appended slice must reach a sort
+		// call in the rest of the block.
+		unsorted := []string{}
+		for target := range appendTargets {
+			if !sortedLater(prog.Fset, pkg.Info, rest, target) {
+				unsorted = append(unsorted, target)
+			}
+		}
+		if len(unsorted) > 0 {
+			// Deterministic message: report the lexically smallest target.
+			worst := unsorted[0]
+			for _, u := range unsorted[1:] {
+				if u < worst {
+					worst = u
+				}
+			}
+			d := Diagnostic{
+				Rule: "maporder",
+				Pos:  prog.Fset.Position(rs.Pos()),
+				Msg: fmt.Sprintf("map iteration appends to %s, which is never sorted afterwards — the slice inherits random map order",
+					worst),
+			}
+			d.Fix = buildSortedKeysFix(prog, pkg, rs)
+			return d, true
+		}
+	}
+	return Diagnostic{}, false
+}
+
+// isAppendCall reports whether call is the append builtin.
+func isAppendCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sinkCallDesc classifies a call as an order-sensitive sink and describes
+// it for the diagnostic ("" when it is not a sink). Direct serialization —
+// writers, builders, encoders, hashes, fmt.Fprint* — is order-sensitive no
+// matter what happens later.
+func sinkCallDesc(fset *token.FileSet, info *types.Info, call *ast.CallExpr) string {
+	fn := funcFor(info, call)
+	if fn == nil {
+		return ""
+	}
+	if pkgPathOf(fn) == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") {
+		return "fmt." + fn.Name()
+	}
+	if fn.Type().(*types.Signature).Recv() == nil {
+		return ""
+	}
+	switch fn.Name() {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "WriteTo",
+		"Encode", "EncodeElement", "Sum", "Sum64", "Sum32":
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return fn.Name()
+		}
+		return renderExpr(fset, sel.X) + "." + fn.Name()
+	}
+	return ""
+}
+
+// sortedLater reports whether any statement in rest calls a sort.* or
+// slices.Sort* function with the rendered target expression among its
+// arguments.
+func sortedLater(fset *token.FileSet, info *types.Info, rest []ast.Stmt, target string) bool {
+	for _, st := range rest {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			fn := funcFor(info, call)
+			if fn == nil {
+				return true
+			}
+			path := pkgPathOf(fn)
+			isSort := path == "sort" || (path == "slices" && strings.HasPrefix(fn.Name(), "Sort"))
+			if !isSort {
+				return true
+			}
+			// The target may sit inside a wrapper (sort.Sort(sort.Reverse(
+			// sort.IntSlice(counts)))), so match any nested subexpression.
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(sub ast.Node) bool {
+					if e, ok := sub.(ast.Expr); ok && renderExpr(fset, e) == target {
+						found = true
+					}
+					return !found
+				})
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// renderExpr prints an expression as source text (used to compare
+// append/sort targets structurally).
+func renderExpr(fset *token.FileSet, e ast.Expr) string {
+	var b bytes.Buffer
+	if err := printer.Fprint(&b, fset, e); err != nil {
+		return ""
+	}
+	return b.String()
+}
+
+// --- fix construction -------------------------------------------------------
+
+// buildSortedKeysFix synthesizes the collect-sort-iterate rewrite for a
+// flagged map range, or nil when the rewrite cannot be proven safe:
+// the map expression must be re-evaluable (identifier/selector chain), the
+// key must be a named identifier, and the key type must be ordered.
+func buildSortedKeysFix(prog *Program, pkg *Package, rs *ast.RangeStmt) *Fix {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || rs.Tok != token.DEFINE {
+		return nil
+	}
+	if !pureExpr(rs.X) {
+		return nil
+	}
+	mt, ok := pkg.Info.TypeOf(rs.X).Underlying().(*types.Map)
+	if !ok {
+		return nil
+	}
+	sortCall, needImport := sortCallFor(mt.Key())
+	if sortCall == "" {
+		return nil
+	}
+
+	pos := prog.Fset.Position(rs.Pos())
+	src := pkg.Src[pos.Filename]
+	if src == nil {
+		return nil
+	}
+	start := prog.Fset.Position(rs.Pos()).Offset
+	end := prog.Fset.Position(rs.End()).Offset
+	bodyOpen := prog.Fset.Position(rs.Body.Lbrace).Offset
+	bodyClose := prog.Fset.Position(rs.Body.Rbrace).Offset
+	if start < 0 || end > len(src) || bodyOpen >= bodyClose {
+		return nil
+	}
+
+	mapSrc := renderExpr(prog.Fset, rs.X)
+	keys := key.Name + "Keys"
+	keyType := types.TypeString(mt.Key(), types.RelativeTo(pkg.Types))
+	bodyInner := string(src[bodyOpen+1 : bodyClose])
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s := make([]%s, 0, len(%s))\n", keys, keyType, mapSrc)
+	fmt.Fprintf(&b, "for %s := range %s {\n%s = append(%s, %s)\n}\n", key.Name, mapSrc, keys, keys, key.Name)
+	b.WriteString(fmt.Sprintf(sortCall, keys) + "\n")
+	fmt.Fprintf(&b, "for _, %s := range %s {\n", key.Name, keys)
+	if val, ok := rs.Value.(*ast.Ident); ok && val.Name != "_" {
+		fmt.Fprintf(&b, "%s := %s[%s]\n", val.Name, mapSrc, key.Name)
+	}
+	b.WriteString(bodyInner)
+	b.WriteString("}")
+
+	return &Fix{
+		Path:       pos.Filename,
+		Start:      start,
+		End:        end,
+		NewText:    b.String(),
+		NeedImport: needImport,
+	}
+}
+
+// pureExpr reports whether e can be evaluated repeatedly without side
+// effects: identifiers and selector chains only.
+func pureExpr(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return pureExpr(x.X)
+	}
+	return false
+}
+
+// sortCallFor returns a format string producing the sort call for a key
+// slice ("" when the key type is not ordered) plus the import it needs.
+func sortCallFor(key types.Type) (call, needImport string) {
+	b, ok := key.Underlying().(*types.Basic)
+	if !ok {
+		return "", ""
+	}
+	switch b.Kind() {
+	case types.String:
+		return "sort.Strings(%s)", "sort"
+	case types.Int:
+		return "sort.Ints(%s)", "sort"
+	}
+	if b.Info()&(types.IsInteger|types.IsFloat) != 0 {
+		return "sort.Slice(%[1]s, func(i, j int) bool { return %[1]s[i] < %[1]s[j] })", "sort"
+	}
+	return "", ""
+}

@@ -1,0 +1,55 @@
+// Package det is a hwgc-lint fixture: determinism-rule positives plus the
+// //hwgc:allow directive semantics around them. The harness treats it as a
+// deterministic-core package. `// want` comments carry the expected
+// diagnostics; `// want+1` expects the diagnostic on the following line
+// (used where the flagged line is itself a directive comment).
+package det
+
+import (
+	"fmt"
+	"math/rand" // want `imports math/rand`
+	"os"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now in deterministic package`
+}
+
+// Roll uses the global RNG. The import is the finding; the rule bans the
+// package wholesale, so the call site itself is silent.
+func Roll() int { return rand.Intn(6) }
+
+// Audited reads an env var behind a justified exception — no finding, and
+// the directive is used, so no hygiene finding either.
+func Audited() string {
+	//hwgc:allow determinism fixture: audited exception with a written reason
+	return os.Getenv("HWGC_FIXTURE")
+}
+
+// Unjustified carries a directive with no reason: the directive cannot
+// suppress anything, so the call is still reported alongside the hygiene
+// finding on the directive itself.
+func Unjustified() int {
+	// want+1 `hwgc:allow determinism has no justification`
+	//hwgc:allow determinism
+	return os.Getpid() // want `os\.Getpid in deterministic package`
+}
+
+// Stale carries a directive that suppresses nothing.
+func Stale() int {
+	// want+1 `unused hwgc:allow maporder directive`
+	//hwgc:allow maporder fixture: nothing here ranges over a map
+	return 1
+}
+
+// Hot proves one directive covers exactly one rule at one site: the line
+// below trips both hotpath (fmt call) and determinism (os.Getpid), the
+// directive names only hotpath, so determinism must still surface.
+//
+//hwgc:hotpath
+func Hot() string {
+	//hwgc:allow hotpath fixture: proving one directive suppresses one rule
+	return fmt.Sprintf("%d", os.Getpid()) // want `os\.Getpid in deterministic package`
+}

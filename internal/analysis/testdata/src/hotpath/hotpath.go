@@ -1,0 +1,39 @@
+// Package hotpath is a hwgc-lint fixture: allocation hazards inside
+// //hwgc:hotpath functions, including transitive reach through same-package
+// calls, and the negative case (identical code outside any hot path).
+package hotpath
+
+import "fmt"
+
+type ring struct {
+	buf   []int
+	notes []string
+	fn    func()
+}
+
+// sink consumes an interface value (forces boxing of concrete arguments).
+func sink(v any) { _ = v }
+
+// Push is annotated and commits one of every sin.
+//
+//hwgc:hotpath
+func (r *ring) Push(n int) {
+	f := func() { r.buf = append(r.buf, n) } // want `closure captures`
+	r.fn = f
+	msg := fmt.Sprintf("push %d", n)   // want `fmt\.Sprintf in hot path`
+	r.notes = append(r.notes, msg+"!") // want `string concatenation in hot path`
+	sink(n)                            // want `boxes int into interface`
+	r.helper(n)
+}
+
+// helper is not annotated itself but is reached transitively from Push.
+func (r *ring) helper(n int) {
+	var tmp []int
+	tmp = append(tmp, n) // want `append to tmp, declared in this function without capacity`
+	r.buf = append(r.buf, tmp...)
+}
+
+// Cold runs the same fmt call outside any hot path — no finding.
+func (r *ring) Cold(n int) {
+	_ = fmt.Sprintf("cold %d", n)
+}

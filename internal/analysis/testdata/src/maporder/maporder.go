@@ -1,0 +1,62 @@
+// Package maporder is a hwgc-lint fixture: map-iteration order hazards and
+// the collect-sort-iterate idiom the checker recognizes. The harness treats
+// it as a serialization package.
+package maporder
+
+import (
+	"sort"
+	"strings"
+)
+
+// RenderUnsorted writes map entries straight into a builder — the classic
+// nondeterministic-bytes bug. The finding carries a sorted-keys Fix the
+// fix test applies.
+func RenderUnsorted(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `map iteration feeds b\.WriteString`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// CollectNeverSorted appends keys but never sorts the slice, so it inherits
+// random map order.
+func CollectNeverSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // want `appends to out, which is never sorted`
+		out = append(out, k)
+	}
+	return out
+}
+
+// CollectSorted is the sanctioned idiom — no finding.
+func CollectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WrappedSort proves the sort target is matched through wrapper
+// expressions, not just as a bare argument.
+func WrappedSort(m map[int]bool) []int {
+	counts := make([]int, 0, len(m))
+	for k := range m {
+		counts = append(counts, k)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	return counts
+}
+
+// Allowed is an audited exception: the dump is diagnostic-only and never
+// reaches report bytes.
+func Allowed(m map[string]int) string {
+	var b strings.Builder
+	//hwgc:allow maporder fixture: debug dump, never reaches report bytes
+	for k := range m {
+		b.WriteString(k)
+	}
+	return b.String()
+}

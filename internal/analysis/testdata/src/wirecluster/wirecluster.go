@@ -1,0 +1,62 @@
+// Package wirecluster is a hwgc-lint fixture: a miniature protocol package
+// with sentinel, flight-kind, span-name, and outcome contract violations.
+// The harness points WireConfig at it (and at wirereport for the span
+// classifier).
+package wirecluster
+
+import "errors"
+
+var (
+	ErrAlpha = errors.New("alpha")
+	ErrBeta  = errors.New("beta")  // want `ErrBeta is not mapped in sentinelOf`
+	ErrGamma = errors.New("gamma") // want `ErrGamma is not mapped in codeOf`
+)
+
+type code string
+
+// codeOf maps an error to its wire code.
+func codeOf(err error) code {
+	switch {
+	case errors.Is(err, ErrAlpha):
+		return "alpha"
+	case errors.Is(err, ErrBeta):
+		return "beta"
+	}
+	return "internal"
+}
+
+// sentinelOf maps a wire code back to its sentinel.
+func sentinelOf(c code) error {
+	switch c {
+	case "alpha":
+		return ErrAlpha
+	case "gamma":
+		return ErrGamma
+	}
+	return nil
+}
+
+// FlightEvent is one control-plane trace record.
+type FlightEvent struct {
+	// Kind names the step: "submit", "commit", or "ghost".
+	Kind string // want `flight event kind "ghost" is documented`
+}
+
+func emit(rec func(FlightEvent)) {
+	rec(FlightEvent{Kind: "submit"})
+	rec(FlightEvent{Kind: "commit"})
+	rec(FlightEvent{Kind: "rogue"}) // want `flight event kind "rogue" is emitted but missing`
+}
+
+// span mints a wall span with the given name.
+func span(name string) { _ = name }
+
+// endAttempt records an attempt's outcome: "commit" or "expired".
+func endAttempt(id int, outcome string) { _, _ = id, outcome }
+
+func drive() {
+	span("queue.wait")
+	span("mystery") // want `span name "mystery" has no case`
+	endAttempt(1, "commit")
+	endAttempt(1, "vanished") // want `attempt outcome "vanished" is not in endAttempt's documented catalogue`
+}

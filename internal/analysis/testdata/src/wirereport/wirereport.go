@@ -1,0 +1,14 @@
+// Package wirereport is the report-side half of the wirecluster fixture:
+// its spanBucket switch must cover every span name the cluster side mints.
+package wirereport
+
+// spanBucket classifies a wall-span name into a waterfall slot.
+func spanBucket(name string) int {
+	switch name {
+	case "queue.wait":
+		return 1
+	case "attempt":
+		return 2
+	}
+	return 0
+}

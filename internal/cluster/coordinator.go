@@ -678,6 +678,10 @@ func (c *Coordinator) finishLocked(job *Job, st JobState, errMsg string) {
 		if job.cacheHit {
 			attrs["cacheHit"] = "true"
 		}
+		// The root "job" span deliberately has no spanBucket case: it covers
+		// the whole lifetime and would paint over its children, so the
+		// waterfall uses it for the time extent only.
+		//hwgc:allow wire root job span is classified as slot 0 (undrawn) by design
 		c.spanLocked(job, job.rootSpan, "", "job", job.submitAt, time.Now(), attrs)
 	}
 	job.res = JobResult{

@@ -300,6 +300,8 @@ func NewDDR3(eng *sim.Engine, cfg Config) *DDR3 {
 }
 
 // Enqueue implements Memory.
+//
+//hwgc:hotpath
 func (d *DDR3) Enqueue(r Request) bool {
 	if d.cfg.QueueDepth > 0 && len(d.pending) >= d.cfg.QueueDepth {
 		return false
@@ -322,6 +324,8 @@ const rowPatience = 12
 
 // step issues at most one command per cycle, respecting the in-flight limit
 // and the scheduling policy.
+//
+//hwgc:hotpath
 func (d *DDR3) step() bool {
 	if len(d.pending) == 0 {
 		return false
@@ -476,6 +480,8 @@ func NewPipe(eng *sim.Engine, latency, bytesPerCycle uint64) *Pipe {
 }
 
 // Enqueue implements Memory. The pipe never refuses requests.
+//
+//hwgc:hotpath
 func (p *Pipe) Enqueue(r Request) bool {
 	now := p.eng.Now()
 	burst := (r.Size + p.BytesPerCycle - 1) / p.BytesPerCycle

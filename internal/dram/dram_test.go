@@ -9,6 +9,7 @@ import (
 func cfg() Config { return DDR3_2000(16) }
 
 func TestBankRowMapping(t *testing.T) {
+	t.Parallel()
 	tm := newTiming(cfg())
 	// row:bank:column with XOR hashing — addresses within one 8 KB
 	// row-run stay in one bank and row...
@@ -37,6 +38,7 @@ func TestBankRowMapping(t *testing.T) {
 }
 
 func TestRowHitFasterThanConflict(t *testing.T) {
+	t.Parallel()
 	tm := newTiming(cfg())
 	// First access opens the row: TRCD + TCAS.
 	f1 := tm.access(0, 0, 64, Read)
@@ -61,6 +63,7 @@ func TestRowHitFasterThanConflict(t *testing.T) {
 }
 
 func TestClosedPagePolicy(t *testing.T) {
+	t.Parallel()
 	c := cfg()
 	c.ClosedPage = true
 	tm := newTiming(c)
@@ -72,6 +75,7 @@ func TestClosedPagePolicy(t *testing.T) {
 }
 
 func TestBusSerializesBursts(t *testing.T) {
+	t.Parallel()
 	tm := newTiming(cfg())
 	// Two accesses to different banks issued at the same cycle: the data
 	// beats must not overlap on the shared bus.
@@ -83,6 +87,7 @@ func TestBusSerializesBursts(t *testing.T) {
 }
 
 func TestAMODoubleOccupancy(t *testing.T) {
+	t.Parallel()
 	tm := newTiming(cfg())
 	fRead := tm.access(0, 0, 8, Read)
 	tm2 := newTiming(cfg())
@@ -93,6 +98,7 @@ func TestAMODoubleOccupancy(t *testing.T) {
 }
 
 func TestDDR3EventCompletion(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine()
 	d := NewDDR3(eng, cfg())
 	var finishes []uint64
@@ -119,6 +125,7 @@ func TestDDR3EventCompletion(t *testing.T) {
 }
 
 func TestDDR3QueueBackpressure(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine()
 	c := cfg()
 	c.QueueDepth = 2
@@ -138,6 +145,7 @@ func TestDDR3QueueBackpressure(t *testing.T) {
 }
 
 func TestFRFCFSBeatsFIFOOnRowLocality(t *testing.T) {
+	t.Parallel()
 	// Interleave two streams: one hammers a single row, one strides rows
 	// in the same bank. FR-FCFS should finish sooner overall.
 	run := func(policy Policy) uint64 {
@@ -166,6 +174,7 @@ func TestFRFCFSBeatsFIFOOnRowLocality(t *testing.T) {
 }
 
 func TestInflightLimitThrottles(t *testing.T) {
+	t.Parallel()
 	run := func(maxReads int) uint64 {
 		eng := sim.NewEngine()
 		c := DDR3_2000(maxReads)
@@ -190,6 +199,7 @@ func TestInflightLimitThrottles(t *testing.T) {
 }
 
 func TestPipeBandwidthLimit(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine()
 	p := NewPipe(eng, 1, 8)
 	var last uint64
@@ -212,6 +222,7 @@ func TestPipeBandwidthLimit(t *testing.T) {
 }
 
 func TestSyncMatchesStandaloneTiming(t *testing.T) {
+	t.Parallel()
 	s := NewSync(cfg())
 	f1 := s.Access(0, 0, 64, Read)
 	if f1 != 14+14+4 { // TRCD + TCAS + 4-cycle burst
@@ -224,6 +235,7 @@ func TestSyncMatchesStandaloneTiming(t *testing.T) {
 }
 
 func TestSyncPipe(t *testing.T) {
+	t.Parallel()
 	p := NewSyncPipe(1, 8)
 	f := p.Access(0, 0, 8, Read)
 	if f != 2 { // 1 bus cycle + 1 latency

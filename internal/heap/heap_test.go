@@ -25,6 +25,7 @@ func smallConfig() Config {
 }
 
 func TestStatusEncoding(t *testing.T) {
+	t.Parallel()
 	w := EncodeStatus(5, true, false)
 	if !IsObject(w) || NumRefs(w) != 5 || !IsArray(w) || MarkOf(w) {
 		t.Fatalf("status = %x", w)
@@ -36,6 +37,7 @@ func TestStatusEncoding(t *testing.T) {
 }
 
 func TestStatusRoundTripProperty(t *testing.T) {
+	t.Parallel()
 	f := func(n uint16, array, mark bool) bool {
 		w := EncodeStatus(int(n), array, mark)
 		return IsObject(w) && NumRefs(w) == int(n) && IsArray(w) == array && MarkOf(w) == mark
@@ -46,6 +48,7 @@ func TestStatusRoundTripProperty(t *testing.T) {
 }
 
 func TestAllocAndAccess(t *testing.T) {
+	t.Parallel()
 	h := newHeap(t, smallConfig())
 	a := h.Alloc(2, 16, false)
 	b := h.Alloc(0, 8, false)
@@ -65,6 +68,7 @@ func TestAllocAndAccess(t *testing.T) {
 }
 
 func TestAllocDistinctCells(t *testing.T) {
+	t.Parallel()
 	h := newHeap(t, smallConfig())
 	seen := map[uint64]bool{}
 	for i := 0; i < 1000; i++ {
@@ -80,6 +84,7 @@ func TestAllocDistinctCells(t *testing.T) {
 }
 
 func TestSizeClassRouting(t *testing.T) {
+	t.Parallel()
 	h := newHeap(t, smallConfig())
 	small := h.Alloc(1, 0, false) // 16 bytes -> MarkSweep
 	if small < VAHeapBase || small >= VABumpBase {
@@ -95,6 +100,7 @@ func TestSizeClassRouting(t *testing.T) {
 }
 
 func TestMarkSenseFlip(t *testing.T) {
+	t.Parallel()
 	h := newHeap(t, smallConfig())
 	r := h.Alloc(0, 8, false)
 	if !h.IsMarked(r) {
@@ -118,6 +124,7 @@ func TestMarkSenseFlip(t *testing.T) {
 }
 
 func TestMarkAMOPreservesRefCount(t *testing.T) {
+	t.Parallel()
 	h := newHeap(t, smallConfig())
 	r := h.Alloc(7, 0, false)
 	h.FlipSense()
@@ -131,6 +138,7 @@ func TestMarkAMOPreservesRefCount(t *testing.T) {
 }
 
 func TestExhaustionReturnsZero(t *testing.T) {
+	t.Parallel()
 	cfg := smallConfig()
 	cfg.MarkSweepBytes = 128 << 10
 	cfg.BlockBytes = 64 << 10
@@ -151,6 +159,7 @@ func TestExhaustionReturnsZero(t *testing.T) {
 }
 
 func TestFreeListReuseAfterSync(t *testing.T) {
+	t.Parallel()
 	h := newHeap(t, smallConfig())
 	r := h.Alloc(1, 8, false)
 	// Simulate a sweep freeing this cell: write a free-list entry and
@@ -166,6 +175,7 @@ func TestFreeListReuseAfterSync(t *testing.T) {
 }
 
 func TestLiveObjectsEnumeration(t *testing.T) {
+	t.Parallel()
 	h := newHeap(t, smallConfig())
 	want := map[uint64]bool{}
 	for i := 0; i < 50; i++ {
@@ -183,6 +193,7 @@ func TestLiveObjectsEnumeration(t *testing.T) {
 }
 
 func TestFreeCellsAccounting(t *testing.T) {
+	t.Parallel()
 	h := newHeap(t, smallConfig())
 	h.Alloc(1, 8, false)
 	b := h.MS.Block(0)
@@ -192,6 +203,7 @@ func TestFreeCellsAccounting(t *testing.T) {
 }
 
 func TestRefSpanContiguous(t *testing.T) {
+	t.Parallel()
 	h := newHeap(t, smallConfig())
 	r := h.Alloc(4, 0, false)
 	va, n := h.RefSpan(r, 4)
@@ -206,6 +218,7 @@ func TestRefSpanContiguous(t *testing.T) {
 }
 
 func TestTIBLayout(t *testing.T) {
+	t.Parallel()
 	cfg := smallConfig()
 	cfg.Layout = TIBLayout
 	h := newHeap(t, cfg)
@@ -238,6 +251,7 @@ func TestTIBLayout(t *testing.T) {
 }
 
 func TestPATranslationMatchesPageTable(t *testing.T) {
+	t.Parallel()
 	h := newHeap(t, smallConfig())
 	r := h.Alloc(1, 8, false)
 	pa1 := h.PA(r)
@@ -248,6 +262,7 @@ func TestPATranslationMatchesPageTable(t *testing.T) {
 }
 
 func TestSuperpageMapping(t *testing.T) {
+	t.Parallel()
 	cfg := smallConfig()
 	cfg.Superpages = true
 	h := newHeap(t, cfg)
@@ -262,6 +277,7 @@ func TestSuperpageMapping(t *testing.T) {
 }
 
 func TestCellBytes(t *testing.T) {
+	t.Parallel()
 	h := newHeap(t, smallConfig())
 	if got := h.CellBytes(2, 12); got != 8+16+16 {
 		t.Fatalf("CellBytes = %d", got)

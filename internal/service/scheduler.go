@@ -700,6 +700,7 @@ func (s *Scheduler) attachTelemetry(h *telemetry.Hub) {
 	reg.Gauge("service.inflight.cycles", func() float64 {
 		s.mu.Lock()
 		beats := make([]*telemetry.Beat, 0, len(s.running))
+		//hwgc:allow maporder beats feed an order-insensitive sum, never output bytes
 		for job := range s.running {
 			beats = append(beats, job.beat)
 		}

@@ -119,6 +119,8 @@ func (e *Engine) Now() uint64 { return e.now }
 // the current cycle, and the clamped event still runs after every event
 // already queued for the current cycle — a past-scheduled event can never
 // jump ahead of work that was scheduled before it.
+//
+//hwgc:hotpath
 func (e *Engine) At(cycle uint64, fn func()) {
 	if cycle < e.now {
 		cycle = e.now
@@ -137,6 +139,8 @@ func (e *Engine) At(cycle uint64, fn func()) {
 // After schedules fn to run delay cycles from now. It provides the same
 // same-cycle FIFO ordering guarantee as At; After(0, fn) runs fn this cycle
 // after all currently queued same-cycle events.
+//
+//hwgc:hotpath
 func (e *Engine) After(delay uint64, fn func()) {
 	e.At(e.now+delay, fn)
 }
@@ -231,6 +235,8 @@ func (e *Engine) advanceBuffers(prev, cycle uint64) {
 
 // Step executes the next event, advancing the clock to its cycle. It returns
 // false if no events remain.
+//
+//hwgc:hotpath
 func (e *Engine) Step() bool {
 	ev, ok := e.popMin()
 	if !ok {

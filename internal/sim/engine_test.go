@@ -3,6 +3,7 @@ package sim
 import "testing"
 
 func TestEngineOrdering(t *testing.T) {
+	t.Parallel()
 	e := NewEngine()
 	var got []int
 	e.At(10, func() { got = append(got, 2) })
@@ -21,6 +22,7 @@ func TestEngineOrdering(t *testing.T) {
 }
 
 func TestEngineAfterAndNow(t *testing.T) {
+	t.Parallel()
 	e := NewEngine()
 	var at uint64
 	e.After(7, func() {
@@ -34,6 +36,7 @@ func TestEngineAfterAndNow(t *testing.T) {
 }
 
 func TestEngineSchedulingInPastClamps(t *testing.T) {
+	t.Parallel()
 	e := NewEngine()
 	fired := uint64(999)
 	e.At(5, func() {
@@ -50,6 +53,7 @@ func TestEngineSchedulingInPastClamps(t *testing.T) {
 // current cycle and still runs after every event already queued for this
 // cycle — it can never jump ahead of work scheduled before it.
 func TestEnginePastEventRunsAfterQueuedSameCycle(t *testing.T) {
+	t.Parallel()
 	e := NewEngine()
 	var got []string
 	e.At(5, func() {
@@ -74,6 +78,7 @@ func TestEnginePastEventRunsAfterQueuedSameCycle(t *testing.T) {
 }
 
 func TestEngineProbeFiresAtBoundariesWithoutScheduling(t *testing.T) {
+	t.Parallel()
 	e := NewEngine()
 	var probes []uint64
 	e.SetProbe(10, func(c uint64) {
@@ -104,6 +109,7 @@ func TestEngineProbeFiresAtBoundariesWithoutScheduling(t *testing.T) {
 }
 
 func TestEngineRunUntil(t *testing.T) {
+	t.Parallel()
 	e := NewEngine()
 	count := 0
 	var tick func()
@@ -124,6 +130,7 @@ func TestEngineRunUntil(t *testing.T) {
 }
 
 func TestTickerRunsUntilIdleAndWakes(t *testing.T) {
+	t.Parallel()
 	e := NewEngine()
 	work := 3
 	steps := 0
@@ -148,6 +155,7 @@ func TestTickerRunsUntilIdleAndWakes(t *testing.T) {
 }
 
 func TestTickerWakeCoalesces(t *testing.T) {
+	t.Parallel()
 	e := NewEngine()
 	steps := 0
 	tk := NewTicker(e, func() bool { steps++; return false })
@@ -161,6 +169,7 @@ func TestTickerWakeCoalesces(t *testing.T) {
 }
 
 func TestTickerStepsOncePerCycle(t *testing.T) {
+	t.Parallel()
 	e := NewEngine()
 	var cycles []uint64
 	n := 0
@@ -182,6 +191,7 @@ func TestTickerStepsOncePerCycle(t *testing.T) {
 // boundaries between the last executed event and the limit must fire, and
 // a boundary landing exactly on the limit fires too.
 func TestEngineRunUntilFiresTrailingProbes(t *testing.T) {
+	t.Parallel()
 	e := NewEngine()
 	var probes []uint64
 	e.SetProbe(10, func(c uint64) { probes = append(probes, c) })
@@ -231,6 +241,7 @@ func TestEngineRunUntilFiresTrailingProbes(t *testing.T) {
 // must run before an After(0/1) event queued for C during execution (FIFO),
 // because it was scheduled first.
 func TestEngineHeapAndFIFOInterleave(t *testing.T) {
+	t.Parallel()
 	e := NewEngine()
 	var got []string
 	e.At(6, func() { got = append(got, "next:6") })  // next-cycle FIFO... after advance
@@ -338,6 +349,7 @@ func driveRandomWorkload(s scheduler, run func() uint64, seed uint64) (trace []u
 // cascade in exactly the order, and at exactly the cycles, the brute-force
 // reference does.
 func TestEngineMatchesNaiveScheduler(t *testing.T) {
+	t.Parallel()
 	for seed := uint64(1); seed <= 25; seed++ {
 		e := NewEngine()
 		got, gotEnd := driveRandomWorkload(e, e.Run, seed)

@@ -50,6 +50,8 @@ func (q *Queue[T]) Peak() int { return q.peak }
 func (q *Queue[T]) Pushed() uint64 { return q.total }
 
 // Push appends v. It returns false (and drops nothing) if the queue is full.
+//
+//hwgc:hotpath
 func (q *Queue[T]) Push(v T) bool {
 	if q.Full() {
 		return false
@@ -67,6 +69,8 @@ func (q *Queue[T]) Push(v T) bool {
 }
 
 // Pop removes and returns the oldest element.
+//
+//hwgc:hotpath
 func (q *Queue[T]) Pop() (T, bool) {
 	var zero T
 	if q.size == 0 {

@@ -6,6 +6,7 @@ import (
 )
 
 func TestQueueFIFO(t *testing.T) {
+	t.Parallel()
 	q := NewQueue[int](4)
 	for i := 0; i < 4; i++ {
 		if !q.Push(i) {
@@ -27,6 +28,7 @@ func TestQueueFIFO(t *testing.T) {
 }
 
 func TestQueueUnbounded(t *testing.T) {
+	t.Parallel()
 	q := NewQueue[int](0)
 	for i := 0; i < 1000; i++ {
 		if !q.Push(i) {
@@ -48,6 +50,7 @@ func TestQueueUnbounded(t *testing.T) {
 }
 
 func TestQueuePeek(t *testing.T) {
+	t.Parallel()
 	q := NewQueue[string](2)
 	if _, ok := q.Peek(); ok {
 		t.Fatal("Peek on empty queue succeeded")
@@ -63,6 +66,7 @@ func TestQueuePeek(t *testing.T) {
 }
 
 func TestQueueWrapAround(t *testing.T) {
+	t.Parallel()
 	q := NewQueue[int](3)
 	for round := 0; round < 10; round++ {
 		q.Push(round * 10)
@@ -78,6 +82,7 @@ func TestQueueWrapAround(t *testing.T) {
 // Property: any interleaving of pushes and pops preserves FIFO order and
 // never exceeds capacity.
 func TestQueueFIFOProperty(t *testing.T) {
+	t.Parallel()
 	f := func(ops []bool, capacity uint8) bool {
 		c := int(capacity%8) + 1
 		q := NewQueue[int](c)

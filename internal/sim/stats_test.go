@@ -6,6 +6,7 @@ import (
 )
 
 func TestRandDeterministic(t *testing.T) {
+	t.Parallel()
 	a, b := NewRand(42), NewRand(42)
 	for i := 0; i < 100; i++ {
 		if a.Uint64() != b.Uint64() {
@@ -26,6 +27,7 @@ func TestRandDeterministic(t *testing.T) {
 }
 
 func TestRandIntnRange(t *testing.T) {
+	t.Parallel()
 	r := NewRand(1)
 	for i := 0; i < 1000; i++ {
 		v := r.Intn(7)
@@ -36,6 +38,7 @@ func TestRandIntnRange(t *testing.T) {
 }
 
 func TestRandFloat64Range(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64) bool {
 		r := NewRand(seed)
 		for i := 0; i < 50; i++ {
@@ -52,6 +55,7 @@ func TestRandFloat64Range(t *testing.T) {
 }
 
 func TestZipfSkew(t *testing.T) {
+	t.Parallel()
 	r := NewRand(7)
 	z := NewZipf(r, 1000, 1.0)
 	counts := make([]int, 1000)
@@ -72,6 +76,7 @@ func TestZipfSkew(t *testing.T) {
 }
 
 func TestGeometricMean(t *testing.T) {
+	t.Parallel()
 	r := NewRand(3)
 	sum := 0
 	n := 20000
@@ -85,6 +90,7 @@ func TestGeometricMean(t *testing.T) {
 }
 
 func TestHistogram(t *testing.T) {
+	t.Parallel()
 	var h Histogram
 	for _, v := range []uint64{1, 2, 3, 4, 100} {
 		h.Observe(v)
@@ -101,6 +107,7 @@ func TestHistogram(t *testing.T) {
 }
 
 func TestSampleQuantiles(t *testing.T) {
+	t.Parallel()
 	var s Sample
 	for i := 1; i <= 100; i++ {
 		s.Observe(float64(i))
@@ -121,6 +128,7 @@ func TestSampleQuantiles(t *testing.T) {
 }
 
 func TestSeriesBinning(t *testing.T) {
+	t.Parallel()
 	s := NewSeries(10)
 	s.Add(0, 1)
 	s.Add(5, 1)

@@ -31,6 +31,8 @@ func NewTicker(e *Engine, step func() bool) *Ticker {
 
 // Wake schedules the unit to step on the next cycle if it is not already
 // scheduled. Calling Wake from within the unit's own step is allowed.
+//
+//hwgc:hotpath
 func (t *Ticker) Wake() {
 	if t.scheduled {
 		return
@@ -41,6 +43,8 @@ func (t *Ticker) Wake() {
 
 // WakeNow schedules the unit to step in the current cycle (after events
 // already queued for this cycle). Used to start units at time zero.
+//
+//hwgc:hotpath
 func (t *Ticker) WakeNow() {
 	if t.scheduled {
 		return

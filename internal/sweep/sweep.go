@@ -353,6 +353,8 @@ func (sw *sweeper) chunkCells() (n int, size uint64) {
 }
 
 // step performs at most one memory operation per cycle.
+//
+//hwgc:hotpath
 func (sw *sweeper) step() bool {
 	if sw.pendingT {
 		return false

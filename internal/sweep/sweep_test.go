@@ -73,6 +73,7 @@ func runSweep(t *testing.T, e *env) uint64 {
 }
 
 func TestSweepInvariants(t *testing.T) {
+	t.Parallel()
 	e := newEnv(t, DefaultConfig())
 	buildAndMark(e.sys, 3000, 1)
 	cycles := runSweep(t, e)
@@ -88,6 +89,7 @@ func TestSweepInvariants(t *testing.T) {
 }
 
 func TestSweepMatchesReachability(t *testing.T) {
+	t.Parallel()
 	e := newEnv(t, DefaultConfig())
 	buildAndMark(e.sys, 2000, 2)
 	reach := len(e.sys.Reachable())
@@ -105,6 +107,7 @@ func TestSweepMatchesReachability(t *testing.T) {
 }
 
 func TestSweepAllSizeClasses(t *testing.T) {
+	t.Parallel()
 	e := newEnv(t, DefaultConfig())
 	h := e.sys.Heap
 	// One live and one dead object in many size classes, including the
@@ -125,6 +128,7 @@ func TestSweepAllSizeClasses(t *testing.T) {
 }
 
 func TestSweepEmptyHeap(t *testing.T) {
+	t.Parallel()
 	e := newEnv(t, DefaultConfig())
 	e.sys.Heap.FlipSense()
 	e.unit.StartSweep(e.sys.DriverConfig())
@@ -138,6 +142,7 @@ func TestSweepEmptyHeap(t *testing.T) {
 }
 
 func TestSweepGarbageOnlyHeapFreesEverything(t *testing.T) {
+	t.Parallel()
 	e := newEnv(t, DefaultConfig())
 	h := e.sys.Heap
 	n := 0
@@ -158,6 +163,7 @@ func TestSweepGarbageOnlyHeapFreesEverything(t *testing.T) {
 }
 
 func TestSweepAllocationAfterSweep(t *testing.T) {
+	t.Parallel()
 	e := newEnv(t, DefaultConfig())
 	h := e.sys.Heap
 	for h.Alloc(0, 8, false) != 0 {
@@ -170,6 +176,7 @@ func TestSweepAllocationAfterSweep(t *testing.T) {
 }
 
 func TestMoreSweepersFaster(t *testing.T) {
+	t.Parallel()
 	run := func(n int) uint64 {
 		cfg := DefaultConfig()
 		cfg.Sweepers = n
@@ -185,6 +192,7 @@ func TestMoreSweepersFaster(t *testing.T) {
 }
 
 func TestSweepDeterministic(t *testing.T) {
+	t.Parallel()
 	run := func() uint64 {
 		e := newEnv(t, DefaultConfig())
 		buildAndMark(e.sys, 1500, 4)
@@ -196,6 +204,7 @@ func TestSweepDeterministic(t *testing.T) {
 }
 
 func TestSweepAgreesWithDescriptors(t *testing.T) {
+	t.Parallel()
 	e := newEnv(t, DefaultConfig())
 	buildAndMark(e.sys, 1000, 5)
 	runSweep(t, e)

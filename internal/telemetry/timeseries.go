@@ -150,6 +150,8 @@ func (r *Recorder) refresh() {
 // Tick folds one probe sample at the given cycle into every series. The hot
 // path allocates nothing: accumulation is arithmetic, emission appends
 // within preallocated capacity, and downsampling merges in place.
+//
+//hwgc:hotpath
 func (r *Recorder) Tick(cycle uint64) {
 	if r == nil || r.reg == nil {
 		return

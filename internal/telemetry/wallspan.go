@@ -124,6 +124,8 @@ func (r *WallSpans) NewSpanID() string {
 // Add records one completed span. Once the bound is reached the earliest
 // spans are kept and the rest counted in Dropped — bounded memory,
 // deterministic retention, same policy as the sim tracer. Nil-safe.
+//
+//hwgc:hotpath
 func (r *WallSpans) Add(s Span) {
 	if r == nil {
 		return

@@ -9,6 +9,7 @@ import (
 )
 
 func TestChunksPaperExample(t *testing.T) {
+	t.Parallel()
 	// The paper's example: 15 references (120 bytes) at 0x1a18 issue
 	// transfer sizes 8, 32, 64, 16 in that order.
 	got := Chunks(0x1a18, 120)
@@ -24,6 +25,7 @@ func TestChunksPaperExample(t *testing.T) {
 }
 
 func TestChunksAligned(t *testing.T) {
+	t.Parallel()
 	got := Chunks(0x1000, 128)
 	want := []uint64{64, 64}
 	if len(got) != 2 || got[0] != 64 || got[1] != 64 {
@@ -32,6 +34,7 @@ func TestChunksAligned(t *testing.T) {
 }
 
 func TestChunksTiny(t *testing.T) {
+	t.Parallel()
 	got := Chunks(0x1008, 8)
 	if len(got) != 1 || got[0] != 8 {
 		t.Fatalf("Chunks = %v, want [8]", got)
@@ -41,6 +44,7 @@ func TestChunksTiny(t *testing.T) {
 // Property: chunks are legal transfers, contiguous, and cover at least n
 // bytes (the last chunk may round a sub-word remainder up to 8).
 func TestChunksProperty(t *testing.T) {
+	t.Parallel()
 	f := func(a uint32, n16 uint16) bool {
 		addr := uint64(a) &^ 7 // word-aligned start, as references are
 		n := uint64(n16%1024) + 1
@@ -62,6 +66,7 @@ func TestChunksProperty(t *testing.T) {
 }
 
 func TestCheckTransfer(t *testing.T) {
+	t.Parallel()
 	if err := CheckTransfer(0x40, 64); err != nil {
 		t.Fatalf("aligned 64B: %v", err)
 	}
@@ -87,6 +92,7 @@ func newBus(t *testing.T) (*sim.Engine, *Bus) {
 }
 
 func TestBusDeliversRequests(t *testing.T) {
+	t.Parallel()
 	eng, bus := newBus(t)
 	p := bus.NewPort("marker", 4)
 	done := 0
@@ -110,6 +116,7 @@ func TestBusDeliversRequests(t *testing.T) {
 }
 
 func TestBusOneGrantPerCycle(t *testing.T) {
+	t.Parallel()
 	eng, bus := newBus(t)
 	p := bus.NewPort("tracer", 16)
 	for i := 0; i < 10; i++ {
@@ -123,6 +130,7 @@ func TestBusOneGrantPerCycle(t *testing.T) {
 }
 
 func TestBusRoundRobinFairness(t *testing.T) {
+	t.Parallel()
 	eng, bus := newBus(t)
 	a := bus.NewPort("a", 32)
 	b := bus.NewPort("b", 32)
@@ -151,6 +159,7 @@ func TestBusRoundRobinFairness(t *testing.T) {
 }
 
 func TestPortBackpressureAndOnSpace(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine()
 	memory := dram.NewDDR3(eng, dram.DDR3_2000(1))
 	bus := New(eng, memory)
@@ -170,6 +179,7 @@ func TestPortBackpressureAndOnSpace(t *testing.T) {
 }
 
 func TestBusyFractionAndCPR(t *testing.T) {
+	t.Parallel()
 	eng, bus := newBus(t)
 	p := bus.NewPort("x", 64)
 	for i := 0; i < 32; i++ {
@@ -187,6 +197,7 @@ func TestBusyFractionAndCPR(t *testing.T) {
 }
 
 func TestBandwidthSeries(t *testing.T) {
+	t.Parallel()
 	eng, bus := newBus(t)
 	bus.Bandwidth = sim.NewSeries(100)
 	p := bus.NewPort("x", 64)
@@ -205,6 +216,7 @@ func TestBandwidthSeries(t *testing.T) {
 }
 
 func TestInvalidTransferPanics(t *testing.T) {
+	t.Parallel()
 	_, bus := newBus(t)
 	p := bus.NewPort("bad", 4)
 	defer func() {

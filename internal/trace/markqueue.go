@@ -143,6 +143,8 @@ func (mq *MarkQueue) spillUsedBytes() uint64 {
 
 // Push enqueues a reference, preferring the main queue and falling back to
 // outQ (which spills). It consumes one reservation if any are held.
+//
+//hwgc:hotpath
 func (mq *MarkQueue) Push(ref uint64) bool {
 	ok := mq.q.Push(ref)
 	if !ok {
@@ -167,6 +169,8 @@ func (mq *MarkQueue) Push(ref uint64) bool {
 }
 
 // Pop dequeues a reference, preferring the main queue, then inQ.
+//
+//hwgc:hotpath
 func (mq *MarkQueue) Pop() (uint64, bool) {
 	ref, ok := mq.q.Pop()
 	if !ok {

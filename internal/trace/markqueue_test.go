@@ -28,6 +28,7 @@ func newMQ(t *testing.T, mainEntries, stageEntries int, compress bool) (*sim.Eng
 // TestMarkQueueMultisetProperty: any push sequence that overflows into the
 // spill path comes back out as the same multiset of references.
 func TestMarkQueueMultisetProperty(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64, n16 uint16) bool {
 		n := int(n16%2000) + 50
 		eng, mq := newMQ(t, 16, 8, seed%2 == 0)
@@ -76,6 +77,7 @@ func TestMarkQueueMultisetProperty(t *testing.T) {
 }
 
 func TestMarkQueueStageMinimumForCompression(t *testing.T) {
+	t.Parallel()
 	// Compressed bursts are 16 entries; a 8-entry stage request must be
 	// widened so spilling can fire below the tracer-throttle watermark.
 	_, mq := newMQ(t, 16, 8, true)
@@ -85,6 +87,7 @@ func TestMarkQueueStageMinimumForCompression(t *testing.T) {
 }
 
 func TestMarkQueueCompressionRoundTrip(t *testing.T) {
+	t.Parallel()
 	eng, mq := newMQ(t, 8, 16, true)
 	refs := make([]uint64, 0, 200)
 	for i := 0; i < 200; i++ {
@@ -123,6 +126,7 @@ func TestMarkQueueCompressionRoundTrip(t *testing.T) {
 }
 
 func TestMarkQueueThrottleSignal(t *testing.T) {
+	t.Parallel()
 	_, mq := newMQ(t, 2, 16, false)
 	if mq.TracerThrottled() {
 		t.Fatal("empty queue throttled")

@@ -68,6 +68,7 @@ func runMark(t *testing.T, e *env) uint64 {
 }
 
 func TestUnitMarksExactlyReachable(t *testing.T) {
+	t.Parallel()
 	e := newEnv(t, DefaultConfig())
 	buildGraph(e.sys, 3000, 1)
 	cycles := runMark(t, e)
@@ -84,6 +85,7 @@ func TestUnitMarksExactlyReachable(t *testing.T) {
 }
 
 func TestUnitMarksCycles(t *testing.T) {
+	t.Parallel()
 	e := newEnv(t, DefaultConfig())
 	h := e.sys.Heap
 	a := h.Alloc(1, 0, false)
@@ -101,6 +103,7 @@ func TestUnitMarksCycles(t *testing.T) {
 }
 
 func TestUnitEmptyRoots(t *testing.T) {
+	t.Parallel()
 	e := newEnv(t, DefaultConfig())
 	buildGraph(e.sys, 100, 2)
 	e.sys.Roots.Reset() // no roots at all
@@ -116,6 +119,7 @@ func TestUnitEmptyRoots(t *testing.T) {
 }
 
 func TestUnitSharedRefsDeduplicated(t *testing.T) {
+	t.Parallel()
 	e := newEnv(t, DefaultConfig())
 	h := e.sys.Heap
 	hot := h.Alloc(0, 8, false)
@@ -134,6 +138,7 @@ func TestUnitSharedRefsDeduplicated(t *testing.T) {
 }
 
 func TestUnitTinyMarkQueueSpills(t *testing.T) {
+	t.Parallel()
 	cfg := DefaultConfig()
 	cfg.MarkQueueEntries = 16
 	cfg.StageEntries = 8
@@ -153,6 +158,7 @@ func TestUnitTinyMarkQueueSpills(t *testing.T) {
 }
 
 func TestUnitCompressionHalvesSpillTraffic(t *testing.T) {
+	t.Parallel()
 	run := func(compress bool) uint64 {
 		cfg := DefaultConfig()
 		cfg.MarkQueueEntries = 16
@@ -177,6 +183,7 @@ func TestUnitCompressionHalvesSpillTraffic(t *testing.T) {
 }
 
 func TestUnitSmallTracerQueue(t *testing.T) {
+	t.Parallel()
 	cfg := DefaultConfig()
 	cfg.TracerQueueEntries = 8
 	e := newEnv(t, cfg)
@@ -188,6 +195,7 @@ func TestUnitSmallTracerQueue(t *testing.T) {
 }
 
 func TestUnitMarkBitCacheFilters(t *testing.T) {
+	t.Parallel()
 	cfg := DefaultConfig()
 	cfg.MarkBitCacheSize = 64
 	e := newEnv(t, cfg)
@@ -213,6 +221,7 @@ func TestUnitMarkBitCacheFilters(t *testing.T) {
 }
 
 func TestUnitSharedCacheConfiguration(t *testing.T) {
+	t.Parallel()
 	cfg := DefaultConfig()
 	cfg.SharedCache = true
 	e := newEnv(t, cfg)
@@ -236,6 +245,7 @@ func TestUnitSharedCacheConfiguration(t *testing.T) {
 // design slower than the partitioned one. (On tiny heaps the shared cache
 // can win through spatial locality — the paper's heaps are 200 MB.)
 func TestUnitSharedCacheSlowerThanPartitioned(t *testing.T) {
+	t.Parallel()
 	run := func(shared bool) uint64 {
 		cfg := DefaultConfig()
 		cfg.SharedCache = shared
@@ -281,6 +291,7 @@ func TestUnitSharedCacheSlowerThanPartitioned(t *testing.T) {
 }
 
 func TestUnitProbesHistogram(t *testing.T) {
+	t.Parallel()
 	e := newEnv(t, DefaultConfig())
 	h := e.sys.Heap
 	hot := h.Alloc(0, 8, false)
@@ -297,6 +308,7 @@ func TestUnitProbesHistogram(t *testing.T) {
 }
 
 func TestUnitDeterministic(t *testing.T) {
+	t.Parallel()
 	run := func() uint64 {
 		e := newEnv(t, DefaultConfig())
 		buildGraph(e.sys, 2000, 8)
@@ -308,6 +320,7 @@ func TestUnitDeterministic(t *testing.T) {
 }
 
 func TestChunkSizeRespectsPageBoundary(t *testing.T) {
+	t.Parallel()
 	e := newEnv(t, DefaultConfig())
 	tr := e.unit.Tracer
 	tr.cur = Span{VA: heap.VAHeapBase + 4096 - 16, Bytes: 64}
@@ -318,6 +331,7 @@ func TestChunkSizeRespectsPageBoundary(t *testing.T) {
 }
 
 func TestMarkQueuePushPopOrder(t *testing.T) {
+	t.Parallel()
 	e := newEnv(t, DefaultConfig())
 	mq := e.unit.MQ
 	for i := uint64(1); i <= 10; i++ {

@@ -8,6 +8,12 @@ cd "$(dirname "$0")/.."
 echo "== go vet ./..."
 go vet ./...
 
+echo "== hwgc-lint ./..."
+# Repo-native analyzer: determinism, map-order, hot-path, and wire-protocol
+# contracts (docs/LINTING.md). Exit 1 means a finding; fix it or add an
+# audited //hwgc:allow directive.
+go run ./cmd/hwgc-lint ./...
+
 echo "== gofmt -l ."
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
